@@ -1,0 +1,111 @@
+// Ablation: how the cutoff value trades throughput against fidelity.
+//
+// DESIGN.md design-choice study: sweeping the cutoff from far below to
+// far above the link generation time at a fixed memory lifetime shows
+// the regime structure behind Figs. 8 and 10 — too-tight cutoffs starve
+// swapping (throughput collapses), too-loose cutoffs admit decohered
+// pairs (fidelity collapses); the paper's 1.5%-loss rule sits on the
+// plateau.
+#include "bench/common.hpp"
+
+using namespace qnetp;
+using namespace qnetp::literals;
+using namespace qnetp::bench;
+
+namespace {
+
+struct Result {
+  double tput = -1.0;
+  double fidelity = 0.0;
+  double discards_per_s = 0.0;
+};
+
+Result run_once(Duration cutoff, std::uint64_t seed, Duration horizon) {
+  netsim::NetworkConfig config;
+  config.seed = seed;
+  auto hw = qhw::simulation_preset();
+  hw.phys.electron_t2 = 2_s;
+  auto net = netsim::make_chain(3, config, hw, qhw::FiberParams::lab(2.0));
+
+  // Manual circuit with a FIXED link fidelity so the sweep varies only
+  // the cutoff (the automatic planner would re-derive the link fidelity
+  // from the cutoff and confound the ablation).
+  const double link_fidelity = 0.93;
+  netmsg::InstallMsg install;
+  install.circuit_id = CircuitId{1};
+  install.head_end_identifier = EndpointId{10};
+  install.tail_end_identifier = EndpointId{20};
+  install.end_to_end_fidelity = 0.85;
+  for (std::uint64_t i = 1; i <= 3; ++i) {
+    netmsg::HopState hop;
+    hop.node = NodeId{i};
+    hop.upstream = (i > 1) ? NodeId{i - 1} : NodeId{};
+    hop.downstream = (i < 3) ? NodeId{i + 1} : NodeId{};
+    hop.upstream_label = (i > 1) ? LinkLabel{i - 1} : LinkLabel{};
+    hop.downstream_label = (i < 3) ? LinkLabel{i} : LinkLabel{};
+    hop.downstream_min_fidelity = (i < 3) ? link_fidelity : 0.0;
+    hop.downstream_max_lpr = 100.0;
+    hop.circuit_max_eer = 50.0;
+    hop.cutoff = cutoff;
+    install.hops.push_back(hop);
+  }
+  net->install_manual_circuit(install);
+
+  netsim::DualProbe probe(*net, NodeId{1}, EndpointId{10}, NodeId{3},
+                          EndpointId{20});
+  net->engine(NodeId{1}).submit_request(
+      CircuitId{1},
+      keep_request(1, 1000000, EndpointId{10}, EndpointId{20}));
+  net->sim().run_until(TimePoint::origin() + horizon);
+  net->sim().stop();
+
+  Result r;
+  r.tput = static_cast<double>(probe.pair_count()) / horizon.as_seconds();
+  r.fidelity = probe.mean_fidelity();
+  r.discards_per_s =
+      static_cast<double>(
+          net->engine(NodeId{2}).counters().pairs_discarded_cutoff) /
+      horizon.as_seconds();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::parse(argc, argv);
+  const std::size_t runs = args.runs > 0 ? args.runs : (args.quick ? 1 : 3);
+  const Duration horizon = args.quick ? 5_s : 15_s;
+  const std::vector<double> cutoffs_ms =
+      args.quick ? std::vector<double>{5, 40, 320}
+                 : std::vector<double>{2, 5, 10, 20, 40, 80, 160, 320, 640,
+                                       1280};
+
+  print_banner(std::cout,
+               "Ablation — cutoff sweep on a 3-node chain (F=0.85 target, "
+               "T2* = 2 s)");
+  TablePrinter table({"cutoff [ms]", "throughput [pairs/s]",
+                      "mean fidelity", "cutoff discards [1/s]"});
+  for (const double c : cutoffs_ms) {
+    RunningStats tput, fid, disc;
+    for (std::size_t s = 0; s < runs; ++s) {
+      const Result r = run_once(Duration::ms(c), 5000 + s * 7, horizon);
+      if (r.tput < 0.0) continue;
+      tput.add(r.tput);
+      fid.add(r.fidelity);
+      disc.add(r.discards_per_s);
+    }
+    auto cell = [](const RunningStats& s) {
+      return s.empty() ? std::string("n/a") : TablePrinter::num(s.mean(), 4);
+    };
+    table.add_row(
+        {TablePrinter::num(c, 4), cell(tput), cell(fid), cell(disc)});
+  }
+  emit(table, args);
+  std::cout << "\nExpected: throughput climbs to a plateau once the cutoff "
+               "clears the ~9 ms link generation time (below that, "
+               "discards dominate); fidelity is highest at tight cutoffs. "
+               "On an unloaded chain partners arrive quickly, so the "
+               "fidelity cost of long cutoffs is mild here — the loaded "
+               "case is what Fig. 10 measures.\n";
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Shared helpers for the figure-reproduction benchmark binaries.
+//
+// Every binary accepts:
+//   --runs=N    repeat each configuration with N seeds (default varies)
+//   --quick     cut the sweep to a fast smoke-test subset
+//   --csv       emit CSV instead of aligned tables
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "netsim/network.hpp"
+#include "netsim/probe.hpp"
+#include "qbase/stats.hpp"
+#include "qbase/table.hpp"
+
+namespace qnetp::bench {
+
+struct BenchArgs {
+  std::size_t runs = 0;  // 0 = binary default
+  bool quick = false;
+  bool csv = false;
+
+  static BenchArgs parse(int argc, char** argv) {
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      if (a.rfind("--runs=", 0) == 0) {
+        args.runs = static_cast<std::size_t>(std::stoul(a.substr(7)));
+      } else if (a == "--quick") {
+        args.quick = true;
+      } else if (a == "--csv") {
+        args.csv = true;
+      } else {
+        std::fprintf(stderr, "unknown argument: %s\n", a.c_str());
+      }
+    }
+    return args;
+  }
+};
+
+inline void emit(const TablePrinter& table, const BenchArgs& args) {
+  if (args.csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+}
+
+/// A standard KEEP request between endpoints 10 (head) and 20+k (tail).
+inline qnp::AppRequest keep_request(std::uint64_t id, std::uint64_t pairs,
+                                    EndpointId head, EndpointId tail) {
+  qnp::AppRequest r;
+  r.id = RequestId{id};
+  r.head_endpoint = head;
+  r.tail_endpoint = tail;
+  r.type = netmsg::RequestType::keep;
+  r.num_pairs = pairs;
+  return r;
+}
+
+}  // namespace qnetp::bench

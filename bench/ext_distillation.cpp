@@ -1,0 +1,94 @@
+// Extension (Sec. 4.3): layered entanglement distillation over the QNP.
+//
+// A distillation service consumes raw pairs from a circuit and pumps
+// them through DEJMPS rounds. One round converts the link's bit-flip
+// noise into phase noise; the second round purifies it — fidelity rises
+// while the pair rate drops by the distillation overhead (2^rounds raw
+// pairs per output, times the success probability).
+#include "apps/distillation.hpp"
+#include "bench/common.hpp"
+
+using namespace qnetp;
+using namespace qnetp::literals;
+using namespace qnetp::bench;
+
+namespace {
+
+struct Result {
+  double raw_fidelity = 0.0;
+  double out_fidelity = 0.0;
+  std::size_t raw_pairs = 0;
+  std::size_t out_pairs = 0;
+  double success_ratio = 0.0;
+};
+
+Result run_once(std::size_t rounds, double target, std::uint64_t seed,
+                std::uint64_t raw_pairs) {
+  netsim::NetworkConfig config;
+  config.seed = seed;
+  config.comm_qubits_per_link = 8;  // distillation buffers pairs
+  auto net = netsim::make_chain(3, config, qhw::simulation_preset(),
+                                qhw::FiberParams::lab(2.0));
+
+  Result r;
+  apps::DistillationService distiller(
+      *net, NodeId{1}, EndpointId{10}, NodeId{3}, EndpointId{20},
+      [&](const apps::DistilledPair& p) {
+        r.raw_fidelity += p.fidelity_raw;
+        r.out_fidelity += p.fidelity_after;
+        ++r.out_pairs;
+        net->engine(NodeId{1}).release_app_qubit(p.head_qubit);
+        net->engine(NodeId{3}).release_app_qubit(p.tail_qubit);
+      },
+      rounds);
+  const auto plan = net->establish_circuit(
+      NodeId{1}, NodeId{3}, EndpointId{10}, EndpointId{20}, target);
+  if (!plan) return r;
+  distiller.start(plan->install.circuit_id, RequestId{1}, raw_pairs);
+  net->sim().run_until(TimePoint::origin() + 300_s);
+  net->sim().stop();
+
+  r.raw_pairs = raw_pairs;
+  r.success_ratio = distiller.success_ratio();
+  if (r.out_pairs > 0) {
+    r.raw_fidelity /= static_cast<double>(r.out_pairs);
+    r.out_fidelity /= static_cast<double>(r.out_pairs);
+  }
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::parse(argc, argv);
+  const std::uint64_t raw = args.quick ? 40 : 160;
+
+  print_banner(std::cout,
+               "Extension — layered DEJMPS distillation over a 3-node "
+               "circuit (Sec. 4.3)");
+  TablePrinter table({"raw F target", "rounds", "raw fidelity",
+                      "distilled fidelity", "outputs / raw",
+                      "round success"});
+  for (const double target : {0.75, 0.8, 0.85}) {
+    for (const std::size_t rounds : {1u, 2u}) {
+      const Result r = run_once(rounds, target, 8000, raw);
+      if (r.out_pairs == 0) {
+        table.add_row({TablePrinter::num(target, 3),
+                       std::to_string(rounds), "n/a", "n/a", "0", "n/a"});
+        continue;
+      }
+      table.add_row({TablePrinter::num(target, 3), std::to_string(rounds),
+                     TablePrinter::num(r.raw_fidelity, 4),
+                     TablePrinter::num(r.out_fidelity, 4),
+                     TablePrinter::num(static_cast<double>(r.out_pairs) /
+                                           static_cast<double>(r.raw_pairs),
+                                       3),
+                     TablePrinter::num(r.success_ratio, 3)});
+    }
+  }
+  emit(table, args);
+  std::cout << "\nExpected: one round mostly converts bit errors to phase "
+               "errors (little fidelity change); two rounds purify "
+               "(fidelity up) at a ~4x+ rate cost.\n";
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Micro-benchmarks of the simulator's hot primitives (google-benchmark).
+//
+// These bound the cost of the exact density-matrix substrate: the
+// evaluation's credibility rests on the simulation being exact, and these
+// numbers show exactness is affordable (microseconds per operation).
+#include <benchmark/benchmark.h>
+
+#include "des/simulator.hpp"
+#include "netmsg/codec.hpp"
+#include "qbase/rng.hpp"
+#include "qstate/channels.hpp"
+#include "qstate/distill.hpp"
+#include "qstate/swap.hpp"
+#include "qstate/two_qubit_state.hpp"
+
+using namespace qnetp;
+using namespace qnetp::literals;
+using qstate::BellIndex;
+using qstate::Channel;
+using qstate::TwoQubitState;
+
+static void BM_Mat4Multiply(benchmark::State& state) {
+  const auto a = qstate::bell_projector(BellIndex::phi_plus());
+  const auto b = qstate::bell_projector(BellIndex::psi_minus());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a * b);
+  }
+}
+BENCHMARK(BM_Mat4Multiply);
+
+static void BM_ChannelApplyToSide(benchmark::State& state) {
+  TwoQubitState s = TwoQubitState::bell(BellIndex::phi_plus());
+  const Channel depol = Channel::depolarizing(0.01);
+  for (auto _ : state) {
+    s.apply_channel(0, depol);
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_ChannelApplyToSide);
+
+static void BM_MemoryDecayInterval(benchmark::State& state) {
+  const qstate::MemoryDecay decay{3600_s, 60_s};
+  TwoQubitState s = TwoQubitState::bell(BellIndex::phi_plus());
+  for (auto _ : state) {
+    s.apply_channel(0, decay.for_interval(1_ms));
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_MemoryDecayInterval);
+
+static void BM_EntanglementSwap(benchmark::State& state) {
+  Rng rng(1);
+  const auto a = TwoQubitState::werner(0.95, BellIndex::phi_plus());
+  const auto b = TwoQubitState::werner(0.9, BellIndex::psi_plus());
+  qstate::SwapNoise noise;
+  noise.gate_depolarizing = 0.0013;
+  noise.readout_flip_prob = 0.002;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(qstate::entanglement_swap(a, b, noise, rng));
+  }
+}
+BENCHMARK(BM_EntanglementSwap);
+
+static void BM_Teleport(benchmark::State& state) {
+  Rng rng(2);
+  const qstate::Mat2 psi{0.36, 0.48, 0.48, 0.64};
+  const auto pair = TwoQubitState::werner(0.95, BellIndex::phi_plus());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(qstate::teleport(psi, pair, rng));
+  }
+}
+BENCHMARK(BM_Teleport);
+
+static void BM_Dejmps(benchmark::State& state) {
+  Rng rng(3);
+  const auto w = TwoQubitState::werner(0.8, BellIndex::phi_plus());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(qstate::dejmps(w, w, 0.0013, rng));
+  }
+}
+BENCHMARK(BM_Dejmps);
+
+static void BM_SimulatorScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    des::Simulator sim;
+    for (int i = 0; i < 1000; ++i) {
+      sim.schedule(Duration::us(i), [] {});
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_executed());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorScheduleRun);
+
+static void BM_CodecTrackRoundTrip(benchmark::State& state) {
+  netmsg::TrackMsg m;
+  m.circuit_id = CircuitId{7};
+  m.request_id = RequestId{42};
+  m.head_end_identifier = EndpointId{1};
+  m.tail_end_identifier = EndpointId{2};
+  m.origin_correlator = PairCorrelator{LinkId{1}, 17};
+  m.link_correlator = PairCorrelator{LinkId{2}, 99};
+  m.outcome_state = BellIndex::psi_minus();
+  m.epoch = 1234;
+  m.pair_sequence = 17;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(netmsg::decode(netmsg::encode(m)));
+  }
+}
+BENCHMARK(BM_CodecTrackRoundTrip);
+
+static void BM_GeometricSampling(benchmark::State& state) {
+  Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.geometric_attempts(1.2e-3));
+  }
+}
+BENCHMARK(BM_GeometricSampling);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,97 @@
+// Tables 1 & 2: the hardware parameters of the two NV-centre presets,
+// plus the quantities the link model derives from them. These are inputs
+// to every experiment; printing them verifies the encoding against the
+// paper's appendix.
+#include "bench/common.hpp"
+
+using namespace qnetp;
+using namespace qnetp::literals;
+using namespace qnetp::bench;
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::parse(argc, argv);
+  const auto sim = qhw::simulation_preset();
+  const auto nt = qhw::near_term_preset();
+
+  print_banner(std::cout, "Table 1 — quantum gate parameters");
+  TablePrinter t1({"gate", "sim fidelity", "sim duration",
+                   "near-term fidelity", "near-term duration"});
+  auto gate_row = [&](const char* name, const qhw::GateSpec& a,
+                      const qhw::GateSpec& b) {
+    t1.add_row({name, TablePrinter::num(a.fidelity, 4),
+                a.duration.to_string(), TablePrinter::num(b.fidelity, 4),
+                b.duration.to_string()});
+  };
+  gate_row("electron single-qubit", sim.gates.electron_single_qubit,
+           nt.gates.electron_single_qubit);
+  gate_row("two-qubit (E-C)", sim.gates.two_qubit, nt.gates.two_qubit);
+  gate_row("carbon Rot-Z", sim.gates.carbon_rot_z, nt.gates.carbon_rot_z);
+  gate_row("electron init", sim.gates.electron_init,
+           nt.gates.electron_init);
+  gate_row("carbon init", sim.gates.carbon_init, nt.gates.carbon_init);
+  gate_row("electron readout |0>", sim.gates.electron_readout_0,
+           nt.gates.electron_readout_0);
+  gate_row("electron readout |1>", sim.gates.electron_readout_1,
+           nt.gates.electron_readout_1);
+  emit(t1, args);
+
+  print_banner(std::cout, "Table 2 — other hardware parameters");
+  TablePrinter t2({"parameter", "simulation", "near-term"});
+  t2.add_row({"electron T1", sim.phys.electron_t1.to_string(),
+              nt.phys.electron_t1.to_string()});
+  t2.add_row({"electron T2*", sim.phys.electron_t2.to_string(),
+              nt.phys.electron_t2.to_string()});
+  t2.add_row({"carbon T1",
+              sim.phys.carbon_t1 == Duration::max()
+                  ? "-"
+                  : sim.phys.carbon_t1.to_string(),
+              nt.phys.carbon_t1.to_string()});
+  t2.add_row({"carbon T2*",
+              sim.phys.carbon_t2 == Duration::max()
+                  ? "-"
+                  : sim.phys.carbon_t2.to_string(),
+              nt.phys.carbon_t2.to_string()});
+  t2.add_row({"tau_w", sim.phys.tau_w.to_string(),
+              nt.phys.tau_w.to_string()});
+  t2.add_row({"tau_e", sim.phys.tau_e.to_string(),
+              nt.phys.tau_e.to_string()});
+  t2.add_row({"delta phi [deg]", TablePrinter::num(sim.phys.delta_phi_deg, 4),
+              TablePrinter::num(nt.phys.delta_phi_deg, 4)});
+  t2.add_row({"p_double_excitation",
+              TablePrinter::num(sim.phys.p_double_excitation, 4),
+              TablePrinter::num(nt.phys.p_double_excitation, 4)});
+  t2.add_row({"p_zero_phonon", TablePrinter::num(sim.phys.p_zero_phonon, 4),
+              TablePrinter::num(nt.phys.p_zero_phonon, 4)});
+  t2.add_row({"collection efficiency",
+              TablePrinter::num(sim.phys.collection_efficiency, 4),
+              TablePrinter::num(nt.phys.collection_efficiency, 4)});
+  t2.add_row({"dark count rate [1/s]",
+              TablePrinter::num(sim.phys.dark_count_rate_hz, 4),
+              TablePrinter::num(nt.phys.dark_count_rate_hz, 4)});
+  t2.add_row({"p_detection", TablePrinter::num(sim.phys.p_detection, 4),
+              TablePrinter::num(nt.phys.p_detection, 4)});
+  t2.add_row({"visibility", TablePrinter::num(sim.phys.visibility, 4),
+              TablePrinter::num(nt.phys.visibility, 4)});
+  emit(t2, args);
+
+  print_banner(std::cout, "Derived link-model quantities");
+  const qhw::PhotonicLinkModel lab(sim, qhw::FiberParams::lab(2.0));
+  const qhw::PhotonicLinkModel field(nt, qhw::FiberParams::telecom(25000.0));
+  TablePrinter t3({"quantity", "sim @ 2 m", "near-term @ 25 km"});
+  t3.add_row({"photon efficiency eta", TablePrinter::num(lab.eta(), 4),
+              TablePrinter::num(field.eta(), 4)});
+  t3.add_row({"attempt cycle", lab.attempt_cycle().to_string(),
+              field.attempt_cycle().to_string()});
+  t3.add_row({"max heralded fidelity", TablePrinter::num(lab.max_fidelity(), 4),
+              TablePrinter::num(field.max_fidelity(), 4)});
+  double a1 = 0.0, a2 = 0.0;
+  lab.solve_alpha(0.95, &a1);
+  field.solve_alpha(field.max_fidelity() - 0.02, &a2);
+  t3.add_row({"alpha @ working point", TablePrinter::num(a1, 4),
+              TablePrinter::num(a2, 4)});
+  t3.add_row({"mean pair time @ working point",
+              lab.mean_generation_time(a1).to_string(),
+              field.mean_generation_time(a2).to_string()});
+  emit(t3, args);
+  return 0;
+}

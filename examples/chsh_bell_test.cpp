@@ -1,0 +1,61 @@
+// CHSH Bell test over the network: certify that the delivered pairs are
+// genuinely entangled (no classical strategy can exceed |S| = 2).
+//
+// Runs 800 pairs at end-to-end fidelity 0.92 over a 3-node chain; a
+// Werner pair of fidelity F gives S = 2*sqrt2*(4F-1)/3, so we expect
+// S ~ 2.5 — a clear violation.
+//
+//   $ ./chsh_bell_test
+#include <cmath>
+#include <cstdio>
+
+#include "apps/chsh.hpp"
+#include "netsim/network.hpp"
+
+using namespace qnetp;
+using namespace qnetp::literals;
+
+int main() {
+  netsim::NetworkConfig config;
+  config.seed = 1337;
+  auto net = netsim::make_chain(3, config, qhw::simulation_preset(),
+                                qhw::FiberParams::lab(2.0));
+  const NodeId alice{1}, bob{3};
+
+  apps::ChshApp chsh(*net, alice, EndpointId{10}, bob, EndpointId{20});
+
+  std::string reason;
+  const auto plan = net->establish_circuit(alice, bob, EndpointId{10},
+                                           EndpointId{20},
+                                           /*fidelity=*/0.92, {}, &reason);
+  if (!plan) {
+    std::fprintf(stderr, "circuit setup failed: %s\n", reason.c_str());
+    return 1;
+  }
+  if (!chsh.start(plan->install.circuit_id, RequestId{1}, 800, &reason)) {
+    std::fprintf(stderr, "request rejected: %s\n", reason.c_str());
+    return 1;
+  }
+  net->sim().run_until(net->sim().now() + 300_s);
+
+  const auto& report = chsh.report();
+  std::printf("pairs consumed: %zu\n", report.pairs_consumed);
+  std::printf("E(a ,b ) = %+.4f  (%zu rounds)\n",
+              report.cells[0][0].correlator(), report.cells[0][0].rounds);
+  std::printf("E(a ,b') = %+.4f  (%zu rounds)\n",
+              report.cells[0][1].correlator(), report.cells[0][1].rounds);
+  std::printf("E(a',b ) = %+.4f  (%zu rounds)\n",
+              report.cells[1][0].correlator(), report.cells[1][0].rounds);
+  std::printf("E(a',b') = %+.4f  (%zu rounds)\n",
+              report.cells[1][1].correlator(), report.cells[1][1].rounds);
+  std::printf("\nS = %.4f (classical bound 2, quantum maximum %.4f)\n",
+              report.s_value(), 2.0 * std::sqrt(2.0));
+  if (!report.violates_classical_bound()) {
+    std::printf("RESULT: no violation — the pairs are not entangled "
+                "enough\n");
+    return 1;
+  }
+  std::printf("RESULT: Bell inequality violated — the network delivered "
+              "genuine entanglement\n");
+  return 0;
+}

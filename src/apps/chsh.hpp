@@ -1,0 +1,71 @@
+// CHSH Bell test: certify that the network delivers genuine entanglement.
+//
+// Each delivered pair is measured with randomly chosen CHSH settings
+// (Alice: Z or X; Bob: (Z±X)/sqrt2) and the empirical S value is
+// estimated from the four correlators. |S| > 2 is impossible classically;
+// the quantum maximum is 2*sqrt2 ~ 2.828. Werner pairs of fidelity F give
+// S = 2*sqrt2*(4F-1)/3, so violation needs F > ~0.78 — this app is the
+// statistical test an operator would run to certify a high-fidelity
+// circuit.
+#pragma once
+
+#include <array>
+
+#include "netsim/network.hpp"
+
+namespace qnetp::apps {
+
+struct ChshReport {
+  /// Per-setting-combination correlator statistics: [a/a'][b/b'].
+  struct Cell {
+    std::size_t rounds = 0;
+    std::int64_t sum = 0;  ///< +1 / -1 outcome products
+    double correlator() const {
+      return rounds == 0
+                 ? 0.0
+                 : static_cast<double>(sum) / static_cast<double>(rounds);
+    }
+  };
+  std::array<std::array<Cell, 2>, 2> cells;
+  std::size_t pairs_consumed = 0;
+
+  /// S = E(a,b) + E(a,b') + E(a',b) - E(a',b').
+  double s_value() const {
+    return cells[0][0].correlator() + cells[0][1].correlator() +
+           cells[1][0].correlator() - cells[1][1].correlator();
+  }
+  bool violates_classical_bound() const { return s_value() > 2.0; }
+};
+
+class ChshApp {
+ public:
+  ChshApp(netsim::Network& net, NodeId alice, EndpointId alice_endpoint,
+          NodeId bob, EndpointId bob_endpoint);
+
+  /// Request `pairs` KEEP pairs (delivered as Phi+) and consume each with
+  /// random CHSH settings.
+  bool start(CircuitId circuit, RequestId request, std::uint64_t pairs,
+             std::string* reason = nullptr);
+
+  bool finished() const { return completed_; }
+  const ChshReport& report() const { return report_; }
+
+ private:
+  struct Half {
+    qnp::PairDelivery delivery;
+    bool is_alice = false;
+  };
+  void on_delivery(bool alice_side, const qnp::PairDelivery& d);
+  void consume(const Half& first, const Half& second);
+
+  netsim::Network& net_;
+  NodeId alice_;
+  NodeId bob_;
+  EndpointId alice_endpoint_;
+  EndpointId bob_endpoint_;
+  std::map<std::uint64_t, Half> pending_;  // by sequence
+  ChshReport report_;
+  bool completed_ = false;
+};
+
+}  // namespace qnetp::apps

@@ -1,0 +1,113 @@
+#include "apps/qkd.hpp"
+
+#include "qbase/assert.hpp"
+
+namespace qnetp::apps {
+
+using qstate::Basis;
+
+double QkdReport::key_agreement() const {
+  if (alice_key.empty() || alice_key.size() != bob_key.size()) return 0.0;
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < alice_key.size(); ++i) {
+    if (alice_key[i] == bob_key[i]) ++agree;
+  }
+  return static_cast<double>(agree) / static_cast<double>(alice_key.size());
+}
+
+QkdApp::QkdApp(netsim::Network& net, NodeId alice, EndpointId alice_endpoint,
+               NodeId bob, EndpointId bob_endpoint,
+               std::uint32_t sample_every)
+    : net_(net),
+      alice_(alice),
+      bob_(bob),
+      alice_endpoint_(alice_endpoint),
+      bob_endpoint_(bob_endpoint),
+      sample_every_(sample_every) {
+  QNETP_ASSERT(sample_every_ >= 2);
+  auto make_handlers = [this](bool alice_side) {
+    qnp::EndpointHandlers handlers;
+    handlers.on_pair = [this, alice_side](const qnp::PairDelivery& d) {
+      if (d.tracking_pending) return;  // measure once tracking confirms
+      on_delivery(alice_side, d);
+    };
+    handlers.on_tracking = [this, alice_side](const qnp::PairDelivery& d) {
+      on_delivery(alice_side, d);
+    };
+    handlers.on_expire = [this, alice_side](CircuitId, RequestId,
+                                            QubitId qubit) {
+      if (qubit.valid()) {
+        net_.engine(alice_side ? alice_ : bob_).release_app_qubit(qubit);
+      }
+    };
+    handlers.on_complete = [this](CircuitId, RequestId) {
+      completed_ = true;
+    };
+    return handlers;
+  };
+  net_.engine(alice_).register_endpoint(alice_endpoint_,
+                                        make_handlers(true));
+  net_.engine(bob_).register_endpoint(bob_endpoint_, make_handlers(false));
+}
+
+bool QkdApp::start(CircuitId circuit, RequestId request,
+                   std::uint64_t pairs, std::string* reason) {
+  qnp::AppRequest r;
+  r.id = request;
+  r.head_endpoint = alice_endpoint_;
+  r.tail_endpoint = bob_endpoint_;
+  r.type = netmsg::RequestType::keep;
+  r.num_pairs = pairs;
+  // A fixed delivery frame makes the outcome algebra uniform: Psi+ means
+  // Z outcomes anti-correlate and X outcomes correlate.
+  r.final_state = qstate::BellIndex::psi_plus();
+  return net_.engine(alice_).submit_request(circuit, r, reason);
+}
+
+void QkdApp::on_delivery(bool alice_side, const qnp::PairDelivery& d) {
+  if (!d.qubit.valid()) return;
+  auto& engine = net_.engine(alice_side ? alice_ : bob_);
+  auto& rng = net_.node(alice_side ? alice_ : bob_).rng();
+  const int basis_bit = rng.bernoulli(0.5) ? 1 : 0;
+  const Basis basis = (basis_bit == 0) ? Basis::z : Basis::x;
+
+  const std::uint64_t seq = d.sequence;
+  auto& record = records_[seq];
+  auto& side = alice_side ? record.alice : record.bob;
+  QNETP_ASSERT_MSG(side.basis == -1, "duplicate delivery for sequence");
+  side.basis = basis_bit;
+
+  engine.measure_app_qubit(d.qubit, basis,
+                           [this, alice_side, seq](int outcome) {
+                             auto& rec = records_[seq];
+                             auto& s = alice_side ? rec.alice : rec.bob;
+                             s.outcome = outcome;
+                           });
+}
+
+QkdReport QkdApp::report() const {
+  QkdReport report;
+  std::uint32_t sift_counter = 0;
+  for (const auto& [seq, rec] : records_) {
+    if (rec.alice.outcome < 0 || rec.bob.outcome < 0) continue;
+    ++report.pairs_consumed;
+    if (rec.alice.basis != rec.bob.basis) continue;  // sifted away
+    ++report.sifted_bits;
+    // Psi+ frame: Z anti-correlates (Bob flips), X correlates.
+    const int alice_bit = rec.alice.outcome;
+    const int bob_bit =
+        (rec.alice.basis == 0) ? (rec.bob.outcome ^ 1) : rec.bob.outcome;
+    ++sift_counter;
+    if (sift_counter % sample_every_ == 0) {
+      ++report.sampled_bits;
+      if (alice_bit != bob_bit) ++report.sample_errors;
+    } else {
+      report.alice_key.push_back(alice_bit);
+      report.bob_key.push_back(bob_bit);
+    }
+  }
+  report.key_bits = report.alice_key.size();
+  return report;
+}
+
+}  // namespace qnetp::apps

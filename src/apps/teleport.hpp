@@ -1,0 +1,54 @@
+// Quantum teleportation: the canonical "create and keep" application
+// (Sec. 3.1) — deterministic qubit transmission using delivered pairs.
+//
+// The sender prepares a data qubit, performs a Bell measurement between
+// it and its half of a delivered pair, and transmits the two outcome
+// bits; the receiver applies the matching Pauli correction and ends up
+// holding the data state. Output quality directly reflects the delivered
+// pair fidelity: F_out ~ (2*F_pair + 1) / 3 for Werner-like pairs.
+#pragma once
+
+#include <vector>
+
+#include "netsim/network.hpp"
+#include "qstate/complex_mat.hpp"
+
+namespace qnetp::apps {
+
+struct TeleportRecord {
+  std::uint64_t sequence = 0;
+  qstate::BellIndex bsm_outcome;
+  /// Fidelity <psi| rho_out |psi> of the received state to the sent one.
+  double output_fidelity = 0.0;
+  TimePoint at;
+};
+
+class TeleportApp {
+ public:
+  TeleportApp(netsim::Network& net, NodeId sender,
+              EndpointId sender_endpoint, NodeId receiver,
+              EndpointId receiver_endpoint);
+
+  /// Teleport `count` Haar-ish random pure states using one KEEP request.
+  bool start(CircuitId circuit, RequestId request, std::uint64_t count,
+             std::string* reason = nullptr);
+
+  const std::vector<TeleportRecord>& records() const { return records_; }
+  bool finished() const { return completed_; }
+  double mean_output_fidelity() const;
+
+ private:
+  void on_pair(const qnp::PairDelivery& d);
+
+  netsim::Network& net_;
+  NodeId sender_;
+  NodeId receiver_;
+  EndpointId sender_endpoint_;
+  EndpointId receiver_endpoint_;
+  std::map<std::uint64_t, QubitId> receiver_qubits_;  // by sequence
+  std::map<std::uint64_t, qnp::PairDelivery> sender_pending_;
+  std::vector<TeleportRecord> records_;
+  bool completed_ = false;
+};
+
+}  // namespace qnetp::apps

@@ -1,0 +1,155 @@
+#include "ctrl/controller.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "qbase/assert.hpp"
+#include "qbase/log.hpp"
+
+namespace qnetp::ctrl {
+
+using namespace qnetp::literals;
+
+Controller::Controller(const Topology& topology, qhw::HardwareParams hardware)
+    : topology_(topology), hardware_(std::move(hardware)) {
+  hardware_.validate();
+}
+
+std::optional<CircuitPlan> Controller::plan_circuit(
+    NodeId head, NodeId tail, EndpointId head_endpoint,
+    EndpointId tail_endpoint, double end_to_end_fidelity,
+    const CircuitPlanOptions& options, std::string* reason) {
+  auto fail = [&](const std::string& why) -> std::optional<CircuitPlan> {
+    if (reason != nullptr) *reason = why;
+    return std::nullopt;
+  };
+
+  const auto path_opt = topology_.shortest_path(head, tail);
+  if (!path_opt.has_value()) return fail("no path between end-nodes");
+  const std::vector<NodeId>& path = *path_opt;
+  if (path.size() < 2) return fail("head and tail are the same node");
+  const std::size_t hops = path.size() - 1;
+
+  // Collect the links along the path.
+  std::vector<const TopologyLink*> links;
+  links.reserve(hops);
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const auto* l = topology_.link_between(path[i], path[i + 1]);
+    QNETP_ASSERT(l != nullptr);
+    links.push_back(l);
+  }
+
+  const Duration memory_t2 = (options.memory_t2_override > Duration::zero())
+                                 ? options.memory_t2_override
+                                 : hardware_.phys.electron_t2;
+
+  // The cutoff and the required link fidelity depend on each other;
+  // resolve by fixed-point iteration (converges in a few rounds: the
+  // coupling is weak).
+  double link_fidelity = std::min(0.95, end_to_end_fidelity + 0.04);
+  Duration cutoff = options.cutoff_override;
+  for (int round = 0; round < 12; ++round) {
+    if (options.cutoff_override <= Duration::zero()) {
+      if (options.cutoff_generation_quantile > 0.0) {
+        // Shorter cutoff: time by which each link generates a pair with
+        // the requested probability; take the slowest link.
+        Duration worst = Duration::zero();
+        for (const auto* l : links) {
+          double alpha = 0.0;
+          if (!l->model.solve_alpha(link_fidelity, &alpha)) {
+            return fail("link cannot reach the required fidelity");
+          }
+          worst = std::max(
+              worst, l->model.generation_time_quantile(
+                         alpha, options.cutoff_generation_quantile));
+        }
+        cutoff = worst;
+      } else {
+        cutoff = FidelityModel::cutoff_for_fidelity_loss(
+            link_fidelity, options.cutoff_loss_fraction, memory_t2);
+        if (cutoff == Duration::max()) {
+          // No decay at all: any large-but-finite window works.
+          cutoff = 60_s;
+        }
+      }
+    }
+
+    FidelityModel model(
+        PathAssumptions{hops, cutoff, memory_t2, hardware_});
+    double required = 0.0;
+    if (!model.required_link_fidelity(end_to_end_fidelity, &required)) {
+      return fail("end-to-end fidelity unreachable over this path length");
+    }
+    if (std::abs(required - link_fidelity) < 1e-6) {
+      link_fidelity = required;
+      break;
+    }
+    link_fidelity = required;
+  }
+
+  // Feasibility and rate bounds on every link at the required fidelity.
+  double bottleneck_lpr = std::numeric_limits<double>::infinity();
+  double worst_par_prob = 1.0;
+  for (const auto* l : links) {
+    double alpha = 0.0;
+    if (!l->model.solve_alpha(link_fidelity, &alpha)) {
+      return fail("link cannot reach the required fidelity");
+    }
+    const double mean_s = l->model.mean_generation_time(alpha).as_seconds();
+    bottleneck_lpr = std::min(bottleneck_lpr, 1.0 / mean_s);
+    // Probability this link produces a pair within the cutoff window
+    // (geometric tail) — how well neighbouring links can be paired.
+    const double p =
+        1.0 - std::exp(-cutoff.as_seconds() / std::max(mean_s, 1e-12));
+    worst_par_prob = std::min(worst_par_prob, p);
+  }
+  // Admission bound for policing: the bottleneck link's pair rate scaled
+  // by the chance a matching pair exists within the cutoff window
+  // (heuristic; resource management proper is out of the paper's scope).
+  const double max_eer = bottleneck_lpr * 0.5 * worst_par_prob;
+
+  CircuitPlan plan;
+  plan.link_fidelity = link_fidelity;
+  plan.max_lpr = bottleneck_lpr;
+  plan.max_eer = max_eer;
+  plan.cutoff = cutoff;
+  plan.path = path;
+
+  plan.install.circuit_id = CircuitId{next_circuit_++};
+  plan.install.head_end_identifier = head_endpoint;
+  plan.install.tail_end_identifier = tail_endpoint;
+  plan.install.end_to_end_fidelity = end_to_end_fidelity;
+
+  // One label per link of this circuit (MPLS-style).
+  std::vector<LinkLabel> labels;
+  labels.reserve(hops);
+  for (std::size_t i = 0; i < hops; ++i) labels.push_back(LinkLabel{next_label_++});
+
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    netmsg::HopState hop;
+    hop.node = path[i];
+    hop.upstream = (i > 0) ? path[i - 1] : NodeId{};
+    hop.downstream = (i + 1 < path.size()) ? path[i + 1] : NodeId{};
+    hop.upstream_label = (i > 0) ? labels[i - 1] : LinkLabel{};
+    hop.downstream_label = (i + 1 < path.size()) ? labels[i] : LinkLabel{};
+    hop.downstream_min_fidelity =
+        (i + 1 < path.size()) ? link_fidelity : 0.0;
+    hop.downstream_max_lpr = (i + 1 < path.size())
+                                 ? 1.0 / links[i]
+                                       ->model
+                                       .mean_generation_time([&] {
+                                         double a = 0.0;
+                                         links[i]->model.solve_alpha(
+                                             link_fidelity, &a);
+                                         return a;
+                                       }())
+                                       .as_seconds()
+                                 : 0.0;
+    hop.circuit_max_eer = max_eer;
+    hop.cutoff = cutoff;
+    plan.install.hops.push_back(hop);
+  }
+  return plan;
+}
+
+}  // namespace qnetp::ctrl

@@ -1,0 +1,61 @@
+// Central controller: routing + circuit computation (Sec. 5).
+//
+// Produces, for a requested (head, tail, end-to-end fidelity), the full
+// source-routed InstallMsg: path, per-link labels, per-link minimum
+// fidelities, maximum LPRs, circuit max-EER and the cutoff timeout. The
+// signalling role (actually installing the state hop by hop) is performed
+// by the QNP engines relaying the InstallMsg; see QnpEngine::begin_install.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "ctrl/fidelity_model.hpp"
+#include "ctrl/topology.hpp"
+#include "netmsg/message.hpp"
+
+namespace qnetp::ctrl {
+
+struct CircuitPlanOptions {
+  /// Fractional link-pair fidelity loss that defines the cutoff ("the
+  /// time it takes a link-pair to lose approximately 1.5% of its initial
+  /// fidelity", Sec. 5).
+  double cutoff_loss_fraction = 0.015;
+  /// Alternative "shorter cutoff": the time by which a link-pair is
+  /// generated with this probability (0 disables; Sec. 5.1 uses 0.85).
+  double cutoff_generation_quantile = 0.0;
+  /// Override the cutoff entirely (manual tuning, Sec. 5.3).
+  Duration cutoff_override = Duration::zero();
+  /// Memory T2 assumed by the worst-case model (zero = take it from the
+  /// hardware profile).
+  Duration memory_t2_override = Duration::zero();
+};
+
+struct CircuitPlan {
+  netmsg::InstallMsg install;
+  double link_fidelity = 0.0;  ///< required per-link fidelity
+  double max_lpr = 0.0;        ///< per-link max pair rate at that fidelity
+  double max_eer = 0.0;        ///< end-to-end rate bound
+  Duration cutoff;
+  std::vector<NodeId> path;
+};
+
+class Controller {
+ public:
+  Controller(const Topology& topology, qhw::HardwareParams hardware);
+
+  /// Compute a circuit plan. Returns nullopt (with reason) when no path
+  /// exists or the fidelity target is unreachable on this hardware.
+  std::optional<CircuitPlan> plan_circuit(
+      NodeId head, NodeId tail, EndpointId head_endpoint,
+      EndpointId tail_endpoint, double end_to_end_fidelity,
+      const CircuitPlanOptions& options = {}, std::string* reason = nullptr);
+
+ private:
+  const Topology& topology_;
+  qhw::HardwareParams hardware_;
+  std::uint64_t next_circuit_ = 1;
+  std::uint64_t next_label_ = 1;
+};
+
+}  // namespace qnetp::ctrl

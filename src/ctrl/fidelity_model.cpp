@@ -1,0 +1,71 @@
+#include "ctrl/fidelity_model.hpp"
+
+#include "qbase/assert.hpp"
+#include "qstate/analytic.hpp"
+
+namespace qnetp::ctrl {
+
+using qstate::werner_after_dephasing;
+using qstate::werner_after_depolarizing;
+using qstate::werner_after_readout_error;
+using qstate::werner_swap_fidelity;
+
+FidelityModel::FidelityModel(PathAssumptions assumptions)
+    : a_(std::move(assumptions)) {
+  QNETP_ASSERT(a_.hop_count >= 1);
+  QNETP_ASSERT(!a_.cutoff.is_negative());
+}
+
+double FidelityModel::end_to_end(double link_fidelity) const {
+  QNETP_ASSERT(link_fidelity >= 0.25 && link_fidelity <= 1.0);
+  const auto noise = a_.hardware.swap_noise();
+
+  // Worst case: every link pair sits in memory for the full cutoff window
+  // on both of its qubits before being consumed.
+  auto idle = [&](double f) {
+    return werner_after_dephasing(f, a_.cutoff, a_.memory_t2, a_.memory_t2);
+  };
+
+  double acc = idle(link_fidelity);
+  for (std::size_t hop = 1; hop < a_.hop_count; ++hop) {
+    double next = idle(link_fidelity);
+    // The swap's two-qubit gate noise acts on both measured qubits.
+    acc = werner_after_depolarizing(acc, noise.gate_depolarizing);
+    next = werner_after_depolarizing(next, noise.gate_depolarizing);
+    double swapped = werner_swap_fidelity(acc, next);
+    // Readout errors corrupt the announced Bell frame.
+    swapped = werner_after_readout_error(swapped, noise.readout_flip_prob);
+    acc = swapped;
+  }
+  return acc;
+}
+
+bool FidelityModel::required_link_fidelity(double target,
+                                           double* link_fidelity) const {
+  QNETP_ASSERT(link_fidelity != nullptr);
+  QNETP_ASSERT(target > 0.25 && target <= 1.0);
+  if (end_to_end(1.0) < target) return false;
+  double lo = 0.25, hi = 1.0;  // end_to_end monotone increasing
+  for (int iter = 0; iter < 60; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (end_to_end(mid) >= target) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  *link_fidelity = hi;
+  return true;
+}
+
+Duration FidelityModel::cutoff_for_fidelity_loss(double link_fidelity,
+                                                 double loss_fraction,
+                                                 Duration memory_t2) {
+  QNETP_ASSERT(loss_fraction > 0.0 && loss_fraction < 1.0);
+  const double target = link_fidelity * (1.0 - loss_fraction);
+  const Duration t = qstate::dephasing_time_to_fidelity(
+      link_fidelity, target, memory_t2, memory_t2);
+  return t;
+}
+
+}  // namespace qnetp::ctrl

@@ -1,0 +1,52 @@
+// Analytic worst-case fidelity composition: the routing computation.
+//
+// "For routing purposes we implement a rudimentary algorithm that runs in
+// a central controller ... It calculates a network path together with
+// link fidelities as a function of end-to-end requirements by simulating
+// the worst case scenario where every link-pair is swapped just before
+// its cutoff timer pops." (Sec. 5)
+//
+// The model composes, per hop: link-pair fidelity -> worst-case idle
+// dephasing for the cutoff window on both qubits -> noisy swap (gate
+// depolarizing + readout announcement errors). Inversion (required link
+// fidelity for a target end-to-end fidelity) is by bisection on the
+// monotone forward map.
+#pragma once
+
+#include "qbase/units.hpp"
+#include "qhw/params.hpp"
+
+namespace qnetp::ctrl {
+
+struct PathAssumptions {
+  std::size_t hop_count = 0;     ///< number of links on the path
+  Duration cutoff;               ///< per-qubit cutoff timeout
+  Duration memory_t2;            ///< worst memory T2 along the path
+  qhw::HardwareParams hardware;  ///< for swap noise parameters
+};
+
+class FidelityModel {
+ public:
+  explicit FidelityModel(PathAssumptions assumptions);
+
+  /// End-to-end fidelity if every link delivers `link_fidelity` pairs and
+  /// every pair idles for the full cutoff before being swapped.
+  double end_to_end(double link_fidelity) const;
+
+  /// Smallest link fidelity achieving `target` end-to-end; returns false
+  /// when even perfect link pairs cannot reach the target (path too long
+  /// for the hardware).
+  bool required_link_fidelity(double target, double* link_fidelity) const;
+
+  /// The paper's default cutoff: the time for a link-pair to lose
+  /// `loss_fraction` (e.g. 0.015) of its initial fidelity through idle
+  /// decoherence on both qubits.
+  static Duration cutoff_for_fidelity_loss(double link_fidelity,
+                                           double loss_fraction,
+                                           Duration memory_t2);
+
+ private:
+  PathAssumptions a_;
+};
+
+}  // namespace qnetp::ctrl

@@ -1,0 +1,117 @@
+#include "ctrl/rate_model.hpp"
+
+#include <algorithm>
+
+#include "qbase/assert.hpp"
+
+namespace qnetp::ctrl {
+
+namespace {
+
+/// A contiguous entangled segment over links [first, last] (inclusive).
+/// Its two qubits sit at nodes `first` and `last + 1`; each carries the
+/// age (in slots) since its underlying link-pair was born.
+struct Segment {
+  std::size_t first;
+  std::size_t last;
+  std::uint64_t left_age;
+  std::uint64_t right_age;
+};
+
+}  // namespace
+
+ChainRateEstimate estimate_chain_rate(const ChainRateInputs& inputs,
+                                      std::size_t trials, Rng& rng) {
+  const std::size_t links = inputs.success_prob.size();
+  QNETP_ASSERT(links >= 1);
+  QNETP_ASSERT(trials >= 1);
+  QNETP_ASSERT(inputs.attempt_cycle > Duration::zero());
+  for (double p : inputs.success_prob) QNETP_ASSERT(p > 0.0 && p <= 1.0);
+
+  const auto cutoff_slots = static_cast<std::uint64_t>(
+      std::max<std::int64_t>(1, inputs.cutoff.count_ps() /
+                                    inputs.attempt_cycle.count_ps()));
+
+  std::uint64_t total_slots = 0;
+  std::uint64_t total_discards = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t swaps = 0;
+
+  std::vector<Segment> segments;
+  auto link_busy = [&](std::size_t link) {
+    return std::any_of(segments.begin(), segments.end(),
+                       [link](const Segment& s) {
+                         return link >= s.first && link <= s.last;
+                       });
+  };
+
+  while (delivered < trials) {
+    ++total_slots;
+    // 1. Generation: every idle link attempts.
+    for (std::size_t l = 0; l < links; ++l) {
+      if (link_busy(l)) continue;
+      if (rng.bernoulli(inputs.success_prob[l])) {
+        segments.push_back(Segment{l, l, 0, 0});
+      }
+    }
+    // 2. Ageing and cutoff at intermediate nodes (end-node qubits — the
+    //    left end of a segment starting at link 0 and the right end of
+    //    one finishing at the last link — never expire).
+    for (auto it = segments.begin(); it != segments.end();) {
+      ++it->left_age;
+      ++it->right_age;
+      const bool left_internal = it->first != 0;
+      const bool right_internal = it->last != links - 1;
+      if ((left_internal && it->left_age > cutoff_slots) ||
+          (right_internal && it->right_age > cutoff_slots)) {
+        ++total_discards;
+        it = segments.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    // 3. Swap-asap: merge adjacent segments greedily.
+    bool merged = true;
+    while (merged) {
+      merged = false;
+      std::sort(segments.begin(), segments.end(),
+                [](const Segment& a, const Segment& b) {
+                  return a.first < b.first;
+                });
+      for (std::size_t i = 0; i + 1 < segments.size(); ++i) {
+        if (segments[i].last + 1 == segments[i + 1].first) {
+          segments[i].last = segments[i + 1].last;
+          segments[i].right_age = segments[i + 1].right_age;
+          segments.erase(segments.begin() +
+                         static_cast<std::ptrdiff_t>(i) + 1);
+          ++swaps;
+          merged = true;
+          break;
+        }
+      }
+    }
+    // 4. Delivery: a segment spanning the whole chain is an end-to-end
+    //    pair.
+    for (auto it = segments.begin(); it != segments.end();) {
+      if (it->first == 0 && it->last == links - 1) {
+        ++delivered;
+        it = segments.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  ChainRateEstimate est;
+  est.mean_time =
+      inputs.attempt_cycle * (static_cast<double>(total_slots) /
+                              static_cast<double>(delivered)) +
+      inputs.swap_duration * (static_cast<double>(swaps) /
+                              static_cast<double>(delivered));
+  est.rate_per_s = 1.0 / est.mean_time.as_seconds();
+  est.discard_ratio = static_cast<double>(total_discards) /
+                      static_cast<double>(delivered);
+  return est;
+}
+
+}  // namespace qnetp::ctrl

@@ -1,0 +1,44 @@
+// Monte-Carlo end-to-end rate estimator for repeater chains.
+//
+// The routing protocol needs throughput estimates to compute LPRs and
+// admission bounds (Sec. 4.1 "Policing and shaping"). This model runs a
+// slotted abstraction of a swap-asap chain — per-slot geometric link
+// generation, per-qubit cutoff at intermediate nodes, immediate swapping
+// of adjacent segments — far cheaper than the full simulator, in the
+// spirit of the repeater-chain analyses the paper builds on (its
+// refs. [7], [50]).
+//
+// Cross-validated against the full stack in tests/ctrl/test_rate_model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "qbase/rng.hpp"
+#include "qbase/units.hpp"
+
+namespace qnetp::ctrl {
+
+struct ChainRateInputs {
+  /// Per-attempt success probability of each link (size = #links >= 1).
+  std::vector<double> success_prob;
+  /// Duration of one attempt slot (identical links assumed).
+  Duration attempt_cycle;
+  /// Cutoff timeout for qubits waiting at intermediate nodes.
+  Duration cutoff;
+  /// Extra per-swap processing time added to the delivery time.
+  Duration swap_duration = Duration::zero();
+};
+
+struct ChainRateEstimate {
+  Duration mean_time;   ///< expected time per end-to-end pair
+  double rate_per_s;    ///< 1 / mean_time
+  double discard_ratio; ///< link-pairs discarded per delivered pair
+};
+
+/// Estimate the steady-state end-to-end pair time over `trials` delivered
+/// pairs.
+ChainRateEstimate estimate_chain_rate(const ChainRateInputs& inputs,
+                                      std::size_t trials, Rng& rng);
+
+}  // namespace qnetp::ctrl

@@ -1,0 +1,100 @@
+#include "ctrl/topology.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "qbase/assert.hpp"
+
+namespace qnetp::ctrl {
+
+void Topology::add_node(NodeId node) {
+  QNETP_ASSERT(node.valid());
+  QNETP_ASSERT_MSG(!has_node(node), "duplicate node");
+  nodes_.push_back(node);
+  adjacency_[node];
+}
+
+void Topology::add_link(const TopologyLink& link) {
+  QNETP_ASSERT(link.id.valid());
+  QNETP_ASSERT(has_node(link.a) && has_node(link.b));
+  QNETP_ASSERT(link.a != link.b);
+  QNETP_ASSERT_MSG(link_between(link.a, link.b) == nullptr,
+                   "duplicate link between nodes");
+  QNETP_ASSERT(link.cost > 0.0);
+  links_.push_back(link);
+  adjacency_[link.a].push_back(links_.size() - 1);
+  adjacency_[link.b].push_back(links_.size() - 1);
+}
+
+bool Topology::has_node(NodeId node) const {
+  return adjacency_.count(node) > 0;
+}
+
+const TopologyLink* Topology::link_between(NodeId a, NodeId b) const {
+  for (const auto& l : links_) {
+    if ((l.a == a && l.b == b) || (l.a == b && l.b == a)) return &l;
+  }
+  return nullptr;
+}
+
+const TopologyLink* Topology::link(LinkId id) const {
+  for (const auto& l : links_) {
+    if (l.id == id) return &l;
+  }
+  return nullptr;
+}
+
+std::vector<NodeId> Topology::neighbours(NodeId node) const {
+  std::vector<NodeId> result;
+  const auto it = adjacency_.find(node);
+  if (it == adjacency_.end()) return result;
+  for (const std::size_t idx : it->second) {
+    const auto& l = links_[idx];
+    result.push_back(l.a == node ? l.b : l.a);
+  }
+  return result;
+}
+
+std::optional<std::vector<NodeId>> Topology::shortest_path(NodeId from,
+                                                           NodeId to) const {
+  QNETP_ASSERT(has_node(from) && has_node(to));
+  if (from == to) return std::vector<NodeId>{from};
+
+  std::unordered_map<NodeId, double> dist;
+  std::unordered_map<NodeId, NodeId> prev;
+  using Item = std::pair<double, NodeId>;
+  auto cmp = [](const Item& x, const Item& y) { return x.first > y.first; };
+  std::priority_queue<Item, std::vector<Item>, decltype(cmp)> heap(cmp);
+
+  dist[from] = 0.0;
+  heap.emplace(0.0, from);
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist.at(u) + 1e-12) continue;  // stale entry
+    if (u == to) break;
+    for (const std::size_t idx : adjacency_.at(u)) {
+      const auto& l = links_[idx];
+      const NodeId v = (l.a == u) ? l.b : l.a;
+      const double nd = d + l.cost;
+      const auto it = dist.find(v);
+      if (it == dist.end() || nd < it->second - 1e-12) {
+        dist[v] = nd;
+        prev[v] = u;
+        heap.emplace(nd, v);
+      }
+    }
+  }
+  if (dist.find(to) == dist.end()) return std::nullopt;
+
+  std::vector<NodeId> path;
+  for (NodeId n = to;; n = prev.at(n)) {
+    path.push_back(n);
+    if (n == from) break;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace qnetp::ctrl

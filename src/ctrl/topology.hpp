@@ -1,0 +1,48 @@
+// Network topology graph used by the (centralised) routing protocol.
+//
+// The controller of Sec. 5 "assumes all links and nodes are identical"
+// and computes shortest paths; we keep the graph general (per-link
+// photonic models) so heterogeneous networks work too.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "qbase/ids.hpp"
+#include "qhw/photonic_link.hpp"
+
+namespace qnetp::ctrl {
+
+struct TopologyLink {
+  LinkId id;
+  NodeId a;
+  NodeId b;
+  qhw::PhotonicLinkModel model;
+  double cost = 1.0;  ///< routing metric (hop count by default)
+};
+
+class Topology {
+ public:
+  void add_node(NodeId node);
+  void add_link(const TopologyLink& link);
+
+  bool has_node(NodeId node) const;
+  const TopologyLink* link_between(NodeId a, NodeId b) const;
+  const TopologyLink* link(LinkId id) const;
+  std::vector<NodeId> neighbours(NodeId node) const;
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t link_count() const { return links_.size(); }
+
+  /// Dijkstra by link cost. Returns the node sequence head..tail, or
+  /// nullopt if disconnected.
+  std::optional<std::vector<NodeId>> shortest_path(NodeId from,
+                                                   NodeId to) const;
+
+ private:
+  std::vector<NodeId> nodes_;
+  std::vector<TopologyLink> links_;
+  std::unordered_map<NodeId, std::vector<std::size_t>> adjacency_;
+};
+
+}  // namespace qnetp::ctrl

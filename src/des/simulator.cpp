@@ -1,0 +1,72 @@
+#include "des/simulator.hpp"
+
+namespace qnetp::des {
+
+Simulator::Simulator() = default;
+
+EventHandle Simulator::schedule(Duration delay, std::function<void()> fn) {
+  QNETP_ASSERT_MSG(!delay.is_negative(), "cannot schedule into the past");
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+EventHandle Simulator::schedule_at(TimePoint at, std::function<void()> fn) {
+  QNETP_ASSERT_MSG(at >= now_, "cannot schedule into the past");
+  QNETP_ASSERT(fn != nullptr);
+  const std::uint64_t id = next_seq_++;
+  queue_.push(Event{at, id, std::move(fn)});
+  live_.insert(id);
+  return EventHandle{id};
+}
+
+bool Simulator::cancel(EventHandle h) {
+  if (!h.valid()) return false;
+  return live_.erase(h.id_) > 0;
+}
+
+bool Simulator::pending(EventHandle h) const {
+  return h.valid() && live_.count(h.id_) > 0;
+}
+
+bool Simulator::dispatch_next(TimePoint horizon) {
+  // Discard cancelled events first so horizon checks see the real next one.
+  while (!queue_.empty() && live_.count(queue_.top().seq) == 0) {
+    queue_.pop();
+  }
+  if (queue_.empty()) return false;
+  if (queue_.top().at > horizon) {
+    now_ = horizon;
+    return false;
+  }
+  // priority_queue::top() is const; moving the callable out requires a
+  // const_cast. This is safe: the element is popped immediately after.
+  Event& ev = const_cast<Event&>(queue_.top());
+  auto fn = std::move(ev.fn);
+  now_ = ev.at;
+  live_.erase(ev.seq);
+  queue_.pop();
+  ++events_executed_;
+  fn();
+  return true;
+}
+
+std::uint64_t Simulator::run_until(TimePoint horizon) {
+  QNETP_ASSERT(horizon >= now_);
+  stop_requested_ = false;
+  const std::uint64_t start = events_executed_;
+  while (!stop_requested_ && dispatch_next(horizon)) {
+  }
+  // Advance the clock to the horizon when the queue drained early, except
+  // for the unbounded run() case where the clock stays at the last event.
+  if (!stop_requested_ && horizon != TimePoint::max() && now_ < horizon) {
+    now_ = horizon;
+  }
+  return events_executed_ - start;
+}
+
+std::uint64_t Simulator::run() { return run_until(TimePoint::max()); }
+
+bool Simulator::step() { return dispatch_next(TimePoint::max()); }
+
+std::size_t Simulator::events_pending() const { return live_.size(); }
+
+}  // namespace qnetp::des

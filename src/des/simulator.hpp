@@ -1,0 +1,140 @@
+// Discrete-event simulation kernel.
+//
+// This is the substrate the paper's NetSquid fills: a single-threaded
+// event-driven simulator with a virtual clock. Components schedule
+// callbacks at future instants; events can be cancelled (cutoff timers are
+// cancelled whenever the qubit they guard is consumed first).
+//
+// Determinism: events at the same instant execute in scheduling order
+// (FIFO tie-break by sequence number), so a run is a pure function of the
+// RNG seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "qbase/assert.hpp"
+#include "qbase/units.hpp"
+
+namespace qnetp::des {
+
+class Simulator;
+
+/// Lightweight handle to a scheduled event, used for cancellation.
+/// Default-constructed handles are inert.
+class EventHandle {
+ public:
+  EventHandle() = default;
+  bool valid() const { return id_ != 0; }
+
+ private:
+  friend class Simulator;
+  explicit EventHandle(std::uint64_t id) : id_(id) {}
+  std::uint64_t id_ = 0;
+};
+
+class Simulator {
+ public:
+  Simulator();
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  TimePoint now() const { return now_; }
+
+  /// Schedule `fn` to run after `delay` (>= 0) of simulated time.
+  EventHandle schedule(Duration delay, std::function<void()> fn);
+  /// Schedule `fn` at the absolute instant `at` (>= now).
+  EventHandle schedule_at(TimePoint at, std::function<void()> fn);
+
+  /// Cancel a pending event. Cancelling an already-fired, already-cancelled
+  /// or inert handle is a harmless no-op; returns whether a pending event
+  /// was actually cancelled.
+  bool cancel(EventHandle h);
+
+  /// True if the handle refers to an event that has not yet fired or been
+  /// cancelled.
+  bool pending(EventHandle h) const;
+
+  /// Run until the event queue drains or `horizon` is reached; the clock
+  /// ends at min(horizon, last event time). Returns number of events run.
+  std::uint64_t run_until(TimePoint horizon);
+  /// Run until the queue drains completely.
+  std::uint64_t run();
+  /// Execute at most one event; returns false if the queue is empty.
+  bool step();
+
+  /// Request an orderly stop: run_until/run return after the current event.
+  void stop() { stop_requested_ = true; }
+
+  std::uint64_t events_executed() const { return events_executed_; }
+  std::size_t events_pending() const;
+
+ private:
+  struct Event {
+    TimePoint at;
+    std::uint64_t seq;  // FIFO tie-break and cancellation id
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool dispatch_next(TimePoint horizon);
+
+  TimePoint now_ = TimePoint::origin();
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  // Set of ids still pending; cancel() removes from here and the event is
+  // skipped lazily when it pops from the heap.
+  std::unordered_set<std::uint64_t> live_;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t events_executed_ = 0;
+  bool stop_requested_ = false;
+};
+
+/// RAII wrapper around a scheduled event: cancels on destruction or reset.
+/// Used for cutoff timers so a consumed qubit's timer can never fire late.
+class ScopedTimer {
+ public:
+  ScopedTimer() = default;
+  ScopedTimer(Simulator& sim, Duration delay, std::function<void()> fn)
+      : sim_(&sim), handle_(sim.schedule(delay, std::move(fn))) {}
+  ScopedTimer(ScopedTimer&& o) noexcept
+      : sim_(o.sim_), handle_(o.handle_) {
+    o.sim_ = nullptr;
+    o.handle_ = EventHandle{};
+  }
+  ScopedTimer& operator=(ScopedTimer&& o) noexcept {
+    if (this != &o) {
+      cancel();
+      sim_ = o.sim_;
+      handle_ = o.handle_;
+      o.sim_ = nullptr;
+      o.handle_ = EventHandle{};
+    }
+    return *this;
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() { cancel(); }
+
+  void cancel() {
+    if (sim_ != nullptr) sim_->cancel(handle_);
+    sim_ = nullptr;
+    handle_ = EventHandle{};
+  }
+  bool active() const {
+    return sim_ != nullptr && sim_->pending(handle_);
+  }
+
+ private:
+  Simulator* sim_ = nullptr;
+  EventHandle handle_;
+};
+
+}  // namespace qnetp::des

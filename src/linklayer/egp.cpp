@@ -1,0 +1,195 @@
+#include "linklayer/egp.hpp"
+
+#include "qbase/assert.hpp"
+#include "qbase/log.hpp"
+
+namespace qnetp::linklayer {
+
+using qdevice::EntangledPair;
+using qdevice::QubitEndpoint;
+
+EgpLink::EgpLink(des::Simulator& sim, Rng& rng, LinkId id,
+                 qdevice::QuantumDevice& end_a,
+                 qdevice::QuantumDevice& end_b, qhw::PhotonicLinkModel model)
+    : sim_(sim),
+      rng_(rng),
+      id_(id),
+      end_a_(end_a),
+      end_b_(end_b),
+      model_(std::move(model)) {
+  QNETP_ASSERT(id.valid());
+  QNETP_ASSERT(end_a.node() != end_b.node());
+}
+
+void EgpLink::set_delivery_handler(NodeId node, DeliveryHandler handler) {
+  QNETP_ASSERT(node == end_a_.node() || node == end_b_.node());
+  QNETP_ASSERT(handler != nullptr);
+  delivery_handlers_[node] = std::move(handler);
+}
+
+void EgpLink::set_failure_handler(NodeId node, FailureHandler handler) {
+  QNETP_ASSERT(node == end_a_.node() || node == end_b_.node());
+  failure_handlers_[node] = std::move(handler);
+}
+
+void EgpLink::fail(LinkLabel label, const std::string& reason) {
+  QNETP_LOG(info, "egp") << id_ << " " << label << " failed: " << reason;
+  for (auto& [node, handler] : failure_handlers_) {
+    if (handler) handler(label, reason);
+  }
+}
+
+void EgpLink::submit(const LinkRequest& request) {
+  QNETP_ASSERT(request.label.valid());
+  QNETP_ASSERT(request.lpr_weight > 0.0);
+  QNETP_ASSERT(request.continuous || request.num_pairs > 0);
+
+  double alpha = 0.0;
+  if (!model_.solve_alpha(request.min_fidelity, &alpha)) {
+    fail(request.label, "requested fidelity exceeds link capability");
+    return;
+  }
+  requests_[request.label] = ActiveRequest{request, alpha};
+  scheduler_.upsert(request.label, request.lpr_weight);
+  try_start();
+}
+
+void EgpLink::cancel(LinkLabel label) {
+  requests_.erase(label);
+  scheduler_.remove(label);
+  if (generating_ && generating_->label == label) {
+    abort_generation();
+    try_start();
+  }
+}
+
+bool EgpLink::has_request(LinkLabel label) const {
+  return requests_.count(label) > 0;
+}
+
+void EgpLink::poke() { try_start(); }
+
+void EgpLink::abort_generation() {
+  QNETP_ASSERT(generating_.has_value());
+  sim_.cancel(generating_->herald);
+  // Attempts burned before the abort still count (nuclear dephasing and
+  // accounting), pro-rated by elapsed time.
+  const Duration elapsed = sim_.now() - generating_->started;
+  const auto burned = static_cast<std::uint64_t>(
+      elapsed.count_ps() / std::max<std::int64_t>(
+                               1, model_.attempt_cycle().count_ps()));
+  end_a_.apply_attempt_dephasing(burned);
+  end_b_.apply_attempt_dephasing(burned);
+  attempts_total_ += burned;
+  // Charge the scheduler for the time actually consumed, if the purpose
+  // still exists.
+  if (scheduler_.contains(generating_->label)) {
+    scheduler_.charge(generating_->label, elapsed);
+  }
+  end_a_.release_unused(generating_->qubit_a);
+  end_b_.release_unused(generating_->qubit_b);
+  generating_.reset();
+}
+
+void EgpLink::try_start() {
+  if (generating_.has_value()) return;
+  const auto label = scheduler_.pick();
+  if (!label.has_value()) return;
+  const auto it = requests_.find(*label);
+  QNETP_ASSERT_MSG(it != requests_.end(), "scheduler/request maps diverged");
+  const ActiveRequest& active = it->second;
+
+  // Reserve a communication qubit at each end for the generation block.
+  const auto qa = end_a_.memory().try_alloc_comm(id_, sim_.now());
+  if (!qa.has_value()) {
+    ++stalls_;
+    stall_retry_ = des::ScopedTimer(sim_, model_.attempt_cycle() * 16.0,
+                                    [this] { try_start(); });
+    return;
+  }
+  const auto qb = end_b_.memory().try_alloc_comm(id_, sim_.now());
+  if (!qb.has_value()) {
+    end_a_.release_unused(*qa);
+    ++stalls_;
+    stall_retry_ = des::ScopedTimer(sim_, model_.attempt_cycle() * 16.0,
+                                    [this] { try_start(); });
+    return;
+  }
+
+  const auto sample = model_.sample_generation(active.alpha, rng_);
+  Generating gen;
+  gen.label = *label;
+  gen.qubit_a = *qa;
+  gen.qubit_b = *qb;
+  gen.attempts = sample.attempts;
+  gen.started = sim_.now();
+  gen.herald = sim_.schedule(sample.elapsed, [this] { on_herald(); });
+  generating_ = gen;
+}
+
+void EgpLink::on_herald() {
+  QNETP_ASSERT(generating_.has_value());
+  const Generating gen = *generating_;
+  generating_.reset();
+
+  const auto it = requests_.find(gen.label);
+  QNETP_ASSERT_MSG(it != requests_.end(),
+                   "generation finished for a cancelled purpose");
+  ActiveRequest& active = it->second;
+
+  // Nuclear dephasing of co-located storage qubits from the attempts.
+  end_a_.apply_attempt_dephasing(gen.attempts);
+  end_b_.apply_attempt_dephasing(gen.attempts);
+  attempts_total_ += gen.attempts;
+
+  // Materialise the pair.
+  const PairId pair_id{(id_.value() << 32) | next_pair_id_++};
+  auto pair = std::make_shared<EntangledPair>(
+      pair_id, model_.produced_state(active.alpha), model_.announced_bell(),
+      EntangledPair::Side{end_a_.node(), gen.qubit_a,
+                          end_a_.hardware().electron_memory()},
+      EntangledPair::Side{end_b_.node(), gen.qubit_b,
+                          end_b_.hardware().electron_memory()},
+      sim_.now());
+  end_a_.registry().bind(QubitEndpoint{end_a_.node(), gen.qubit_a}, pair, 0);
+  end_b_.registry().bind(QubitEndpoint{end_b_.node(), gen.qubit_b}, pair, 1);
+
+  LinkPairDelivery delivery;
+  delivery.link = id_;
+  delivery.label = gen.label;
+  delivery.correlator = PairCorrelator{id_, next_sequence_++};
+  delivery.announced = model_.announced_bell();
+  delivery.pair = pair;
+  delivery.attempts = gen.attempts;
+  delivery.alpha = active.alpha;
+  ++pairs_delivered_;
+
+  scheduler_.charge(gen.label, sim_.now() - gen.started);
+
+  // Finite requests count down; remove when satisfied.
+  if (!active.request.continuous) {
+    QNETP_ASSERT(active.request.num_pairs > 0);
+    if (--active.request.num_pairs == 0) {
+      scheduler_.remove(gen.label);
+      requests_.erase(it);
+    }
+  }
+
+  // Deliver at both ends (the herald instant already includes the
+  // midpoint round trip).
+  delivery.local_qubit = gen.qubit_a;
+  deliver(delivery, end_a_.node());
+  delivery.local_qubit = gen.qubit_b;
+  deliver(delivery, end_b_.node());
+
+  try_start();
+}
+
+void EgpLink::deliver(const LinkPairDelivery& d, NodeId to) const {
+  const auto it = delivery_handlers_.find(to);
+  QNETP_ASSERT_MSG(it != delivery_handlers_.end(),
+                   "no delivery handler installed");
+  it->second(d);
+}
+
+}  // namespace qnetp::linklayer

@@ -1,0 +1,71 @@
+#include "linklayer/scheduler.hpp"
+
+#include <limits>
+
+#include "qbase/assert.hpp"
+
+namespace qnetp::linklayer {
+
+double WfqScheduler::min_active_vtime() const {
+  double m = std::numeric_limits<double>::infinity();
+  for (const auto& [label, e] : entries_) m = std::min(m, e.vtime);
+  return m;
+}
+
+void WfqScheduler::upsert(LinkLabel label, double weight) {
+  QNETP_ASSERT(label.valid());
+  QNETP_ASSERT_MSG(weight > 0.0, "scheduler weight must be positive");
+  const auto it = entries_.find(label);
+  if (it != entries_.end()) {
+    it->second.weight = weight;
+    return;
+  }
+  Entry e;
+  e.weight = weight;
+  // Join at the current virtual time so newcomers neither starve others
+  // nor get to replay the past.
+  const double floor = entries_.empty() ? 0.0 : min_active_vtime();
+  e.vtime = floor;
+  entries_[label] = e;
+}
+
+void WfqScheduler::remove(LinkLabel label) { entries_.erase(label); }
+
+bool WfqScheduler::contains(LinkLabel label) const {
+  return entries_.count(label) > 0;
+}
+
+std::optional<LinkLabel> WfqScheduler::pick() const {
+  if (entries_.empty()) return std::nullopt;
+  LinkLabel best;
+  double best_vtime = std::numeric_limits<double>::infinity();
+  for (const auto& [label, e] : entries_) {
+    if (e.vtime < best_vtime ||
+        (e.vtime == best_vtime && label < best)) {
+      best = label;
+      best_vtime = e.vtime;
+    }
+  }
+  return best;
+}
+
+void WfqScheduler::charge(LinkLabel label, Duration service) {
+  const auto it = entries_.find(label);
+  QNETP_ASSERT_MSG(it != entries_.end(), "charging unknown purpose");
+  QNETP_ASSERT(!service.is_negative());
+  it->second.vtime += service.as_seconds() / it->second.weight;
+}
+
+double WfqScheduler::weight(LinkLabel label) const {
+  const auto it = entries_.find(label);
+  QNETP_ASSERT(it != entries_.end());
+  return it->second.weight;
+}
+
+double WfqScheduler::vtime(LinkLabel label) const {
+  const auto it = entries_.find(label);
+  QNETP_ASSERT(it != entries_.end());
+  return it->second.vtime;
+}
+
+}  // namespace qnetp::linklayer

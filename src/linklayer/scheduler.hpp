@@ -1,0 +1,51 @@
+// Weighted-fair link scheduler (Sec. 5 "swapping and link scheduling").
+//
+// "Links ... schedule requests using a weighted round-robin scheme where
+// the number of pairs generated for a particular VC is proportional to its
+// LPR and inversely proportional to the average time per pair."
+// Equivalently: each circuit receives a share of the link's *time*
+// proportional to its requested link-pair rate. We implement this as
+// virtual-time weighted fair queueing: pick the active purpose with the
+// smallest virtual time; after serving it for `service` time, charge
+// vtime += service / weight. Work conservation distributes idle capacity
+// proportionally, matching the paper's under/over-subscription behaviour.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+#include "qbase/ids.hpp"
+#include "qbase/units.hpp"
+
+namespace qnetp::linklayer {
+
+class WfqScheduler {
+ public:
+  /// Add a purpose or update its weight (weight > 0, typically the
+  /// requested LPR in pairs/s).
+  void upsert(LinkLabel label, double weight);
+  void remove(LinkLabel label);
+  bool contains(LinkLabel label) const;
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// The next purpose to serve: smallest virtual time (FIFO on ties by
+  /// label value for determinism). nullopt when empty.
+  std::optional<LinkLabel> pick() const;
+
+  /// Charge `service` time against a purpose after serving it.
+  void charge(LinkLabel label, Duration service);
+
+  double weight(LinkLabel label) const;
+  double vtime(LinkLabel label) const;
+
+ private:
+  struct Entry {
+    double weight = 1.0;
+    double vtime = 0.0;  // seconds of normalised service
+  };
+  double min_active_vtime() const;
+  std::unordered_map<LinkLabel, Entry> entries_;
+};
+
+}  // namespace qnetp::linklayer

@@ -1,0 +1,66 @@
+#include "netmsg/channel.hpp"
+
+#include "qbase/assert.hpp"
+#include "qbase/log.hpp"
+
+namespace qnetp::netmsg {
+
+void ClassicalNetwork::connect(NodeId a, NodeId b, Duration propagation) {
+  QNETP_ASSERT(a.valid() && b.valid() && a != b);
+  QNETP_ASSERT(!propagation.is_negative());
+  channels_[{a, b}] = DirectedChannel{propagation, true, sim_.now()};
+  channels_[{b, a}] = DirectedChannel{propagation, true, sim_.now()};
+}
+
+bool ClassicalNetwork::connected(NodeId a, NodeId b) const {
+  return channels_.count({a, b}) > 0;
+}
+
+void ClassicalNetwork::set_handler(NodeId node, Handler handler) {
+  QNETP_ASSERT(handler != nullptr);
+  handlers_[node] = std::move(handler);
+}
+
+void ClassicalNetwork::set_link_up(NodeId a, NodeId b, bool up) {
+  auto* ab = channel(a, b);
+  auto* ba = channel(b, a);
+  QNETP_ASSERT_MSG(ab != nullptr && ba != nullptr, "no such channel");
+  ab->up = up;
+  ba->up = up;
+}
+
+ClassicalNetwork::DirectedChannel* ClassicalNetwork::channel(NodeId from,
+                                                             NodeId to) {
+  const auto it = channels_.find({from, to});
+  return it == channels_.end() ? nullptr : &it->second;
+}
+
+void ClassicalNetwork::send(NodeId from, NodeId to, const Message& msg) {
+  auto* ch = channel(from, to);
+  QNETP_ASSERT_MSG(ch != nullptr, "no classical channel between nodes");
+  if (!ch->up) {
+    ++dropped_;
+    QNETP_LOG(debug, "netmsg") << "dropped " << message_name(msg) << " "
+                               << from << "->" << to << " (link down)";
+    return;
+  }
+  const Bytes wire = encode(msg);
+  bytes_ += wire.size();
+
+  // Delivery time: now + propagation + processing + artificial extra,
+  // floored at the previous delivery instant to preserve FIFO order even
+  // if the delay knobs changed between sends.
+  TimePoint deliver_at =
+      sim_.now() + ch->propagation + processing_delay_ + extra_delay_;
+  if (deliver_at < ch->last_delivery) deliver_at = ch->last_delivery;
+  ch->last_delivery = deliver_at;
+
+  sim_.schedule_at(deliver_at, [this, from, to, wire] {
+    const auto it = handlers_.find(to);
+    QNETP_ASSERT_MSG(it != handlers_.end(), "no handler installed at node");
+    ++delivered_;
+    it->second(from, decode(wire));
+  });
+}
+
+}  // namespace qnetp::netmsg

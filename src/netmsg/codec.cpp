@@ -1,0 +1,270 @@
+#include "netmsg/codec.hpp"
+
+#include "qbase/assert.hpp"
+
+namespace qnetp::netmsg {
+
+namespace {
+
+enum class WireType : std::uint8_t {
+  forward = 1,
+  complete = 2,
+  track = 3,
+  expire = 4,
+  install = 5,
+  install_ack = 6,
+  teardown = 7,
+  keepalive = 8,
+  test_result = 9,
+};
+
+void put_correlator(ByteWriter& w, const PairCorrelator& c) {
+  w.u64(c.link.value());
+  w.varint(c.sequence);
+}
+
+PairCorrelator get_correlator(ByteReader& r) {
+  PairCorrelator c;
+  c.link = LinkId{r.u64()};
+  c.sequence = r.varint();
+  return c;
+}
+
+void put_duration(ByteWriter& w, Duration d) {
+  w.u64(static_cast<std::uint64_t>(d.count_ps()));
+}
+
+Duration get_duration(ByteReader& r) {
+  return Duration::ps(static_cast<std::int64_t>(r.u64()));
+}
+
+void encode_body(ByteWriter& w, const ForwardMsg& m) {
+  w.u8(static_cast<std::uint8_t>(WireType::forward));
+  w.u64(m.circuit_id.value());
+  w.u64(m.request_id.value());
+  w.u64(m.head_end_identifier.value());
+  w.u64(m.tail_end_identifier.value());
+  w.u8(static_cast<std::uint8_t>(m.request_type));
+  w.u8(static_cast<std::uint8_t>(m.measure_basis));
+  w.varint(m.number_of_pairs);
+  w.boolean(m.final_state.has_value());
+  if (m.final_state) w.u8(m.final_state->code());
+  w.f64(m.rate);
+}
+
+ForwardMsg decode_forward(ByteReader& r) {
+  ForwardMsg m;
+  m.circuit_id = CircuitId{r.u64()};
+  m.request_id = RequestId{r.u64()};
+  m.head_end_identifier = EndpointId{r.u64()};
+  m.tail_end_identifier = EndpointId{r.u64()};
+  const auto type = r.u8();
+  if (type > 2) throw CodecError("bad request type");
+  m.request_type = static_cast<RequestType>(type);
+  const auto basis = r.u8();
+  if (basis > 2) throw CodecError("bad basis");
+  m.measure_basis = static_cast<qstate::Basis>(basis);
+  m.number_of_pairs = r.varint();
+  if (r.boolean()) m.final_state = qstate::BellIndex{r.u8()};
+  m.rate = r.f64();
+  return m;
+}
+
+void encode_body(ByteWriter& w, const CompleteMsg& m) {
+  w.u8(static_cast<std::uint8_t>(WireType::complete));
+  w.u64(m.circuit_id.value());
+  w.u64(m.request_id.value());
+  w.u64(m.head_end_identifier.value());
+  w.u64(m.tail_end_identifier.value());
+  w.f64(m.rate);
+}
+
+CompleteMsg decode_complete(ByteReader& r) {
+  CompleteMsg m;
+  m.circuit_id = CircuitId{r.u64()};
+  m.request_id = RequestId{r.u64()};
+  m.head_end_identifier = EndpointId{r.u64()};
+  m.tail_end_identifier = EndpointId{r.u64()};
+  m.rate = r.f64();
+  return m;
+}
+
+void encode_body(ByteWriter& w, const TrackMsg& m) {
+  w.u8(static_cast<std::uint8_t>(WireType::track));
+  w.u64(m.circuit_id.value());
+  w.u64(m.request_id.value());
+  w.u64(m.head_end_identifier.value());
+  w.u64(m.tail_end_identifier.value());
+  put_correlator(w, m.origin_correlator);
+  put_correlator(w, m.link_correlator);
+  w.u8(m.outcome_state.code());
+  w.varint(m.epoch);
+  w.varint(m.pair_sequence);
+  w.boolean(m.test_round);
+  w.u8(static_cast<std::uint8_t>(m.test_basis));
+}
+
+TrackMsg decode_track(ByteReader& r) {
+  TrackMsg m;
+  m.circuit_id = CircuitId{r.u64()};
+  m.request_id = RequestId{r.u64()};
+  m.head_end_identifier = EndpointId{r.u64()};
+  m.tail_end_identifier = EndpointId{r.u64()};
+  m.origin_correlator = get_correlator(r);
+  m.link_correlator = get_correlator(r);
+  m.outcome_state = qstate::BellIndex{r.u8()};
+  m.epoch = r.varint();
+  m.pair_sequence = r.varint();
+  m.test_round = r.boolean();
+  const auto basis = r.u8();
+  if (basis > 2) throw CodecError("bad basis");
+  m.test_basis = static_cast<qstate::Basis>(basis);
+  return m;
+}
+
+void encode_body(ByteWriter& w, const ExpireMsg& m) {
+  w.u8(static_cast<std::uint8_t>(WireType::expire));
+  w.u64(m.circuit_id.value());
+  put_correlator(w, m.origin_correlator);
+}
+
+ExpireMsg decode_expire(ByteReader& r) {
+  ExpireMsg m;
+  m.circuit_id = CircuitId{r.u64()};
+  m.origin_correlator = get_correlator(r);
+  return m;
+}
+
+void encode_body(ByteWriter& w, const InstallMsg& m) {
+  w.u8(static_cast<std::uint8_t>(WireType::install));
+  w.u64(m.circuit_id.value());
+  w.u64(m.head_end_identifier.value());
+  w.u64(m.tail_end_identifier.value());
+  w.f64(m.end_to_end_fidelity);
+  w.varint(m.hops.size());
+  for (const auto& h : m.hops) {
+    w.u64(h.node.value());
+    w.u64(h.upstream.value());
+    w.u64(h.downstream.value());
+    w.u64(h.upstream_label.value());
+    w.u64(h.downstream_label.value());
+    w.f64(h.downstream_min_fidelity);
+    w.f64(h.downstream_max_lpr);
+    w.f64(h.circuit_max_eer);
+    put_duration(w, h.cutoff);
+  }
+}
+
+InstallMsg decode_install(ByteReader& r) {
+  InstallMsg m;
+  m.circuit_id = CircuitId{r.u64()};
+  m.head_end_identifier = EndpointId{r.u64()};
+  m.tail_end_identifier = EndpointId{r.u64()};
+  m.end_to_end_fidelity = r.f64();
+  const auto n = r.varint();
+  if (n > 4096) throw CodecError("implausible hop count");
+  m.hops.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    HopState h;
+    h.node = NodeId{r.u64()};
+    h.upstream = NodeId{r.u64()};
+    h.downstream = NodeId{r.u64()};
+    h.upstream_label = LinkLabel{r.u64()};
+    h.downstream_label = LinkLabel{r.u64()};
+    h.downstream_min_fidelity = r.f64();
+    h.downstream_max_lpr = r.f64();
+    h.circuit_max_eer = r.f64();
+    h.cutoff = get_duration(r);
+    m.hops.push_back(h);
+  }
+  return m;
+}
+
+void encode_body(ByteWriter& w, const InstallAckMsg& m) {
+  w.u8(static_cast<std::uint8_t>(WireType::install_ack));
+  w.u64(m.circuit_id.value());
+  w.boolean(m.accepted);
+  w.str(m.reason);
+}
+
+InstallAckMsg decode_install_ack(ByteReader& r) {
+  InstallAckMsg m;
+  m.circuit_id = CircuitId{r.u64()};
+  m.accepted = r.boolean();
+  m.reason = r.str();
+  return m;
+}
+
+void encode_body(ByteWriter& w, const TeardownMsg& m) {
+  w.u8(static_cast<std::uint8_t>(WireType::teardown));
+  w.u64(m.circuit_id.value());
+  w.str(m.reason);
+}
+
+TeardownMsg decode_teardown(ByteReader& r) {
+  TeardownMsg m;
+  m.circuit_id = CircuitId{r.u64()};
+  m.reason = r.str();
+  return m;
+}
+
+void encode_body(ByteWriter& w, const KeepaliveMsg& m) {
+  w.u8(static_cast<std::uint8_t>(WireType::keepalive));
+  w.u64(m.circuit_id.value());
+}
+
+KeepaliveMsg decode_keepalive(ByteReader& r) {
+  KeepaliveMsg m;
+  m.circuit_id = CircuitId{r.u64()};
+  return m;
+}
+
+void encode_body(ByteWriter& w, const TestResultMsg& m) {
+  w.u8(static_cast<std::uint8_t>(WireType::test_result));
+  w.u64(m.circuit_id.value());
+  put_correlator(w, m.origin_correlator);
+  w.u8(static_cast<std::uint8_t>(m.basis));
+  w.u8(m.outcome);
+}
+
+TestResultMsg decode_test_result(ByteReader& r) {
+  TestResultMsg m;
+  m.circuit_id = CircuitId{r.u64()};
+  m.origin_correlator = get_correlator(r);
+  const auto basis = r.u8();
+  if (basis > 2) throw CodecError("bad basis");
+  m.basis = static_cast<qstate::Basis>(basis);
+  m.outcome = r.u8();
+  if (m.outcome > 1) throw CodecError("bad outcome bit");
+  return m;
+}
+
+}  // namespace
+
+Bytes encode(const Message& m) {
+  ByteWriter w;
+  std::visit([&w](const auto& msg) { encode_body(w, msg); }, m);
+  return std::move(w).take();
+}
+
+Message decode(const Bytes& bytes) {
+  ByteReader r(bytes);
+  const auto type = static_cast<WireType>(r.u8());
+  Message m;
+  switch (type) {
+    case WireType::forward: m = decode_forward(r); break;
+    case WireType::complete: m = decode_complete(r); break;
+    case WireType::track: m = decode_track(r); break;
+    case WireType::expire: m = decode_expire(r); break;
+    case WireType::install: m = decode_install(r); break;
+    case WireType::install_ack: m = decode_install_ack(r); break;
+    case WireType::teardown: m = decode_teardown(r); break;
+    case WireType::keepalive: m = decode_keepalive(r); break;
+    case WireType::test_result: m = decode_test_result(r); break;
+    default: throw CodecError("unknown message type");
+  }
+  if (!r.at_end()) throw CodecError("trailing bytes after message");
+  return m;
+}
+
+}  // namespace qnetp::netmsg

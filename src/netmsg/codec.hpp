@@ -1,0 +1,16 @@
+// Wire codec: Message <-> bytes.
+//
+// Frame layout: [u8 type][payload]. Integers are varints, ids are their
+// raw 64-bit values, durations are picosecond counts. The decoder is
+// strict: unknown types, truncation, or trailing garbage raise CodecError.
+#pragma once
+
+#include "qbase/bytes.hpp"
+#include "netmsg/message.hpp"
+
+namespace qnetp::netmsg {
+
+Bytes encode(const Message& m);
+Message decode(const Bytes& bytes);
+
+}  // namespace qnetp::netmsg

@@ -1,0 +1,33 @@
+#include "netmsg/message.hpp"
+
+namespace qnetp::netmsg {
+
+std::string to_string(RequestType t) {
+  switch (t) {
+    case RequestType::keep: return "KEEP";
+    case RequestType::early: return "EARLY";
+    case RequestType::measure: return "MEASURE";
+  }
+  return "?";
+}
+
+std::string message_name(const Message& m) {
+  struct Visitor {
+    std::string operator()(const ForwardMsg&) const { return "FORWARD"; }
+    std::string operator()(const CompleteMsg&) const { return "COMPLETE"; }
+    std::string operator()(const TrackMsg&) const { return "TRACK"; }
+    std::string operator()(const ExpireMsg&) const { return "EXPIRE"; }
+    std::string operator()(const InstallMsg&) const { return "INSTALL"; }
+    std::string operator()(const InstallAckMsg&) const {
+      return "INSTALL_ACK";
+    }
+    std::string operator()(const TeardownMsg&) const { return "TEARDOWN"; }
+    std::string operator()(const KeepaliveMsg&) const { return "KEEPALIVE"; }
+    std::string operator()(const TestResultMsg&) const {
+      return "TEST_RESULT";
+    }
+  };
+  return std::visit(Visitor{}, m);
+}
+
+}  // namespace qnetp::netmsg

@@ -1,0 +1,72 @@
+// Per-circuit transport connections with liveness monitoring.
+//
+// "Every VC establishes its own transport connection between every pair of
+// nodes along its path ... The transport's liveness mechanism can then be
+// used to monitor the classical channel liveness and tear down the VC if
+// the connection goes down" (Sec. 4.1). The underlying simulated channel
+// is reliable, so the transport adds exactly the two things the protocol
+// depends on: sequence-checked in-order delivery and keepalive-based
+// failure detection.
+#pragma once
+
+#include <functional>
+
+#include "des/simulator.hpp"
+#include "netmsg/channel.hpp"
+
+namespace qnetp::netmsg {
+
+class TransportConnection {
+ public:
+  using OnMessage = std::function<void(const Message&)>;
+  using OnDown = std::function<void()>;
+
+  /// A transport endpoint at `local` talking to `peer` for one circuit.
+  TransportConnection(des::Simulator& sim, ClassicalNetwork& net,
+                      CircuitId circuit, NodeId local, NodeId peer);
+  ~TransportConnection();
+  TransportConnection(const TransportConnection&) = delete;
+  TransportConnection& operator=(const TransportConnection&) = delete;
+
+  CircuitId circuit() const { return circuit_; }
+  NodeId peer() const { return peer_; }
+
+  void send(const Message& msg);
+
+  /// Deliver an inbound protocol message (invoked by the node's channel
+  /// dispatch). Keepalives are consumed internally.
+  void on_receive(const Message& msg);
+  /// Note inbound keepalive/traffic for liveness.
+  void note_alive();
+
+  void set_on_message(OnMessage fn) { on_message_ = std::move(fn); }
+  void set_on_down(OnDown fn) { on_down_ = std::move(fn); }
+
+  /// Enable keepalive probing: a probe is counted every `interval`; if no
+  /// traffic (data or probe) arrives within `timeout`, on_down fires.
+  void enable_keepalive(Duration interval, Duration timeout);
+
+  bool is_down() const { return down_; }
+
+ private:
+  void arm_probe();
+  void arm_check();
+
+  des::Simulator& sim_;
+  ClassicalNetwork& net_;
+  CircuitId circuit_;
+  NodeId local_;
+  NodeId peer_;
+  OnMessage on_message_;
+  OnDown on_down_;
+
+  bool keepalive_enabled_ = false;
+  Duration keepalive_interval_;
+  Duration keepalive_timeout_;
+  TimePoint last_heard_;
+  bool down_ = false;
+  des::ScopedTimer probe_timer_;
+  des::ScopedTimer check_timer_;
+};
+
+}  // namespace qnetp::netmsg

@@ -1,0 +1,200 @@
+#include "netsim/network.hpp"
+
+#include "qbase/assert.hpp"
+#include "qbase/log.hpp"
+
+namespace qnetp::netsim {
+
+Node::Node(des::Simulator& sim, Rng rng, qdevice::PairRegistry& registry,
+           qhw::HardwareParams hw, NodeId id, qnp::QnpConfig config)
+    : rng_(rng),
+      device_(sim, rng_, registry, std::move(hw), id),
+      engine_(sim, rng_, device_, config) {
+  engine_.set_egp_lookup(
+      [this](NodeId neighbour) { return egp_to(neighbour); });
+}
+
+void Node::add_neighbour(NodeId neighbour, linklayer::EgpLink* egp) {
+  QNETP_ASSERT(egp != nullptr);
+  neighbours_[neighbour] = egp;
+}
+
+linklayer::EgpLink* Node::egp_to(NodeId neighbour) const {
+  const auto it = neighbours_.find(neighbour);
+  return it == neighbours_.end() ? nullptr : it->second;
+}
+
+Network::Network(NetworkConfig config)
+    : config_(config), rng_(config.seed), classical_(sim_) {
+  Log::set_clock([this] { return sim_.now(); });
+}
+
+Network::~Network() { Log::set_clock(nullptr); }
+
+Node& Network::add_node(NodeId id, const qhw::HardwareParams& hw) {
+  QNETP_ASSERT_MSG(nodes_.count(id) == 0, "duplicate node id");
+  auto node = std::make_unique<Node>(sim_, rng_.fork(), registry_, hw, id,
+                                     config_.qnp);
+  Node& ref = *node;
+  nodes_[id] = std::move(node);
+  hardware_[id] = hw;
+  topology_.add_node(id);
+
+  // Qubit pools: the near-term platform exposes one shared communication
+  // qubit; otherwise pools are added per link in connect().
+  if (hw.single_communication_qubit) {
+    ref.device().memory().set_shared_comm_pool(1);
+    ref.device().set_serialized(true);
+  }
+  if (config_.storage_qubits > 0) {
+    ref.device().memory().add_storage(config_.storage_qubits);
+  }
+
+  // Classical message dispatch into the engine.
+  classical_.set_handler(id, [&ref](NodeId from, const netmsg::Message& m) {
+    ref.engine().on_message(from, m);
+  });
+  ref.engine().set_send([this, id](NodeId to, const netmsg::Message& m) {
+    classical_.send(id, to, m);
+  });
+  return ref;
+}
+
+linklayer::EgpLink& Network::connect(NodeId a, NodeId b,
+                                     const qhw::FiberParams& fiber) {
+  Node& na = node(a);
+  Node& nb = node(b);
+  const LinkId link_id{next_link_++};
+
+  // Quantum link model uses the weaker of the two endpoint profiles (the
+  // evaluation always uses homogeneous hardware per network).
+  const qhw::HardwareParams& hw = hardware_.at(a);
+  qhw::PhotonicLinkModel model(hw, fiber);
+
+  auto egp = std::make_unique<linklayer::EgpLink>(
+      sim_, rng_, link_id, na.device(), nb.device(), model);
+  linklayer::EgpLink& ref = *egp;
+  links_.push_back(std::move(egp));
+
+  if (!hardware_.at(a).single_communication_qubit) {
+    na.device().memory().add_link_pool(link_id, config_.comm_qubits_per_link);
+  }
+  if (!hardware_.at(b).single_communication_qubit) {
+    nb.device().memory().add_link_pool(link_id, config_.comm_qubits_per_link);
+  }
+
+  ref.set_delivery_handler(a, [&na](const linklayer::LinkPairDelivery& d) {
+    na.engine().on_link_pair(d);
+  });
+  ref.set_delivery_handler(b, [&nb](const linklayer::LinkPairDelivery& d) {
+    nb.engine().on_link_pair(d);
+  });
+
+  na.add_neighbour(b, &ref);
+  nb.add_neighbour(a, &ref);
+
+  classical_.connect(a, b, fiber.propagation_delay());
+  topology_.add_link(ctrl::TopologyLink{link_id, a, b, model, 1.0});
+  controller_.reset();  // topology changed; rebuild lazily
+  return ref;
+}
+
+Node& Network::node(NodeId id) {
+  const auto it = nodes_.find(id);
+  QNETP_ASSERT_MSG(it != nodes_.end(), "unknown node");
+  return *it->second;
+}
+
+linklayer::EgpLink* Network::egp(NodeId a, NodeId b) {
+  return node(a).egp_to(b);
+}
+
+const qhw::HardwareParams& Network::hardware(NodeId id) const {
+  const auto it = hardware_.find(id);
+  QNETP_ASSERT_MSG(it != hardware_.end(), "unknown node");
+  return it->second;
+}
+
+std::optional<ctrl::CircuitPlan> Network::establish_circuit(
+    NodeId head, NodeId tail, EndpointId head_endpoint,
+    EndpointId tail_endpoint, double end_to_end_fidelity,
+    const ctrl::CircuitPlanOptions& options, std::string* reason,
+    Duration timeout) {
+  if (controller_ == nullptr) {
+    // Controller assumes homogeneous hardware (the paper's setting); use
+    // the head node's profile.
+    controller_ =
+        std::make_unique<ctrl::Controller>(topology_, hardware_.at(head));
+  }
+  auto plan = controller_->plan_circuit(head, tail, head_endpoint,
+                                        tail_endpoint, end_to_end_fidelity,
+                                        options, reason);
+  if (!plan.has_value()) return std::nullopt;
+
+  bool up = false;
+  bool ok = false;
+  std::string ack_reason;
+  engine(head).set_on_circuit_up(
+      [&](CircuitId, bool accepted, const std::string& r) {
+        up = true;
+        ok = accepted;
+        ack_reason = r;
+      });
+  engine(head).begin_install(plan->install);
+  const TimePoint horizon = sim_.now() + timeout;
+  while (!up && sim_.now() < horizon) {
+    if (!sim_.step()) break;
+  }
+  engine(head).set_on_circuit_up(nullptr);
+  if (!up || !ok) {
+    if (reason != nullptr) {
+      *reason = up ? ("install rejected: " + ack_reason) : "install timeout";
+    }
+    return std::nullopt;
+  }
+  return plan;
+}
+
+void Network::install_manual_circuit(const netmsg::InstallMsg& install) {
+  for (const auto& hop : install.hops) {
+    node(hop.node).engine().install_hop(install, hop);
+  }
+}
+
+bool Network::quiescent() const {
+  for (const auto& [id, n] : nodes_) {
+    if (!n->device().memory().all_free()) return false;
+  }
+  return registry_.empty();
+}
+
+std::unique_ptr<Network> make_dumbbell(const NetworkConfig& config,
+                                       const qhw::HardwareParams& hw,
+                                       const qhw::FiberParams& fiber) {
+  auto net = std::make_unique<Network>(config);
+  const DumbbellIds ids;
+  for (NodeId id : {ids.a0, ids.a1, ids.b0, ids.b1, ids.ma, ids.mb}) {
+    net->add_node(id, hw);
+  }
+  net->connect(ids.a0, ids.ma, fiber);
+  net->connect(ids.a1, ids.ma, fiber);
+  net->connect(ids.ma, ids.mb, fiber);
+  net->connect(ids.mb, ids.b0, fiber);
+  net->connect(ids.mb, ids.b1, fiber);
+  return net;
+}
+
+std::unique_ptr<Network> make_chain(std::size_t n,
+                                    const NetworkConfig& config,
+                                    const qhw::HardwareParams& hw,
+                                    const qhw::FiberParams& fiber) {
+  QNETP_ASSERT(n >= 2);
+  auto net = std::make_unique<Network>(config);
+  for (std::size_t i = 1; i <= n; ++i) net->add_node(NodeId{i}, hw);
+  for (std::size_t i = 1; i < n; ++i) {
+    net->connect(NodeId{i}, NodeId{i + 1}, fiber);
+  }
+  return net;
+}
+
+}  // namespace qnetp::netsim

@@ -1,0 +1,133 @@
+// Network assembly: builds and wires a complete simulated quantum network.
+//
+// A Network owns the simulator, the shared pair registry, the classical
+// message fabric, and one Node (device + QNP engine) per quantum node,
+// plus one EgpLink per quantum link. Convenience builders produce the
+// paper's evaluation topologies: linear chains (Fig. 11) and the
+// six-node dumbbell with the MA-MB bottleneck (Fig. 7).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "ctrl/controller.hpp"
+#include "ctrl/topology.hpp"
+#include "des/simulator.hpp"
+#include "linklayer/egp.hpp"
+#include "netmsg/channel.hpp"
+#include "qdevice/device.hpp"
+#include "qnp/engine.hpp"
+
+namespace qnetp::netsim {
+
+/// One quantum node: device + protocol engine + adjacency.
+class Node {
+ public:
+  Node(des::Simulator& sim, Rng rng, qdevice::PairRegistry& registry,
+       qhw::HardwareParams hw, NodeId id, qnp::QnpConfig config);
+
+  NodeId id() const { return device_.node(); }
+  qdevice::QuantumDevice& device() { return device_; }
+  qnp::QnpEngine& engine() { return engine_; }
+  Rng& rng() { return rng_; }
+
+  void add_neighbour(NodeId neighbour, linklayer::EgpLink* egp);
+  linklayer::EgpLink* egp_to(NodeId neighbour) const;
+
+ private:
+  Rng rng_;
+  qdevice::QuantumDevice device_;
+  qnp::QnpEngine engine_;
+  std::map<NodeId, linklayer::EgpLink*> neighbours_;
+};
+
+struct NetworkConfig {
+  std::uint64_t seed = 1;
+  qnp::QnpConfig qnp;
+  /// Communication qubits dedicated to each link per node ("two per link"
+  /// in the paper's main evaluation).
+  std::size_t comm_qubits_per_link = 2;
+  /// Storage qubits per node (near-term platform).
+  std::size_t storage_qubits = 0;
+};
+
+class Network {
+ public:
+  explicit Network(NetworkConfig config = {});
+  ~Network();
+  // Nodes, links and the classical fabric hold references into the
+  // network; it must stay put.
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+  Network(Network&&) = delete;
+  Network& operator=(Network&&) = delete;
+
+  des::Simulator& sim() { return sim_; }
+  netmsg::ClassicalNetwork& classical() { return classical_; }
+  qdevice::PairRegistry& registry() { return registry_; }
+  const ctrl::Topology& topology() const { return topology_; }
+
+  /// Add a node with the given hardware profile.
+  Node& add_node(NodeId id, const qhw::HardwareParams& hw);
+
+  /// Connect two nodes with a quantum link over `fiber` plus the parallel
+  /// classical channel.
+  linklayer::EgpLink& connect(NodeId a, NodeId b,
+                              const qhw::FiberParams& fiber);
+
+  Node& node(NodeId id);
+  qnp::QnpEngine& engine(NodeId id) { return node(id).engine(); }
+  qdevice::QuantumDevice& device(NodeId id) { return node(id).device(); }
+  linklayer::EgpLink* egp(NodeId a, NodeId b);
+
+  /// Plan a circuit via the central controller and install it through the
+  /// signalling path. Runs the simulator until the install acknowledges
+  /// (bounded by `timeout`). Returns the plan, or nullopt with reason.
+  std::optional<ctrl::CircuitPlan> establish_circuit(
+      NodeId head, NodeId tail, EndpointId head_endpoint,
+      EndpointId tail_endpoint, double end_to_end_fidelity,
+      const ctrl::CircuitPlanOptions& options = {},
+      std::string* reason = nullptr, Duration timeout = Duration::seconds(1));
+
+  /// Install a manually constructed circuit (Sec. 5.3: "we manually
+  /// populate the routing tables").
+  void install_manual_circuit(const netmsg::InstallMsg& install);
+
+  /// Leak check: no qubit allocated anywhere, no dangling pair bindings.
+  bool quiescent() const;
+
+  /// The hardware profile a node was created with.
+  const qhw::HardwareParams& hardware(NodeId id) const;
+
+ private:
+  NetworkConfig config_;
+  des::Simulator sim_;
+  Rng rng_;
+  qdevice::PairRegistry registry_;
+  netmsg::ClassicalNetwork classical_;
+  ctrl::Topology topology_;
+  std::map<NodeId, std::unique_ptr<Node>> nodes_;
+  std::map<NodeId, qhw::HardwareParams> hardware_;
+  std::vector<std::unique_ptr<linklayer::EgpLink>> links_;
+  std::unique_ptr<ctrl::Controller> controller_;
+  std::uint64_t next_link_ = 1;
+};
+
+/// The paper's Fig. 7 dumbbell: end-nodes A0(1), A1(2), B0(3), B1(4) and
+/// routers MA(5), MB(6); the MA-MB link is the bottleneck.
+struct DumbbellIds {
+  NodeId a0{1}, a1{2}, b0{3}, b1{4}, ma{5}, mb{6};
+};
+std::unique_ptr<Network> make_dumbbell(const NetworkConfig& config,
+                                       const qhw::HardwareParams& hw,
+                                       const qhw::FiberParams& fiber);
+
+/// A linear chain node(1) - node(2) - ... - node(n).
+std::unique_ptr<Network> make_chain(std::size_t n,
+                                    const NetworkConfig& config,
+                                    const qhw::HardwareParams& hw,
+                                    const qhw::FiberParams& fiber);
+
+}  // namespace qnetp::netsim

@@ -1,0 +1,43 @@
+#include "netsim/oracle.hpp"
+
+#include <map>
+
+namespace qnetp::netsim {
+
+AuditReport audit_pair_consistency(const Probe& head, const Probe& tail) {
+  AuditReport report;
+  using Key = std::pair<RequestId, std::uint64_t>;
+  std::map<Key, const Probe::Record*> tail_by_key;
+  for (const auto& r : tail.deliveries()) {
+    tail_by_key[{r.delivery.request, r.delivery.sequence}] = &r;
+  }
+
+  std::size_t tail_matched = 0;
+  double fid_sum = 0.0;
+  for (const auto& h : head.deliveries()) {
+    const auto it = tail_by_key.find({h.delivery.request, h.delivery.sequence});
+    if (it == tail_by_key.end()) {
+      ++report.half_pairs;
+      continue;
+    }
+    ++report.matched_pairs;
+    ++tail_matched;
+    const auto& t = *it->second;
+    if (h.delivery.state != t.delivery.state) ++report.state_mismatches;
+    if (h.delivery.pair != nullptr && h.delivery.pair == t.delivery.pair) {
+      ++report.identity_matches;
+    }
+    fid_sum += h.oracle_fidelity;
+    report.fidelities.push_back(h.oracle_fidelity);
+    tail_by_key.erase(it);
+  }
+  // Tail-side deliveries with no head counterpart.
+  report.half_pairs += tail.deliveries().size() - tail_matched;
+  if (report.matched_pairs > 0) {
+    report.mean_fidelity =
+        fid_sum / static_cast<double>(report.matched_pairs);
+  }
+  return report;
+}
+
+}  // namespace qnetp::netsim

@@ -1,0 +1,39 @@
+// Verification oracle: audits protocol output against the simulator's
+// ground truth. Used by integration tests and by EXPERIMENTS.md sanity
+// numbers — never by the protocol itself.
+#pragma once
+
+#include "netsim/probe.hpp"
+
+namespace qnetp::netsim {
+
+struct AuditReport {
+  /// Pairs delivered at both ends under the same (request, sequence).
+  std::size_t matched_pairs = 0;
+  /// Deliveries with no counterpart at the other end. The QNP's EXPIRE
+  /// design exists precisely to keep this at zero.
+  std::size_t half_pairs = 0;
+  /// Matched pairs whose two ends were told different Bell states.
+  std::size_t state_mismatches = 0;
+  /// Matched pairs where both ends saw the same underlying pair object
+  /// (simulator-level identity check).
+  std::size_t identity_matches = 0;
+  /// Mean oracle fidelity (vs tracked state at delivery) across matched
+  /// pairs, head side.
+  double mean_fidelity = 0.0;
+  /// Fraction of matched pairs above the given threshold.
+  double fraction_above(double threshold) const {
+    if (fidelities.empty()) return 0.0;
+    std::size_t n = 0;
+    for (double f : fidelities) {
+      if (f >= threshold) ++n;
+    }
+    return static_cast<double>(n) / static_cast<double>(fidelities.size());
+  }
+  std::vector<double> fidelities;
+};
+
+/// Cross-audit the deliveries seen by the two end probes of a circuit.
+AuditReport audit_pair_consistency(const Probe& head, const Probe& tail);
+
+}  // namespace qnetp::netsim

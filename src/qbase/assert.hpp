@@ -1,0 +1,43 @@
+// Assertion and invariant-checking helpers.
+//
+// QNETP_ASSERT is active in all build types: simulation correctness depends
+// on internal invariants, and the cost of the checks is negligible compared
+// to the density-matrix arithmetic. Failures throw AssertionError so tests
+// can verify misuse handling without terminating the process.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace qnetp {
+
+/// Thrown when an internal invariant or API precondition is violated.
+class AssertionError : public std::logic_error {
+ public:
+  explicit AssertionError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "assertion failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw AssertionError(os.str());
+}
+}  // namespace detail
+
+}  // namespace qnetp
+
+#define QNETP_ASSERT(expr)                                              \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::qnetp::detail::assert_fail(#expr, __FILE__, __LINE__, "");      \
+  } while (0)
+
+#define QNETP_ASSERT_MSG(expr, msg)                                     \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::qnetp::detail::assert_fail(#expr, __FILE__, __LINE__, (msg));   \
+  } while (0)

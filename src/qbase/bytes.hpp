@@ -1,0 +1,69 @@
+// Byte buffer writer/reader for the classical wire codec.
+//
+// QNP control messages travel over simulated classical channels as byte
+// strings (the real protocol would run over TCP/QUIC). The codec uses
+// little-endian fixed integers plus LEB128-style varints. The reader is
+// bounds-checked and never reads past the buffer; malformed input raises
+// CodecError, which the channel layer treats as a protocol violation.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace qnetp {
+
+class CodecError : public std::runtime_error {
+ public:
+  explicit CodecError(const std::string& what) : std::runtime_error(what) {}
+};
+
+using Bytes = std::vector<std::uint8_t>;
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void varint(std::uint64_t v);
+  void f64(double v);
+  void boolean(bool v) { u8(v ? 1 : 0); }
+  void str(const std::string& s);
+  void raw(const Bytes& b);
+
+  const Bytes& bytes() const& { return buf_; }
+  Bytes take() && { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(const Bytes& buf) : buf_(buf) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::uint64_t varint();
+  double f64();
+  bool boolean() { return u8() != 0; }
+  std::string str();
+
+  bool at_end() const { return pos_ == buf_.size(); }
+  std::size_t remaining() const { return buf_.size() - pos_; }
+
+ private:
+  void need(std::size_t n) const {
+    if (pos_ + n > buf_.size()) throw CodecError("buffer underrun");
+  }
+  const Bytes& buf_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace qnetp

@@ -1,0 +1,147 @@
+// Strong identifier types used across the stack.
+//
+// Every identifier the protocol description (Appendix C.1) names gets its
+// own type so that a CircuitId cannot be passed where a RequestId is
+// expected. The representation is a 64-bit integer; value 0 is reserved as
+// "invalid" for all id kinds.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+
+namespace qnetp {
+
+/// CRTP-free strong id over uint64. Tag makes each instantiation distinct.
+template <typename Tag>
+class StrongId {
+ public:
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(std::uint64_t v) : value_(v) {}
+
+  constexpr std::uint64_t value() const { return value_; }
+  constexpr bool valid() const { return value_ != 0; }
+  constexpr static StrongId invalid() { return StrongId{}; }
+
+  constexpr auto operator<=>(const StrongId&) const = default;
+
+  std::string to_string() const {
+    return std::string(Tag::prefix) + std::to_string(value_);
+  }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+template <typename Tag>
+std::ostream& operator<<(std::ostream& os, StrongId<Tag> id) {
+  return os << id.to_string();
+}
+
+struct NodeIdTag {
+  static constexpr const char* prefix = "node:";
+};
+struct LinkIdTag {
+  static constexpr const char* prefix = "link:";
+};
+struct CircuitIdTag {
+  static constexpr const char* prefix = "vc:";
+};
+struct RequestIdTag {
+  static constexpr const char* prefix = "req:";
+};
+struct LinkLabelTag {
+  static constexpr const char* prefix = "label:";
+};
+struct QubitIdTag {
+  static constexpr const char* prefix = "qubit:";
+};
+struct PairIdTag {
+  static constexpr const char* prefix = "pair:";
+};
+struct EndpointIdTag {
+  static constexpr const char* prefix = "ep:";
+};
+
+/// Network-wide unique handle of a quantum node (the "locator").
+using NodeId = StrongId<NodeIdTag>;
+/// Unique handle of a point-to-point quantum link.
+using LinkId = StrongId<LinkIdTag>;
+/// Opaque virtual-circuit handle allocated by the signalling protocol.
+using CircuitId = StrongId<CircuitIdTag>;
+/// Application-chosen id of one request between a pair of addresses.
+using RequestId = StrongId<RequestIdTag>;
+/// MPLS-style per-link label identifying a circuit on one link (purpose id).
+using LinkLabel = StrongId<LinkLabelTag>;
+/// Handle of a physical qubit slot within one node's quantum device.
+using QubitId = StrongId<QubitIdTag>;
+/// Globally unique id of an entangled pair object inside the simulator.
+/// (Simulator-internal; protocol messages carry PairCorrelator instead.)
+using PairId = StrongId<PairIdTag>;
+/// Identifier of a communication end-point on a node (like a port number).
+using EndpointId = StrongId<EndpointIdTag>;
+
+/// The link-pair correlator of Appendix C.1: uniquely identifies one pair
+/// generated on one particular link (link layer entanglement id). It is
+/// only meaningful to the two nodes that share the link.
+struct PairCorrelator {
+  LinkId link;
+  std::uint64_t sequence = 0;
+
+  constexpr bool valid() const { return link.valid(); }
+  constexpr auto operator<=>(const PairCorrelator&) const = default;
+
+  std::string to_string() const {
+    return "corr(" + link.to_string() + "," + std::to_string(sequence) + ")";
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const PairCorrelator& c) {
+  return os << c.to_string();
+}
+
+/// A communication end-point address: locator (node) + identifier (port).
+struct Address {
+  NodeId node;
+  EndpointId endpoint;
+
+  constexpr bool valid() const { return node.valid() && endpoint.valid(); }
+  constexpr auto operator<=>(const Address&) const = default;
+
+  std::string to_string() const {
+    return node.to_string() + "/" + endpoint.to_string();
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Address& a) {
+  return os << a.to_string();
+}
+
+}  // namespace qnetp
+
+namespace std {
+template <typename Tag>
+struct hash<qnetp::StrongId<Tag>> {
+  size_t operator()(const qnetp::StrongId<Tag>& id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value());
+  }
+};
+template <>
+struct hash<qnetp::PairCorrelator> {
+  size_t operator()(const qnetp::PairCorrelator& c) const noexcept {
+    // Splitmix-style combine; correlators are dense per link.
+    std::uint64_t h = c.link.value() * 0x9E3779B97F4A7C15ull;
+    h ^= c.sequence + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+    return static_cast<size_t>(h);
+  }
+};
+template <>
+struct hash<qnetp::Address> {
+  size_t operator()(const qnetp::Address& a) const noexcept {
+    std::uint64_t h = a.node.value() * 0xBF58476D1CE4E5B9ull;
+    h ^= a.endpoint.value() + 0x94D049BB133111EBull + (h << 6) + (h >> 2);
+    return static_cast<size_t>(h);
+  }
+};
+}  // namespace std

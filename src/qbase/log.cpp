@@ -1,0 +1,44 @@
+#include "qbase/log.hpp"
+
+#include <cstdio>
+#include <mutex>
+
+namespace qnetp {
+
+namespace {
+LogLevel g_level = LogLevel::warn;
+std::function<TimePoint()> g_clock;
+std::mutex g_mutex;
+
+const char* level_name(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::trace: return "TRACE";
+    case LogLevel::debug: return "DEBUG";
+    case LogLevel::info: return "INFO ";
+    case LogLevel::warn: return "WARN ";
+    case LogLevel::error: return "ERROR";
+    default: return "?????";
+  }
+}
+}  // namespace
+
+LogLevel Log::level() { return g_level; }
+void Log::set_level(LogLevel lvl) { g_level = lvl; }
+void Log::set_clock(std::function<TimePoint()> clock) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_clock = std::move(clock);
+}
+
+void Log::write(LogLevel lvl, const std::string& component,
+                const std::string& message) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (g_clock) {
+    std::fprintf(stderr, "[%s] [%14.9fs] [%s] %s\n", level_name(lvl),
+                 g_clock().as_seconds(), component.c_str(), message.c_str());
+  } else {
+    std::fprintf(stderr, "[%s] [%s] %s\n", level_name(lvl), component.c_str(),
+                 message.c_str());
+  }
+}
+
+}  // namespace qnetp

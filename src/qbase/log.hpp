@@ -1,0 +1,59 @@
+// Minimal leveled logger with simulated-time stamping.
+//
+// The logger is deliberately simple: a global level, an optional clock
+// callback so log lines carry simulation time rather than wall time, and
+// stream-style composition at call sites. Default level is `warn` so that
+// benchmarks and tests run quietly.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+#include "qbase/units.hpp"
+
+namespace qnetp {
+
+enum class LogLevel { trace = 0, debug = 1, info = 2, warn = 3, error = 4, off = 5 };
+
+class Log {
+ public:
+  static LogLevel level();
+  static void set_level(LogLevel lvl);
+
+  /// Install a callback that supplies the current simulation time for log
+  /// stamping. Pass nullptr to remove.
+  static void set_clock(std::function<TimePoint()> clock);
+
+  static bool enabled(LogLevel lvl) { return lvl >= level(); }
+
+  static void write(LogLevel lvl, const std::string& component,
+                    const std::string& message);
+};
+
+namespace detail {
+class LogLine {
+ public:
+  LogLine(LogLevel lvl, std::string component)
+      : lvl_(lvl), component_(std::move(component)) {}
+  ~LogLine() { Log::write(lvl_, component_, os_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel lvl_;
+  std::string component_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace qnetp
+
+// Usage: QNETP_LOG(debug, "qnp") << "swap complete " << correlator;
+#define QNETP_LOG(lvl, component)                           \
+  if (!::qnetp::Log::enabled(::qnetp::LogLevel::lvl)) {     \
+  } else                                                    \
+    ::qnetp::detail::LogLine(::qnetp::LogLevel::lvl, (component))

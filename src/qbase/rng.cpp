@@ -1,0 +1,131 @@
+#include "qbase/rng.hpp"
+
+#include <cmath>
+
+namespace qnetp {
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+  // All-zero state is invalid for xoshiro; splitmix64 cannot produce four
+  // zero outputs from any seed, but keep the guard for clarity.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+Rng Rng::fork() { return Rng(next() ^ 0xD1B54A32D192ED03ull); }
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0,1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  QNETP_ASSERT(lo <= hi);
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::uniform_int(std::uint64_t n) {
+  QNETP_ASSERT(n > 0);
+  // Lemire-style rejection-free bounded draw with negligible bias for the
+  // ranges used here; use rejection for strictness.
+  const std::uint64_t threshold = (~n + 1) % n;  // = 2^64 mod n
+  for (;;) {
+    const std::uint64_t r = next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+double Rng::exponential(double mean) {
+  QNETP_ASSERT(mean > 0.0);
+  double u;
+  do {
+    u = uniform();
+  } while (u <= 0.0);
+  return -mean * std::log(u);
+}
+
+double Rng::normal(double mean, double stddev) {
+  if (have_cached_normal_) {
+    have_cached_normal_ = false;
+    return mean + stddev * cached_normal_;
+  }
+  double u1, u2;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  have_cached_normal_ = true;
+  return mean + stddev * r * std::cos(theta);
+}
+
+std::uint64_t Rng::geometric_attempts(double p) {
+  QNETP_ASSERT_MSG(p > 0.0 && p <= 1.0, "success probability out of range");
+  if (p >= 1.0) return 1;
+  double u;
+  do {
+    u = uniform();
+  } while (u <= 0.0);
+  // Inverse CDF of the geometric distribution on {1,2,...}:
+  // N = ceil(ln(u) / ln(1-p)). log1p keeps precision for small p.
+  const double n = std::ceil(std::log(u) / std::log1p(-p));
+  if (n < 1.0) return 1;
+  return static_cast<std::uint64_t>(n);
+}
+
+std::size_t Rng::discrete(const std::vector<double>& weights) {
+  QNETP_ASSERT(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    QNETP_ASSERT_MSG(w >= 0.0, "negative weight");
+    total += w;
+  }
+  QNETP_ASSERT_MSG(total > 0.0, "all weights zero");
+  double x = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    x -= weights[i];
+    if (x < 0.0) return i;
+  }
+  return weights.size() - 1;  // numerical edge: return last positive entry
+}
+
+Duration Rng::exponential_duration(Duration mean) {
+  return Duration::ps(static_cast<std::int64_t>(
+      exponential(static_cast<double>(mean.count_ps()))));
+}
+
+}  // namespace qnetp

@@ -1,0 +1,64 @@
+// Deterministic pseudo-random number generation for the simulator.
+//
+// xoshiro256** (Blackman & Vigna) seeded through splitmix64. Every
+// simulation run owns its own Rng so that multi-run experiments are
+// reproducible given a base seed, and independent streams can be forked
+// for sub-components without correlations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "qbase/assert.hpp"
+#include "qbase/units.hpp"
+
+namespace qnetp {
+
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// UniformRandomBitGenerator interface (usable with <random> if needed).
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+  result_type operator()() { return next(); }
+
+  std::uint64_t next();
+
+  /// Fork an independent generator (distinct stream) from this one.
+  Rng fork();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_int(std::uint64_t n);
+  /// Bernoulli trial.
+  bool bernoulli(double p);
+  /// Exponentially distributed value with the given mean.
+  double exponential(double mean);
+  /// Standard normal via Box-Muller (cached second draw).
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Number of attempts until first success for per-attempt probability p
+  /// (geometric, support {1, 2, ...}). For tiny p uses the exact inversion
+  /// formula; p must be in (0, 1].
+  std::uint64_t geometric_attempts(double p);
+
+  /// Sample an index from a discrete distribution given non-negative
+  /// weights (need not be normalised; at least one must be positive).
+  std::size_t discrete(const std::vector<double>& weights);
+
+  /// Exponentially distributed Duration with the given mean.
+  Duration exponential_duration(Duration mean);
+
+ private:
+  std::uint64_t s_[4];
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace qnetp

@@ -1,0 +1,149 @@
+#include "qbase/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qnetp {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const {
+  QNETP_ASSERT(n_ > 0);
+  return mean_;
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::stderr_mean() const {
+  if (n_ < 2) return 0.0;
+  return stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+double RunningStats::min() const {
+  QNETP_ASSERT(n_ > 0);
+  return min_;
+}
+
+double RunningStats::max() const {
+  QNETP_ASSERT(n_ > 0);
+  return max_;
+}
+
+void SampleSet::add(double x) {
+  samples_.push_back(x);
+  sorted_ = false;
+}
+
+void SampleSet::clear() {
+  samples_.clear();
+  sorted_ = true;
+}
+
+void SampleSet::ensure_sorted() const {
+  if (!sorted_) {
+    auto& s = const_cast<std::vector<double>&>(samples_);
+    std::sort(s.begin(), s.end());
+    sorted_ = true;
+  }
+}
+
+double SampleSet::mean() const {
+  QNETP_ASSERT(!samples_.empty());
+  double sum = 0.0;
+  for (double x : samples_) sum += x;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double SampleSet::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double x : samples_) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+double SampleSet::min() const {
+  ensure_sorted();
+  QNETP_ASSERT(!samples_.empty());
+  return samples_.front();
+}
+
+double SampleSet::max() const {
+  ensure_sorted();
+  QNETP_ASSERT(!samples_.empty());
+  return samples_.back();
+}
+
+double SampleSet::quantile(double q) const {
+  QNETP_ASSERT(!samples_.empty());
+  QNETP_ASSERT(q >= 0.0 && q <= 1.0);
+  ensure_sorted();
+  if (samples_.size() == 1) return samples_[0];
+  const double pos = q * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= samples_.size()) return samples_.back();
+  return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+}
+
+double SampleSet::cdf_at(double x) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+std::vector<std::pair<double, double>> SampleSet::cdf_points(
+    std::size_t n) const {
+  std::vector<std::pair<double, double>> pts;
+  if (samples_.empty() || n == 0) return pts;
+  ensure_sorted();
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double q =
+        (n == 1) ? 1.0
+                 : static_cast<double>(i) / static_cast<double>(n - 1);
+    pts.emplace_back(quantile(q), q);
+  }
+  return pts;
+}
+
+void RateMeter::record(TimePoint t, double amount) {
+  events_.emplace_back(t, amount);
+  total_ += amount;
+}
+
+void RateMeter::reset() {
+  events_.clear();
+  total_ = 0.0;
+}
+
+double RateMeter::rate_per_second(TimePoint window_start,
+                                  TimePoint window_end) const {
+  QNETP_ASSERT(window_end > window_start);
+  double in_window = 0.0;
+  for (const auto& [t, amount] : events_) {
+    if (t >= window_start && t < window_end) in_window += amount;
+  }
+  return in_window / (window_end - window_start).as_seconds();
+}
+
+}  // namespace qnetp

@@ -1,0 +1,101 @@
+// Statistics collectors used by the evaluation harness.
+//
+// The paper reports averages over repeated simulation runs, CDFs (Fig. 5),
+// percentile error bars (Fig. 9) and throughput over a horizon (Fig. 10).
+// These collectors cover all of that: exact sample-keeping percentile
+// estimation (sample counts here are small), running moments, rate meters,
+// and CDF extraction.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "qbase/assert.hpp"
+#include "qbase/units.hpp"
+
+namespace qnetp {
+
+/// Running mean / variance / extrema without keeping samples (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  double mean() const;
+  double variance() const;  ///< sample variance (n-1 denominator)
+  double stddev() const;
+  double stderr_mean() const;  ///< standard error of the mean
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Sample-keeping collector with exact quantiles and CDF extraction.
+class SampleSet {
+ public:
+  void add(double x);
+  void clear();
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  double mean() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  /// Exact quantile by linear interpolation, q in [0, 1].
+  double quantile(double q) const;
+  double median() const { return quantile(0.5); }
+
+  /// CDF evaluated at x: fraction of samples <= x.
+  double cdf_at(double x) const;
+  /// n evenly spaced (value, cumulative fraction) points for plotting.
+  std::vector<std::pair<double, double>> cdf_points(std::size_t n) const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void ensure_sorted() const;
+  std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+/// Counts events over a simulation horizon and reports a rate.
+class RateMeter {
+ public:
+  void record(TimePoint t, double amount = 1.0);
+  void reset();
+  double count() const { return total_; }
+  /// Events per second between window_start and window_end; events outside
+  /// the window are excluded.
+  double rate_per_second(TimePoint window_start, TimePoint window_end) const;
+
+ private:
+  std::vector<std::pair<TimePoint, double>> events_;
+  double total_ = 0.0;
+};
+
+/// Helper for Duration-valued samples (records milliseconds internally).
+class DurationStats {
+ public:
+  void add(Duration d) { ms_.add(d.as_ms()); }
+  std::size_t count() const { return ms_.count(); }
+  bool empty() const { return ms_.empty(); }
+  double mean_ms() const { return ms_.mean(); }
+  double quantile_ms(double q) const { return ms_.quantile(q); }
+  double min_ms() const { return ms_.min(); }
+  double max_ms() const { return ms_.max(); }
+  const SampleSet& samples() const { return ms_; }
+
+ private:
+  SampleSet ms_;
+};
+
+}  // namespace qnetp

@@ -1,0 +1,71 @@
+#include "qbase/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "qbase/assert.hpp"
+
+namespace qnetp {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  QNETP_ASSERT(!headers_.empty());
+}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  QNETP_ASSERT_MSG(cells.size() == headers_.size(),
+                   "row width does not match header");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*g", precision, v);
+  return buf;
+}
+
+void TablePrinter::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "| ";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c];
+      for (std::size_t k = row[c].size(); k < widths[c]; ++k) os << ' ';
+      os << " | ";
+    }
+    os << '\n';
+  };
+
+  print_row(headers_);
+  os << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    for (std::size_t k = 0; k < widths[c] + 2; ++k) os << '-';
+    os << "-|";
+  }
+  os << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+void TablePrinter::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << row[c];
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+}
+
+void print_banner(std::ostream& os, const std::string& title) {
+  os << "\n=== " << title << " ===\n";
+}
+
+}  // namespace qnetp

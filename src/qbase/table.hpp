@@ -1,0 +1,36 @@
+// Console table / CSV writer for benchmark output.
+//
+// Every bench binary prints the series the corresponding paper figure
+// plots. TablePrinter renders aligned fixed-width console tables and can
+// also emit CSV so results can be re-plotted.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace qnetp {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles with the given precision.
+  static std::string num(double v, int precision = 4);
+
+  void print(std::ostream& os) const;
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a "=== title ===" banner used between benchmark sections.
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace qnetp

@@ -1,0 +1,180 @@
+// Simulation time types.
+//
+// All simulation time is kept in integer picoseconds. Picosecond resolution
+// comfortably represents both the shortest hardware intervals in the paper
+// (nanosecond-scale gates, Table 1) and the longest experiment horizons
+// (minutes of simulated time) inside an int64 without overflow:
+// 2^63 ps ≈ 106 days.
+//
+// Duration and TimePoint are distinct strong types: a TimePoint is an
+// absolute instant on the simulator clock, a Duration is a difference.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <ostream>
+#include <string>
+
+namespace qnetp {
+
+/// A span of simulated time in integer picoseconds.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  constexpr static Duration ps(std::int64_t v) { return Duration{v}; }
+  constexpr static Duration ns(double v) { return from_scaled(v, 1e3); }
+  constexpr static Duration us(double v) { return from_scaled(v, 1e6); }
+  constexpr static Duration ms(double v) { return from_scaled(v, 1e9); }
+  constexpr static Duration seconds(double v) { return from_scaled(v, 1e12); }
+  constexpr static Duration zero() { return Duration{0}; }
+  constexpr static Duration max() {
+    return Duration{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  constexpr std::int64_t count_ps() const { return ps_; }
+  constexpr double as_ns() const { return static_cast<double>(ps_) / 1e3; }
+  constexpr double as_us() const { return static_cast<double>(ps_) / 1e6; }
+  constexpr double as_ms() const { return static_cast<double>(ps_) / 1e9; }
+  constexpr double as_seconds() const {
+    return static_cast<double>(ps_) / 1e12;
+  }
+
+  constexpr bool is_zero() const { return ps_ == 0; }
+  constexpr bool is_negative() const { return ps_ < 0; }
+
+  constexpr Duration operator+(Duration o) const {
+    return Duration{ps_ + o.ps_};
+  }
+  constexpr Duration operator-(Duration o) const {
+    return Duration{ps_ - o.ps_};
+  }
+  constexpr Duration operator-() const { return Duration{-ps_}; }
+  constexpr Duration operator*(double k) const {
+    return Duration{static_cast<std::int64_t>(
+        std::llround(static_cast<double>(ps_) * k))};
+  }
+  constexpr Duration operator/(double k) const { return *this * (1.0 / k); }
+  constexpr double operator/(Duration o) const {
+    return static_cast<double>(ps_) / static_cast<double>(o.ps_);
+  }
+  constexpr Duration& operator+=(Duration o) {
+    ps_ += o.ps_;
+    return *this;
+  }
+  constexpr Duration& operator-=(Duration o) {
+    ps_ -= o.ps_;
+    return *this;
+  }
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  std::string to_string() const;
+
+ private:
+  constexpr explicit Duration(std::int64_t v) : ps_(v) {}
+  constexpr static Duration from_scaled(double v, double scale) {
+    return Duration{static_cast<std::int64_t>(std::llround(v * scale))};
+  }
+  std::int64_t ps_ = 0;
+};
+
+/// An absolute instant on the simulation clock (picoseconds since start).
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+  constexpr static TimePoint from_ps(std::int64_t v) { return TimePoint{v}; }
+  constexpr static TimePoint origin() { return TimePoint{0}; }
+  constexpr static TimePoint max() {
+    return TimePoint{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  constexpr std::int64_t count_ps() const { return ps_; }
+  constexpr double as_seconds() const {
+    return static_cast<double>(ps_) / 1e12;
+  }
+  constexpr double as_ms() const { return static_cast<double>(ps_) / 1e9; }
+  constexpr double as_us() const { return static_cast<double>(ps_) / 1e6; }
+
+  constexpr TimePoint operator+(Duration d) const {
+    return TimePoint{ps_ + d.count_ps()};
+  }
+  constexpr TimePoint operator-(Duration d) const {
+    return TimePoint{ps_ - d.count_ps()};
+  }
+  constexpr Duration operator-(TimePoint o) const {
+    return Duration::ps(ps_ - o.ps_);
+  }
+  constexpr TimePoint& operator+=(Duration d) {
+    ps_ += d.count_ps();
+    return *this;
+  }
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+  std::string to_string() const;
+
+ private:
+  constexpr explicit TimePoint(std::int64_t v) : ps_(v) {}
+  std::int64_t ps_ = 0;
+};
+
+inline std::string Duration::to_string() const {
+  const double abs_ps = std::abs(static_cast<double>(ps_));
+  char buf[64];
+  if (abs_ps < 1e3)
+    std::snprintf(buf, sizeof buf, "%lldps", static_cast<long long>(ps_));
+  else if (abs_ps < 1e6)
+    std::snprintf(buf, sizeof buf, "%.3gns", as_ns());
+  else if (abs_ps < 1e9)
+    std::snprintf(buf, sizeof buf, "%.3gus", as_us());
+  else if (abs_ps < 1e12)
+    std::snprintf(buf, sizeof buf, "%.4gms", as_ms());
+  else
+    std::snprintf(buf, sizeof buf, "%.6gs", as_seconds());
+  return buf;
+}
+
+inline std::string TimePoint::to_string() const {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "t=%.9fs", as_seconds());
+  return buf;
+}
+
+inline std::ostream& operator<<(std::ostream& os, Duration d) {
+  return os << d.to_string();
+}
+inline std::ostream& operator<<(std::ostream& os, TimePoint t) {
+  return os << t.to_string();
+}
+
+namespace literals {
+constexpr Duration operator""_ps(unsigned long long v) {
+  return Duration::ps(static_cast<std::int64_t>(v));
+}
+constexpr Duration operator""_ns(long double v) {
+  return Duration::ns(static_cast<double>(v));
+}
+constexpr Duration operator""_ns(unsigned long long v) {
+  return Duration::ns(static_cast<double>(v));
+}
+constexpr Duration operator""_us(long double v) {
+  return Duration::us(static_cast<double>(v));
+}
+constexpr Duration operator""_us(unsigned long long v) {
+  return Duration::us(static_cast<double>(v));
+}
+constexpr Duration operator""_ms(long double v) {
+  return Duration::ms(static_cast<double>(v));
+}
+constexpr Duration operator""_ms(unsigned long long v) {
+  return Duration::ms(static_cast<double>(v));
+}
+constexpr Duration operator""_s(long double v) {
+  return Duration::seconds(static_cast<double>(v));
+}
+constexpr Duration operator""_s(unsigned long long v) {
+  return Duration::seconds(static_cast<double>(v));
+}
+}  // namespace literals
+
+}  // namespace qnetp

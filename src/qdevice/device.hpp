@@ -1,0 +1,109 @@
+// QuantumDevice: executes physical instructions on a node's qubits
+// (Fig. 4: "quantum task scheduler" + hardware).
+//
+// Operations take their Table-1 durations and apply their noise at
+// completion time (decoherence during the operation is therefore
+// included). The device optionally serialises operations (the near-term
+// platform has a single processor that cannot parallelise gates).
+#pragma once
+
+#include <deque>
+#include <functional>
+
+#include "des/simulator.hpp"
+#include "qbase/ids.hpp"
+#include "qbase/rng.hpp"
+#include "qdevice/entangled_pair.hpp"
+#include "qdevice/memory_manager.hpp"
+#include "qdevice/pair_registry.hpp"
+#include "qhw/params.hpp"
+#include "qstate/swap.hpp"
+
+namespace qnetp::qdevice {
+
+/// Result of an entanglement swap as seen by the local node: the outcome
+/// it will announce plus (simulator-internal) the new outer pair.
+struct SwapCompletion {
+  qstate::BellIndex announced;
+  PairPtr new_pair;  ///< the merged pair between the outer endpoints
+};
+
+class QuantumDevice {
+ public:
+  QuantumDevice(des::Simulator& sim, Rng& rng, PairRegistry& registry,
+                qhw::HardwareParams hw, NodeId node);
+
+  NodeId node() const { return node_; }
+  QuantumMemoryManager& memory() { return memory_; }
+  const QuantumMemoryManager& memory() const { return memory_; }
+  const qhw::HardwareParams& hardware() const { return hw_; }
+  PairRegistry& registry() { return registry_; }
+
+  /// Entanglement swap (Bell measurement) on two local qubits, each
+  /// holding one side of a different pair. On completion the two input
+  /// pairs are consumed, the merged pair is registered at the outer
+  /// endpoints, and the local qubits are freed.
+  void entanglement_swap(QubitId a, QubitId b,
+                         std::function<void(const SwapCompletion&)> done);
+
+  /// Measure the local side of the pair held by `qubit` in `basis`; frees
+  /// the qubit on completion. The pair object survives until its other
+  /// side is also consumed (correlations stay exact).
+  void measure(QubitId qubit, qstate::Basis basis,
+               std::function<void(int outcome)> done);
+
+  /// Apply the Pauli that moves the held pair's announced frame to
+  /// `target`.
+  void pauli_correct(QubitId qubit, qstate::BellIndex target,
+                     std::function<void()> done);
+
+  /// Move the pair side held by a communication qubit into a freshly
+  /// allocated storage qubit (near-term platform). Fails (callback with
+  /// invalid id) when no storage qubit is free.
+  void move_to_storage(QubitId comm_qubit,
+                       std::function<void(QubitId storage_or_invalid)> done);
+
+  /// Discard the pair side held by `qubit` (cutoff expiry or explicit
+  /// release): breaks the pair, unbinds and frees the qubit immediately.
+  void discard(QubitId qubit);
+
+  /// Free a qubit that holds no pair side (allocation that never got
+  /// used).
+  void release_unused(QubitId qubit);
+
+  /// Nuclear dephasing: apply the per-attempt penalty for `attempts`
+  /// entanglement attempts to every *storage* qubit currently holding a
+  /// pair side at this node.
+  void apply_attempt_dephasing(std::uint64_t attempts);
+
+  /// Serialise all device operations through a single processor queue
+  /// (near-term platform).
+  void set_serialized(bool on) { serialized_ = on; }
+  bool serialized() const { return serialized_; }
+  bool busy() const { return busy_; }
+
+  TimePoint now() const { return sim_.now(); }
+
+ private:
+  PairRegistry::Binding require_binding(QubitId qubit) const;
+  void run_or_enqueue(Duration duration, std::function<void()> body);
+  void op_finished();
+
+  des::Simulator& sim_;
+  Rng& rng_;
+  PairRegistry& registry_;
+  qhw::HardwareParams hw_;
+  NodeId node_;
+  QuantumMemoryManager memory_;
+  std::uint64_t next_pair_seq_ = 1;
+
+  bool serialized_ = false;
+  bool busy_ = false;
+  struct PendingOp {
+    Duration duration;
+    std::function<void()> body;
+  };
+  std::deque<PendingOp> op_queue_;
+};
+
+}  // namespace qnetp::qdevice

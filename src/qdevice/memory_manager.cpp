@@ -1,0 +1,111 @@
+#include "qdevice/memory_manager.hpp"
+
+#include "qbase/assert.hpp"
+
+namespace qnetp::qdevice {
+
+QubitId QuantumMemoryManager::new_qubit(QubitKind kind, LinkId pool) {
+  const QubitId id{(node_.value() << 24) | next_qubit_++};
+  QubitSlot slot;
+  slot.id = id;
+  slot.kind = kind;
+  slot.pool_link = pool;
+  slots_[id] = slot;
+  return id;
+}
+
+void QuantumMemoryManager::add_link_pool(LinkId link, std::size_t capacity) {
+  QNETP_ASSERT_MSG(!shared_mode_,
+                   "cannot mix per-link pools with a shared comm pool");
+  QNETP_ASSERT(link.valid());
+  auto& pool = link_free_[link];
+  for (std::size_t i = 0; i < capacity; ++i)
+    pool.push_back(new_qubit(QubitKind::communication, link));
+}
+
+void QuantumMemoryManager::set_shared_comm_pool(std::size_t capacity) {
+  QNETP_ASSERT_MSG(link_free_.empty(),
+                   "cannot mix per-link pools with a shared comm pool");
+  shared_mode_ = true;
+  for (std::size_t i = 0; i < capacity; ++i)
+    shared_free_.push_back(new_qubit(QubitKind::communication, LinkId{}));
+}
+
+void QuantumMemoryManager::add_storage(std::size_t capacity) {
+  for (std::size_t i = 0; i < capacity; ++i)
+    storage_free_.push_back(new_qubit(QubitKind::storage, LinkId{}));
+}
+
+std::optional<QubitId> QuantumMemoryManager::try_alloc_comm(LinkId link,
+                                                            TimePoint now) {
+  std::vector<QubitId>* pool = nullptr;
+  if (shared_mode_) {
+    pool = &shared_free_;
+  } else {
+    const auto it = link_free_.find(link);
+    QNETP_ASSERT_MSG(it != link_free_.end(), "no pool for link");
+    pool = &it->second;
+  }
+  if (pool->empty()) return std::nullopt;
+  const QubitId id = pool->back();
+  pool->pop_back();
+  auto& slot = slots_.at(id);
+  slot.in_use = true;
+  slot.allocated_at = now;
+  return id;
+}
+
+std::optional<QubitId> QuantumMemoryManager::try_alloc_storage(TimePoint now) {
+  if (storage_free_.empty()) return std::nullopt;
+  const QubitId id = storage_free_.back();
+  storage_free_.pop_back();
+  auto& slot = slots_.at(id);
+  slot.in_use = true;
+  slot.allocated_at = now;
+  return id;
+}
+
+void QuantumMemoryManager::free(QubitId id) {
+  auto it = slots_.find(id);
+  QNETP_ASSERT_MSG(it != slots_.end(), "unknown qubit");
+  QNETP_ASSERT_MSG(it->second.in_use, "double free of qubit");
+  it->second.in_use = false;
+  if (it->second.kind == QubitKind::storage) {
+    storage_free_.push_back(id);
+  } else if (shared_mode_) {
+    shared_free_.push_back(id);
+  } else {
+    link_free_.at(it->second.pool_link).push_back(id);
+  }
+}
+
+bool QuantumMemoryManager::is_allocated(QubitId id) const {
+  const auto it = slots_.find(id);
+  return it != slots_.end() && it->second.in_use;
+}
+
+const QubitSlot& QuantumMemoryManager::slot(QubitId id) const {
+  const auto it = slots_.find(id);
+  QNETP_ASSERT_MSG(it != slots_.end(), "unknown qubit");
+  return it->second;
+}
+
+std::size_t QuantumMemoryManager::free_comm_count(LinkId link) const {
+  if (shared_mode_) return shared_free_.size();
+  const auto it = link_free_.find(link);
+  return it == link_free_.end() ? 0 : it->second.size();
+}
+
+std::size_t QuantumMemoryManager::free_storage_count() const {
+  return storage_free_.size();
+}
+
+std::size_t QuantumMemoryManager::in_use_count() const {
+  std::size_t n = 0;
+  for (const auto& [id, slot] : slots_) {
+    if (slot.in_use) ++n;
+  }
+  return n;
+}
+
+}  // namespace qnetp::qdevice

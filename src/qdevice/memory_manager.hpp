@@ -1,0 +1,77 @@
+// Quantum memory management unit (Fig. 4 of the paper).
+//
+// Arbitrates the node's qubits. Communication qubits are organised in
+// per-link pools ("two per link, not shared between links" in the
+// optimistic preset); the near-term platform instead exposes one shared
+// communication qubit for the whole node plus carbon storage qubits.
+// Exhausted pools are how memory pressure — and the Fig. 8c congestion
+// collapse — enter the simulation.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "qbase/ids.hpp"
+#include "qbase/units.hpp"
+
+namespace qnetp::qdevice {
+
+enum class QubitKind { communication, storage };
+
+struct QubitSlot {
+  QubitId id;
+  QubitKind kind = QubitKind::communication;
+  LinkId pool_link;  ///< invalid for storage / shared-pool qubits
+  bool in_use = false;
+  TimePoint allocated_at;
+};
+
+class QuantumMemoryManager {
+ public:
+  explicit QuantumMemoryManager(NodeId node) : node_(node) {}
+
+  NodeId node() const { return node_; }
+
+  /// Create a pool of `capacity` communication qubits dedicated to `link`.
+  void add_link_pool(LinkId link, std::size_t capacity);
+  /// Create a node-wide shared communication pool (near-term platform:
+  /// capacity 1). When present, link pools must not be configured.
+  void set_shared_comm_pool(std::size_t capacity);
+  /// Add `capacity` storage (carbon) qubits.
+  void add_storage(std::size_t capacity);
+
+  /// Allocate a communication qubit usable on `link`; nullopt if the pool
+  /// is exhausted (generation must stall — this is load-bearing for the
+  /// congestion behaviour of Fig. 8c).
+  std::optional<QubitId> try_alloc_comm(LinkId link, TimePoint now);
+  /// Allocate a storage qubit.
+  std::optional<QubitId> try_alloc_storage(TimePoint now);
+
+  /// Return a qubit to its pool. Freeing a free qubit is an error.
+  void free(QubitId id);
+
+  bool is_allocated(QubitId id) const;
+  const QubitSlot& slot(QubitId id) const;
+
+  std::size_t free_comm_count(LinkId link) const;
+  std::size_t free_storage_count() const;
+  std::size_t in_use_count() const;
+  std::size_t total_count() const { return slots_.size(); }
+  /// Leak check for tests: all qubits back in their pools.
+  bool all_free() const { return in_use_count() == 0; }
+
+ private:
+  QubitId new_qubit(QubitKind kind, LinkId pool);
+
+  NodeId node_;
+  std::uint64_t next_qubit_ = 1;
+  std::unordered_map<QubitId, QubitSlot> slots_;
+  // Pool membership: free lists.
+  std::unordered_map<LinkId, std::vector<QubitId>> link_free_;
+  std::vector<QubitId> shared_free_;
+  bool shared_mode_ = false;
+  std::vector<QubitId> storage_free_;
+};
+
+}  // namespace qnetp::qdevice

@@ -1,0 +1,22 @@
+#include "qdevice/pair_registry.hpp"
+
+#include "qbase/assert.hpp"
+
+namespace qnetp::qdevice {
+
+void PairRegistry::bind(const QubitEndpoint& ep, PairPtr pair, int side) {
+  QNETP_ASSERT(pair != nullptr);
+  QNETP_ASSERT(side == 0 || side == 1);
+  map_[ep] = Binding{std::move(pair), side};
+}
+
+void PairRegistry::unbind(const QubitEndpoint& ep) { map_.erase(ep); }
+
+std::optional<PairRegistry::Binding> PairRegistry::find(
+    const QubitEndpoint& ep) const {
+  const auto it = map_.find(ep);
+  if (it == map_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace qnetp::qdevice

@@ -1,0 +1,67 @@
+// PairRegistry: simulator-level map from physical qubit endpoints to the
+// entangled pair they currently hold.
+//
+// An entanglement swap at a repeater instantly redefines the joint state
+// of qubits at two *other* nodes; the registry is the single source of
+// truth for "which pair does this qubit belong to right now". Protocol
+// code never reads it for decisions (that would be classical information
+// travelling faster than messages) — only physical operations (measure,
+// correct, discard) and the evaluation oracle resolve through it.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+#include "qbase/ids.hpp"
+#include "qdevice/entangled_pair.hpp"
+
+namespace qnetp::qdevice {
+
+struct QubitEndpoint {
+  NodeId node;
+  QubitId qubit;
+  constexpr auto operator<=>(const QubitEndpoint&) const = default;
+};
+
+struct EndpointHash {
+  std::size_t operator()(const QubitEndpoint& e) const noexcept {
+    std::uint64_t h = e.node.value() * 0x9E3779B97F4A7C15ull;
+    h ^= e.qubit.value() + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+class PairRegistry {
+ public:
+  struct Binding {
+    PairPtr pair;
+    int side = -1;
+  };
+
+  /// Associate an endpoint with one side of a pair (replaces any previous
+  /// binding for that endpoint).
+  void bind(const QubitEndpoint& ep, PairPtr pair, int side);
+
+  /// Remove the binding (the qubit was freed or consumed).
+  void unbind(const QubitEndpoint& ep);
+
+  /// Current binding, if any.
+  std::optional<Binding> find(const QubitEndpoint& ep) const;
+
+  std::size_t size() const { return map_.size(); }
+  bool empty() const { return map_.empty(); }
+
+  /// Visit every binding whose endpoint lives at `node`. The visitor must
+  /// not add or remove bindings.
+  template <typename Visitor>
+  void for_each_at_node(NodeId node, Visitor&& visit) const {
+    for (const auto& [ep, binding] : map_) {
+      if (ep.node == node) visit(ep, binding);
+    }
+  }
+
+ private:
+  std::unordered_map<QubitEndpoint, Binding, EndpointHash> map_;
+};
+
+}  // namespace qnetp::qdevice

@@ -1,0 +1,31 @@
+#include "qhw/fiber.hpp"
+
+#include <cmath>
+
+#include "qbase/assert.hpp"
+
+namespace qnetp::qhw {
+
+double FiberParams::transmission() const { return transmission(1.0); }
+
+double FiberParams::transmission(double fraction) const {
+  QNETP_ASSERT(fraction >= 0.0 && fraction <= 1.0);
+  const double db = attenuation_db_per_km * (length_m * fraction / 1000.0);
+  return std::pow(10.0, -db / 10.0);
+}
+
+Duration FiberParams::propagation_delay() const {
+  return propagation_delay(1.0);
+}
+
+Duration FiberParams::propagation_delay(double fraction) const {
+  QNETP_ASSERT(fraction >= 0.0 && fraction <= 1.0);
+  return Duration::seconds(length_m * fraction / fibre_light_speed_m_per_s);
+}
+
+void FiberParams::validate() const {
+  QNETP_ASSERT(length_m > 0.0);
+  QNETP_ASSERT(attenuation_db_per_km >= 0.0);
+}
+
+}  // namespace qnetp::qhw

@@ -1,0 +1,44 @@
+// Optical fibre model (Appendix B, "Optical fibres").
+//
+// Quantum and classical channels run over standard telecom fibre. The lab
+// configuration (2 m, no frequency conversion) loses 5 dB/km; the
+// long-distance configuration (25 km links, telecom-converted photons)
+// loses 0.5 dB/km. Classical messages are not lost (the paper runs them
+// over TCP); they only incur propagation delay.
+#pragma once
+
+#include "qbase/units.hpp"
+
+namespace qnetp::qhw {
+
+/// Speed of light in fibre (~2/3 c).
+inline constexpr double fibre_light_speed_m_per_s = 2.0e8;
+
+struct FiberParams {
+  double length_m = 0.0;
+  double attenuation_db_per_km = 0.0;
+
+  /// Lab fibre: short, unconverted photons (5 dB/km).
+  static FiberParams lab(double length_m = 2.0) {
+    return FiberParams{length_m, 5.0};
+  }
+  /// Deployed telecom fibre with frequency conversion (0.5 dB/km).
+  static FiberParams telecom(double length_m) {
+    return FiberParams{length_m, 0.5};
+  }
+
+  /// Photon survival probability over the full length.
+  double transmission() const;
+  /// Photon survival probability over a fraction of the length (photons
+  /// travel to the midpoint heralding station: fraction = 0.5).
+  double transmission(double fraction) const;
+
+  /// One-way propagation delay over the full length.
+  Duration propagation_delay() const;
+  /// Propagation delay over a fraction of the length.
+  Duration propagation_delay(double fraction) const;
+
+  void validate() const;
+};
+
+}  // namespace qnetp::qhw

@@ -1,0 +1,167 @@
+#include "qhw/params.hpp"
+
+#include <cmath>
+
+#include "qbase/assert.hpp"
+
+namespace qnetp::qhw {
+
+using namespace qnetp::literals;
+
+double HardwareParams::depolarizing_from_fidelity(double f) {
+  QNETP_ASSERT(f >= 0.25 && f <= 1.0);
+  return std::min(1.0, (1.0 - f) * 4.0 / 3.0);
+}
+
+qstate::SwapNoise HardwareParams::swap_noise() const {
+  qstate::SwapNoise noise;
+  // The Bell measurement uses one two-qubit gate across the two measured
+  // qubits; we split its infidelity as one depolarizing application per
+  // qubit (half the probability each).
+  noise.gate_depolarizing =
+      depolarizing_from_fidelity(gates.two_qubit.fidelity) / 2.0;
+  noise.readout_flip_prob = readout_flip_prob();
+  return noise;
+}
+
+Duration HardwareParams::swap_duration() const {
+  return gates.two_qubit.duration + gates.electron_readout_0.duration +
+         gates.electron_readout_1.duration;
+}
+
+double HardwareParams::move_depolarizing() const {
+  return depolarizing_from_fidelity(gates.two_qubit.fidelity);
+}
+
+Duration HardwareParams::move_duration() const {
+  // Initialise the carbon, then one E-C two-qubit gate to transfer.
+  return gates.carbon_init.duration + gates.two_qubit.duration;
+}
+
+Duration HardwareParams::correction_duration() const {
+  return gates.electron_single_qubit.duration;
+}
+
+Duration HardwareParams::readout_duration() const {
+  return gates.electron_readout_0.duration;
+}
+
+double HardwareParams::readout_flip_prob() const {
+  const double e0 = 1.0 - gates.electron_readout_0.fidelity;
+  const double e1 = 1.0 - gates.electron_readout_1.fidelity;
+  return (e0 + e1) / 2.0;
+}
+
+qstate::MemoryDecay HardwareParams::electron_memory() const {
+  return qstate::MemoryDecay{phys.electron_t1, phys.electron_t2};
+}
+
+qstate::MemoryDecay HardwareParams::carbon_memory() const {
+  return qstate::MemoryDecay{phys.carbon_t1, phys.carbon_t2};
+}
+
+double HardwareParams::nuclear_dephasing_lambda_per_attempt() const {
+  if (phys.nuclear_dephasing_suppression <= 0.0) return 0.0;
+  const double phase = phys.delta_omega_rad_per_s * phys.tau_d.as_seconds();
+  const double variance = phase * phase / 2.0;
+  const double coherence =
+      std::exp(-phys.nuclear_dephasing_suppression * variance);
+  return 1.0 - coherence;
+}
+
+void HardwareParams::validate() const {
+  auto check_gate = [](const GateSpec& g, const char* what) {
+    QNETP_ASSERT_MSG(g.fidelity >= 0.0 && g.fidelity <= 1.0, what);
+    QNETP_ASSERT_MSG(!g.duration.is_negative(), what);
+  };
+  check_gate(gates.electron_single_qubit, "electron_single_qubit");
+  check_gate(gates.two_qubit, "two_qubit");
+  check_gate(gates.electron_init, "electron_init");
+  check_gate(gates.electron_readout_0, "electron_readout_0");
+  check_gate(gates.electron_readout_1, "electron_readout_1");
+  QNETP_ASSERT(phys.electron_t2.count_ps() > 0);
+  QNETP_ASSERT(phys.p_detection >= 0.0 && phys.p_detection <= 1.0);
+  QNETP_ASSERT(phys.collection_efficiency >= 0.0 &&
+               phys.collection_efficiency <= 1.0);
+  QNETP_ASSERT(phys.p_zero_phonon >= 0.0 && phys.p_zero_phonon <= 1.0);
+  QNETP_ASSERT(phys.visibility >= 0.0 && phys.visibility <= 1.0);
+  QNETP_ASSERT(phys.p_double_excitation >= 0.0 &&
+               phys.p_double_excitation < 1.0);
+  QNETP_ASSERT(phys.dark_count_rate_hz >= 0.0);
+}
+
+HardwareParams simulation_preset() {
+  HardwareParams hw;
+  hw.name = "simulation";
+  hw.single_communication_qubit = false;
+
+  hw.gates.electron_single_qubit = {1.0, 5_ns};
+  hw.gates.two_qubit = {0.998, 500_us};
+  hw.gates.carbon_rot_z = {1.0, Duration::zero()};  // unused in this preset
+  hw.gates.electron_init = {0.99, 2_us};
+  hw.gates.carbon_init = {1.0, Duration::zero()};  // unused in this preset
+  hw.gates.electron_readout_0 = {0.998, 3.7_us};
+  hw.gates.electron_readout_1 = {0.998, 3.7_us};
+
+  hw.phys.electron_t1 = Duration::seconds(3600);  // "> 1 h"
+  hw.phys.electron_t2 = 60_s;
+  hw.phys.carbon_t1 = Duration::max();
+  hw.phys.carbon_t2 = Duration::max();
+  hw.phys.delta_omega_rad_per_s = 0.0;
+  hw.phys.tau_d = Duration::zero();
+  hw.phys.tau_w = 25_ns;
+  hw.phys.tau_e = 6.0_ns;
+  hw.phys.delta_phi_deg = 2.0;
+  hw.phys.p_double_excitation = 0.0;
+  hw.phys.p_zero_phonon = 0.75;
+  hw.phys.collection_efficiency = 20.0e-3;
+  hw.phys.dark_count_rate_hz = 20.0;
+  hw.phys.p_detection = 0.8;
+  hw.phys.visibility = 1.0;
+  hw.phys.nuclear_dephasing_suppression = 0.0;
+  // Calibrated to the Fig. 5 anchor (mean ~10 ms for F=0.95 over 2 m).
+  hw.phys.attempt_overhead = 9.9_us;
+
+  hw.validate();
+  return hw;
+}
+
+HardwareParams near_term_preset() {
+  HardwareParams hw;
+  hw.name = "near-term";
+  hw.single_communication_qubit = true;
+
+  hw.gates.electron_single_qubit = {1.0, 5_ns};
+  hw.gates.two_qubit = {0.992, 500_us};
+  hw.gates.carbon_rot_z = {1.0, 20_us};
+  hw.gates.electron_init = {0.99, 2_us};
+  hw.gates.carbon_init = {0.95, 300_us};
+  hw.gates.electron_readout_0 = {0.95, 3.7_us};
+  hw.gates.electron_readout_1 = {0.995, 3.7_us};
+
+  hw.phys.electron_t1 = Duration::seconds(3600);  // "> 1 h"
+  hw.phys.electron_t2 = 1.46_s;
+  hw.phys.carbon_t1 = Duration::seconds(360);  // "> 6 m"
+  hw.phys.carbon_t2 = 60_s;
+  hw.phys.delta_omega_rad_per_s = 2.0 * M_PI * 377e3;
+  hw.phys.tau_d = Duration::ns(82);
+  hw.phys.tau_w = 25_ns;
+  hw.phys.tau_e = 6.48_ns;
+  hw.phys.delta_phi_deg = 10.6;
+  hw.phys.p_double_excitation = 0.04;
+  hw.phys.p_zero_phonon = 0.46;
+  hw.phys.collection_efficiency = 4.38e-3;
+  hw.phys.dark_count_rate_hz = 20.0;
+  hw.phys.p_detection = 0.8;
+  hw.phys.visibility = 0.9;
+  // Dynamical-decoupling suppression of the per-attempt nuclear dephasing,
+  // calibrated so storage survives the ~10^4 attempts per link-pair of the
+  // Fig. 11 scenario (see DESIGN.md).
+  hw.phys.nuclear_dephasing_suppression = 0.002;
+  hw.phys.attempt_overhead = 9.9_us;
+
+  hw.validate();
+  return hw;
+}
+
+}  // namespace qnetp::qhw

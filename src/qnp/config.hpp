@@ -1,0 +1,49 @@
+// QNP engine configuration knobs.
+//
+// The defaults implement the protocol exactly as the paper designs it;
+// the alternatives exist for the paper's baseline comparison (Fig. 10)
+// and for the ablation studies in bench/.
+#pragma once
+
+#include <cstdint>
+
+#include "qbase/units.hpp"
+
+namespace qnetp::qnp {
+
+/// Decoherence-handling strategy.
+enum class DecoherencePolicy : std::uint8_t {
+  /// The paper's design: intermediate nodes discard qubits on a cutoff
+  /// timer; end-nodes discard on EXPIRE.
+  cutoff,
+  /// The Fig. 10 baseline: no cutoff anywhere; end-nodes read the pair
+  /// fidelity from the simulation oracle at delivery and discard pairs
+  /// below the circuit's end-to-end threshold. Physically impossible to
+  /// implement — included as the comparison the paper makes.
+  oracle_end_discard,
+};
+
+/// Demultiplexer policy for assigning a circuit's pairs to its requests.
+enum class DemuxPolicy : std::uint8_t {
+  /// Serve active requests strictly in arrival order (oldest first).
+  fifo,
+  /// Interleave active requests round-robin per pair.
+  round_robin,
+};
+
+struct QnpConfig {
+  DecoherencePolicy decoherence = DecoherencePolicy::cutoff;
+  DemuxPolicy demux = DemuxPolicy::fifo;
+
+  /// Lazy entanglement tracking (Sec. 4.1). When false, an intermediate
+  /// node refuses to swap until the downstream-travelling TRACK for the
+  /// upstream pair has arrived — the synchronous design the paper argues
+  /// against; used by bench/ablation_tracking.
+  bool lazy_tracking = true;
+
+  /// Consume every k-th pair of a circuit as a fidelity test round
+  /// (Sec. 4.1 "Fidelity test rounds"); 0 disables testing.
+  std::uint32_t test_round_interval = 0;
+};
+
+}  // namespace qnetp::qnp

@@ -1,0 +1,65 @@
+#include "qnp/demux.hpp"
+
+#include <algorithm>
+
+#include "qbase/assert.hpp"
+
+namespace qnetp::qnp {
+
+std::uint64_t Demultiplexer::add_request(RequestId id,
+                                         std::uint64_t quota_pairs) {
+  QNETP_ASSERT(id.valid());
+  QNETP_ASSERT_MSG(entries_.count(id) == 0, "duplicate request id");
+  order_.push_back(id);
+  entries_[id] = Entry{quota_pairs, 0};
+  return ++epoch_;
+}
+
+std::uint64_t Demultiplexer::remove_request(RequestId id) {
+  const auto it = std::find(order_.begin(), order_.end(), id);
+  if (it != order_.end()) {
+    const auto idx = static_cast<std::size_t>(it - order_.begin());
+    order_.erase(it);
+    if (rr_cursor_ > idx) --rr_cursor_;
+    if (!order_.empty()) rr_cursor_ %= order_.size();
+  }
+  entries_.erase(id);
+  return ++epoch_;
+}
+
+bool Demultiplexer::has_request(RequestId id) const {
+  return entries_.count(id) > 0;
+}
+
+std::optional<RequestId> Demultiplexer::next_request() {
+  if (order_.empty()) return std::nullopt;
+  if (policy_ == DemuxPolicy::round_robin) {
+    rr_cursor_ %= order_.size();
+    const RequestId id = order_[rr_cursor_];
+    rr_cursor_ = (rr_cursor_ + 1) % order_.size();
+    entries_.at(id).assigned++;
+    return id;
+  }
+  // FIFO: oldest request that still has quota left.
+  for (const RequestId id : order_) {
+    Entry& e = entries_.at(id);
+    if (e.quota == 0 || e.assigned < e.quota) {
+      ++e.assigned;
+      return id;
+    }
+  }
+  // All finite quotas exhausted (pairs in flight): over-assign to the
+  // oldest so generation keeps flowing; surplus pairs are reconciled by
+  // the cross-check / completion logic.
+  const RequestId id = order_.front();
+  entries_.at(id).assigned++;
+  return id;
+}
+
+void Demultiplexer::unassign(RequestId id) {
+  const auto it = entries_.find(id);
+  if (it == entries_.end()) return;  // request already completed/removed
+  if (it->second.assigned > 0) --it->second.assigned;
+}
+
+}  // namespace qnetp::qnp

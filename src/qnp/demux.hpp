@@ -1,0 +1,68 @@
+// Demultiplexer: assigns a circuit's link-pairs to the requests
+// aggregated on it (Sec. 4.1 "Aggregation", Appendix C "Demultiplexing").
+//
+// Both end-nodes run the same (symmetric) algorithm over the same request
+// set, synchronised through the epoch mechanism: the set of active
+// requests changes only on FORWARD/COMPLETE, which both ends observe in
+// the same order, and each change increments the epoch counter
+// identically at both ends. Transient disagreement (a cutoff discard
+// desynchronising the two pair streams) is caught by the TRACK
+// cross-check and the affected pair is dropped.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+
+#include "qbase/ids.hpp"
+#include "qnp/config.hpp"
+
+namespace qnetp::qnp {
+
+class Demultiplexer {
+ public:
+  explicit Demultiplexer(DemuxPolicy policy = DemuxPolicy::fifo)
+      : policy_(policy) {}
+
+  /// A request became active (FORWARD processed). Requests are kept in
+  /// arrival order. Returns the new epoch id.
+  std::uint64_t add_request(RequestId id, std::uint64_t quota_pairs);
+  /// A request completed or was aborted. Returns the new epoch id.
+  std::uint64_t remove_request(RequestId id);
+
+  bool has_request(RequestId id) const;
+  std::size_t active_count() const { return order_.size(); }
+  std::uint64_t epoch() const { return epoch_; }
+
+  /// Pick the request for the next link-pair, advancing internal state.
+  /// FIFO: oldest request with remaining quota (quota counts down per
+  /// assignment; rate-based requests have unlimited quota).
+  /// Round-robin: cycle through active requests.
+  /// nullopt when no request is active.
+  std::optional<RequestId> next_request();
+
+  /// Cross-check (Appendix C): does this node's assignment agree with the
+  /// one carried by the TRACK message?
+  static bool cross_check(RequestId local_assignment, RequestId tracked) {
+    return local_assignment == tracked;
+  }
+
+  /// Undo one assignment (the pair was discarded before use), returning
+  /// quota so the request can still complete.
+  void unassign(RequestId id);
+
+ private:
+  struct Entry {
+    std::uint64_t quota = 0;  ///< 0 = unlimited (rate-based)
+    std::uint64_t assigned = 0;
+  };
+
+  DemuxPolicy policy_;
+  std::deque<RequestId> order_;
+  std::unordered_map<RequestId, Entry> entries_;
+  std::uint64_t epoch_ = 0;
+  std::size_t rr_cursor_ = 0;
+};
+
+}  // namespace qnetp::qnp

@@ -1,0 +1,1299 @@
+#include "qnp/engine.hpp"
+
+#include <algorithm>
+
+#include "qbase/assert.hpp"
+#include "qbase/log.hpp"
+
+namespace qnetp::qnp {
+
+using linklayer::LinkPairDelivery;
+using netmsg::CompleteMsg;
+using netmsg::ExpireMsg;
+using netmsg::ForwardMsg;
+using netmsg::InstallAckMsg;
+using netmsg::InstallMsg;
+using netmsg::KeepaliveMsg;
+using netmsg::Message;
+using netmsg::RequestType;
+using netmsg::TeardownMsg;
+using netmsg::TestResultMsg;
+using netmsg::TrackMsg;
+using qstate::Basis;
+using qstate::BellIndex;
+
+namespace {
+constexpr double kEerEpsilon = 1e-9;
+
+Basis random_basis(Rng& rng) {
+  switch (rng.uniform_int(3)) {
+    case 0: return Basis::z;
+    case 1: return Basis::x;
+    default: return Basis::y;
+  }
+}
+}  // namespace
+
+QnpEngine::QnpEngine(des::Simulator& sim, Rng& rng,
+                     qdevice::QuantumDevice& device, QnpConfig config)
+    : sim_(sim), rng_(rng), device_(device), config_(config) {}
+
+// ---------------------------------------------------------------------------
+// Small helpers.
+// ---------------------------------------------------------------------------
+
+QnpEngine::CircuitState& QnpEngine::circuit(CircuitId id) {
+  const auto it = circuits_.find(id);
+  QNETP_ASSERT_MSG(it != circuits_.end(), "unknown circuit");
+  return it->second;
+}
+
+const QnpEngine::CircuitState* QnpEngine::find_circuit(CircuitId id) const {
+  const auto it = circuits_.find(id);
+  return it == circuits_.end() ? nullptr : &it->second;
+}
+
+QnpEngine::CircuitState* QnpEngine::find_circuit(CircuitId id) {
+  const auto it = circuits_.find(id);
+  return it == circuits_.end() ? nullptr : &it->second;
+}
+
+QnpEngine::CircuitState* QnpEngine::circuit_for_label(LinkId link,
+                                                      LinkLabel label) {
+  const auto it = label_map_.find(LabelKey{link, label});
+  if (it == label_map_.end()) return nullptr;
+  return find_circuit(it->second);
+}
+
+void QnpEngine::send(NodeId to, const Message& msg) {
+  QNETP_ASSERT_MSG(send_ != nullptr, "engine send function not wired");
+  QNETP_ASSERT(to.valid());
+  send_(to, msg);
+}
+
+linklayer::EgpLink* QnpEngine::egp_to(NodeId neighbour) {
+  QNETP_ASSERT_MSG(egp_lookup_ != nullptr, "engine egp lookup not wired");
+  return egp_lookup_(neighbour);
+}
+
+void QnpEngine::poke_adjacent_egps(CircuitState& cs) {
+  if (cs.upstream.valid()) {
+    if (auto* egp = egp_to(cs.upstream)) egp->poke();
+  }
+  if (cs.downstream.valid()) {
+    if (auto* egp = egp_to(cs.downstream)) egp->poke();
+  }
+}
+
+const EndpointHandlers* QnpEngine::handlers_for(EndpointId endpoint) const {
+  const auto it = endpoints_.find(endpoint);
+  return it == endpoints_.end() ? nullptr : &it->second;
+}
+
+void QnpEngine::register_endpoint(EndpointId endpoint,
+                                  EndpointHandlers handlers) {
+  QNETP_ASSERT(endpoint.valid());
+  endpoints_[endpoint] = std::move(handlers);
+}
+
+bool QnpEngine::has_circuit(CircuitId id) const {
+  return circuits_.count(id) > 0;
+}
+
+const FidelityEstimator* QnpEngine::fidelity_estimate(
+    CircuitId circuit_id) const {
+  const auto* cs = find_circuit(circuit_id);
+  return cs == nullptr ? nullptr : &cs->estimator;
+}
+
+// ---------------------------------------------------------------------------
+// Circuit installation (signalling protocol interaction).
+// ---------------------------------------------------------------------------
+
+void QnpEngine::install_hop(const InstallMsg& install,
+                            const netmsg::HopState& hop) {
+  QNETP_ASSERT(hop.node == node());
+  QNETP_ASSERT_MSG(circuits_.count(install.circuit_id) == 0,
+                   "circuit already installed");
+  CircuitState cs;
+  cs.id = install.circuit_id;
+  cs.upstream = hop.upstream;
+  cs.downstream = hop.downstream;
+  cs.upstream_label = hop.upstream_label;
+  cs.downstream_label = hop.downstream_label;
+  cs.downstream_min_fidelity = hop.downstream_min_fidelity;
+  cs.downstream_max_lpr = hop.downstream_max_lpr;
+  cs.circuit_max_eer = hop.circuit_max_eer;
+  cs.cutoff = hop.cutoff;
+  cs.end_to_end_fidelity = install.end_to_end_fidelity;
+  cs.head_endpoint = install.head_end_identifier;
+  cs.tail_endpoint = install.tail_end_identifier;
+  cs.demux = Demultiplexer(config_.demux);
+
+  QNETP_ASSERT_MSG(cs.upstream.valid() || cs.downstream.valid(),
+                   "hop has no neighbours");
+
+  if (cs.upstream.valid()) {
+    auto* egp = egp_to(cs.upstream);
+    QNETP_ASSERT_MSG(egp != nullptr, "no link to upstream neighbour");
+    label_map_[LabelKey{egp->id(), cs.upstream_label}] = cs.id;
+  }
+  if (cs.downstream.valid()) {
+    auto* egp = egp_to(cs.downstream);
+    QNETP_ASSERT_MSG(egp != nullptr, "no link to downstream neighbour");
+    label_map_[LabelKey{egp->id(), cs.downstream_label}] = cs.id;
+  }
+  circuits_.emplace(cs.id, std::move(cs));
+  QNETP_LOG(debug, "qnp") << node() << " installed " << install.circuit_id;
+}
+
+void QnpEngine::begin_install(const InstallMsg& install) {
+  QNETP_ASSERT(!install.hops.empty());
+  QNETP_ASSERT_MSG(install.hops.front().node == node(),
+                   "begin_install must run at the head-end");
+  handle_install(NodeId{}, install);
+}
+
+void QnpEngine::handle_install(NodeId /*from*/, const InstallMsg& msg) {
+  const auto it = std::find_if(
+      msg.hops.begin(), msg.hops.end(),
+      [this](const netmsg::HopState& h) { return h.node == node(); });
+  QNETP_ASSERT_MSG(it != msg.hops.end(), "INSTALL does not include this node");
+  install_hop(msg, *it);
+  if (it->downstream.valid()) {
+    send(it->downstream, msg);
+  } else {
+    // Tail-end: confirm installation back toward the head.
+    InstallAckMsg ack;
+    ack.circuit_id = msg.circuit_id;
+    ack.accepted = true;
+    send(it->upstream, ack);
+  }
+}
+
+void QnpEngine::handle_install_ack(NodeId /*from*/, const InstallAckMsg& msg) {
+  auto* cs = find_circuit(msg.circuit_id);
+  if (cs == nullptr) return;
+  if (!cs->is_head()) {
+    send(cs->upstream, msg);
+    return;
+  }
+  if (on_circuit_up_) on_circuit_up_(msg.circuit_id, msg.accepted, msg.reason);
+}
+
+void QnpEngine::teardown(CircuitId circuit_id, const std::string& reason) {
+  auto* cs = find_circuit(circuit_id);
+  if (cs == nullptr) return;
+  const NodeId up = cs->upstream;
+  const NodeId down = cs->downstream;
+  TeardownMsg msg;
+  msg.circuit_id = circuit_id;
+  msg.reason = reason;
+  if (up.valid()) send(up, msg);
+  if (down.valid()) send(down, msg);
+  handle_teardown(NodeId{}, msg);
+}
+
+void QnpEngine::handle_teardown(NodeId from, const TeardownMsg& msg) {
+  auto* cs = find_circuit(msg.circuit_id);
+  if (cs == nullptr) return;
+
+  // Propagate away from the sender.
+  if (cs->upstream.valid() && cs->upstream != from) send(cs->upstream, msg);
+  if (cs->downstream.valid() && cs->downstream != from)
+    send(cs->downstream, msg);
+
+  // Stop link generation.
+  cancel_downstream_link_request(*cs);
+
+  // Release queued qubits at intermediate nodes.
+  for (auto* queue : {&cs->up_queue, &cs->down_queue}) {
+    for (auto& q : *queue) {
+      q.cutoff.cancel();
+      device_.discard(q.qubit);
+    }
+    queue->clear();
+  }
+  // Release end-node qubits still held by the protocol.
+  for (auto& [corr, entry] : cs->in_transit) {
+    if (entry.qubit.valid() && !entry.early_delivered && !entry.measured) {
+      device_.discard(entry.qubit);
+    }
+  }
+  cs->in_transit.clear();
+
+  // Notify applications of aborted requests.
+  if (cs->is_head() || cs->is_tail()) {
+    const EndpointId ep =
+        cs->is_head() ? cs->head_endpoint : cs->tail_endpoint;
+    if (const auto* handlers = handlers_for(ep);
+        handlers != nullptr && handlers->on_circuit_down) {
+      handlers->on_circuit_down(msg.circuit_id, msg.reason);
+    }
+  }
+
+  // Drop label mappings.
+  for (auto it = label_map_.begin(); it != label_map_.end();) {
+    if (it->second == msg.circuit_id) {
+      it = label_map_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  circuits_.erase(msg.circuit_id);
+  QNETP_LOG(info, "qnp") << node() << " tore down " << msg.circuit_id << ": "
+                         << msg.reason;
+}
+
+// ---------------------------------------------------------------------------
+// Link layer request management (Sec. 4.1 "Continuous link generation").
+// ---------------------------------------------------------------------------
+
+void QnpEngine::refresh_downstream_link_request(CircuitState& cs) {
+  if (cs.is_tail()) return;
+  auto* egp = egp_to(cs.downstream);
+  QNETP_ASSERT(egp != nullptr);
+  if (cs.active_requests == 0) {
+    cancel_downstream_link_request(cs);
+    return;
+  }
+  // LPR scaling: maximum LPR unless only rate-based requests are active,
+  // in which case the fraction of the EER they need (Sec. 4.1).
+  double weight = cs.downstream_max_lpr;
+  if (cs.rate_based_requests == cs.active_requests &&
+      cs.circuit_max_eer > kEerEpsilon) {
+    const double fraction =
+        std::clamp(cs.current_eer / cs.circuit_max_eer, 0.01, 1.0);
+    weight = cs.downstream_max_lpr * fraction;
+  }
+  linklayer::LinkRequest req;
+  req.label = cs.downstream_label;
+  req.min_fidelity = cs.downstream_min_fidelity;
+  req.lpr_weight = std::max(weight, 1e-6);
+  req.continuous = true;
+  egp->submit(req);
+}
+
+void QnpEngine::cancel_downstream_link_request(CircuitState& cs) {
+  if (cs.is_tail()) return;
+  auto* egp = egp_to(cs.downstream);
+  if (egp != nullptr && egp->has_request(cs.downstream_label)) {
+    egp->cancel(cs.downstream_label);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Request admission: policing and shaping (Sec. 4.1).
+// ---------------------------------------------------------------------------
+
+bool QnpEngine::submit_request(CircuitId circuit_id, const AppRequest& request,
+                               std::string* reason) {
+  auto* cs = find_circuit(circuit_id);
+  if (cs == nullptr) {
+    if (reason) *reason = "no such circuit";
+    return false;
+  }
+  QNETP_ASSERT_MSG(cs->is_head(), "requests enter at the head-end");
+  QNETP_ASSERT(request.id.valid());
+  if (cs->requests.count(request.id) > 0 ||
+      cs->demux.has_request(request.id)) {
+    // Duplicate request IDs are rejected (Appendix C.1).
+    ++counters_.requests_rejected;
+    if (reason) *reason = "duplicate request id";
+    return false;
+  }
+  QNETP_ASSERT(request.num_pairs > 0 || request.rate > 0.0);
+
+  const double min_eer = request.min_eer();
+  const double available = cs->circuit_max_eer - cs->committed_eer;
+  const bool has_deadline =
+      request.deadline > Duration::zero() || request.rate > 0.0;
+
+  if (min_eer > available + kEerEpsilon) {
+    if (has_deadline) {
+      // Policing: reject what cannot be satisfied in time.
+      ++counters_.requests_rejected;
+      if (reason) *reason = "insufficient end-to-end rate for deadline";
+      return false;
+    }
+    // Shaping: delay what can be fulfilled later.
+    cs->shaped.push_back(request);
+    ++counters_.requests_shaped;
+    return true;
+  }
+  if (available <= kEerEpsilon && min_eer <= kEerEpsilon) {
+    // Circuit fully booked: delay best-effort requests.
+    cs->shaped.push_back(request);
+    ++counters_.requests_shaped;
+    return true;
+  }
+  start_request(*cs, request);
+  return true;
+}
+
+void QnpEngine::start_request(CircuitState& cs, const AppRequest& request) {
+  RequestState state;
+  state.request = request;
+  state.accepted_at = sim_.now();
+  cs.requests[request.id] = state;
+  cs.demux.add_request(request.id, request.num_pairs);
+  cs.committed_eer += request.min_eer();
+  cs.current_eer = cs.committed_eer;
+  ++cs.active_requests;
+  if (request.num_pairs == 0) {
+    ++cs.rate_based_requests;
+    cs.known_rate_based.insert(request.id);
+  }
+  ++counters_.requests_accepted;
+
+  // FORWARD downstream to initiate link generation along the path.
+  ForwardMsg fwd;
+  fwd.circuit_id = cs.id;
+  fwd.request_id = request.id;
+  fwd.head_end_identifier = request.head_endpoint;
+  fwd.tail_end_identifier = request.tail_endpoint;
+  fwd.request_type = request.type;
+  fwd.measure_basis = request.measure_basis;
+  fwd.number_of_pairs = request.num_pairs;
+  fwd.final_state = request.final_state;
+  fwd.rate = cs.current_eer;
+  send(cs.downstream, fwd);
+
+  refresh_downstream_link_request(cs);
+}
+
+void QnpEngine::admit_shaped_requests(CircuitState& cs) {
+  while (!cs.shaped.empty()) {
+    const double available = cs.circuit_max_eer - cs.committed_eer;
+    const AppRequest& next = cs.shaped.front();
+    if (next.min_eer() > available + kEerEpsilon) break;
+    if (available <= kEerEpsilon) break;
+    AppRequest request = next;
+    cs.shaped.pop_front();
+    start_request(cs, request);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FORWARD / COMPLETE propagation.
+// ---------------------------------------------------------------------------
+
+void QnpEngine::handle_forward(NodeId /*from*/, const ForwardMsg& msg) {
+  auto* cs = find_circuit(msg.circuit_id);
+  if (cs == nullptr) return;
+  cs->current_eer = msg.rate;
+  ++cs->active_requests;
+  if (msg.number_of_pairs == 0) {
+    ++cs->rate_based_requests;
+    cs->known_rate_based.insert(msg.request_id);
+  }
+
+  if (cs->is_tail()) {
+    // Tail book-keeping: reconstruct the request for demux and delivery.
+    RequestState state;
+    state.request.id = msg.request_id;
+    state.request.head_endpoint = msg.head_end_identifier;
+    state.request.tail_endpoint = msg.tail_end_identifier;
+    state.request.type = msg.request_type;
+    state.request.measure_basis = msg.measure_basis;
+    state.request.num_pairs = msg.number_of_pairs;
+    state.request.final_state = msg.final_state;
+    state.accepted_at = sim_.now();
+    cs->requests[msg.request_id] = state;
+    cs->demux.add_request(msg.request_id, msg.number_of_pairs);
+    return;
+  }
+  // Intermediate: update link generation and keep forwarding.
+  refresh_downstream_link_request(*cs);
+  send(cs->downstream, msg);
+}
+
+void QnpEngine::handle_complete(NodeId /*from*/, const CompleteMsg& msg) {
+  auto* cs = find_circuit(msg.circuit_id);
+  if (cs == nullptr) return;
+  cs->current_eer = msg.rate;
+  if (cs->active_requests > 0) --cs->active_requests;
+  if (cs->known_rate_based.erase(msg.request_id) > 0 &&
+      cs->rate_based_requests > 0) {
+    --cs->rate_based_requests;
+  }
+
+  if (cs->is_tail()) {
+    cs->demux.remove_request(msg.request_id);
+    tail_flush_request(*cs, msg.request_id);
+    const auto it = cs->requests.find(msg.request_id);
+    if (it != cs->requests.end()) {
+      if (const auto* handlers = handlers_for(msg.tail_end_identifier);
+          handlers != nullptr && handlers->on_complete) {
+        handlers->on_complete(cs->id, msg.request_id);
+      }
+      cs->requests.erase(it);
+    }
+    return;
+  }
+  refresh_downstream_link_request(*cs);
+  send(cs->downstream, msg);
+}
+
+void QnpEngine::tail_flush_request(CircuitState& cs, RequestId request) {
+  // Surplus in-transit pairs assigned to a finished request can never be
+  // delivered (the head's TRACKs for delivered pairs arrived before the
+  // COMPLETE on the same FIFO channel). Release their qubits.
+  for (auto it = cs.in_transit.begin(); it != cs.in_transit.end();) {
+    if (it->second.request == request && !it->second.early_delivered) {
+      if (it->second.qubit.valid() && !it->second.measured) {
+        device_.discard(it->second.qubit);
+      }
+      it = cs.in_transit.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  poke_adjacent_egps(cs);
+}
+
+// ---------------------------------------------------------------------------
+// LINK rules (Algorithms 1, 4, 7).
+// ---------------------------------------------------------------------------
+
+void QnpEngine::on_link_pair(const LinkPairDelivery& d) {
+  auto* cs = circuit_for_label(d.link, d.label);
+  if (cs == nullptr) {
+    // Circuit gone (teardown racing the link layer): return the qubit.
+    device_.discard(d.local_qubit);
+    return;
+  }
+  ++counters_.link_pairs_received;
+
+  if (cs->is_head()) {
+    link_rule_head(*cs, d);
+  } else if (cs->is_tail()) {
+    link_rule_tail(*cs, d);
+  } else {
+    // Which side of this node is the link on?
+    auto* up_egp = egp_to(cs->upstream);
+    const bool from_upstream = (up_egp != nullptr && up_egp->id() == d.link);
+    link_rule_intermediate(*cs, d, from_upstream);
+  }
+}
+
+void QnpEngine::link_rule_head(CircuitState& cs, const LinkPairDelivery& d) {
+  InTransit entry;
+  entry.qubit = d.local_qubit;
+  entry.local_announced = d.announced;
+  entry.pair = d.pair;
+  entry.birth = sim_.now();
+
+  TrackMsg track;
+  track.circuit_id = cs.id;
+  track.head_end_identifier = cs.head_endpoint;
+  track.tail_end_identifier = cs.tail_endpoint;
+  track.origin_correlator = d.correlator;
+  track.link_correlator = d.correlator;
+  track.outcome_state = d.announced;
+  track.epoch = cs.demux.epoch();
+
+  // Fidelity test rounds: every k-th pair is consumed for estimation.
+  const bool test_due = config_.test_round_interval > 0 &&
+                        ++cs.pairs_since_test >= config_.test_round_interval &&
+                        cs.active_requests > 0;
+  if (test_due) {
+    cs.pairs_since_test = 0;
+    entry.is_test = true;
+    entry.test_basis = random_basis(rng_);
+    track.test_round = true;
+    track.test_basis = entry.test_basis;
+    track.request_id = RequestId::invalid();
+    TestRound round;
+    round.basis = entry.test_basis;
+    round.created = sim_.now();
+    cs.tests[d.correlator] = round;
+    // Measure our side immediately.
+    const PairCorrelator corr = d.correlator;
+    const CircuitId cid = cs.id;
+    device_.measure(entry.qubit, entry.test_basis, [this, cid, corr](int o) {
+      auto* c = find_circuit(cid);
+      if (c == nullptr) return;
+      const auto it = c->tests.find(corr);
+      if (it == c->tests.end()) return;
+      it->second.head_outcome = o;
+      finish_test_round(*c, corr, it->second);
+    });
+    entry.qubit = QubitId::invalid();
+    entry.measured = true;
+  } else {
+    const auto assigned = cs.demux.next_request();
+    if (!assigned.has_value()) {
+      // No active request: tell the far end to release its qubit too.
+      ++counters_.pairs_discarded_unassigned;
+      device_.discard(entry.qubit);
+      track.request_id = RequestId::invalid();
+      send(cs.downstream, track);
+      ++counters_.tracks_originated;
+      poke_adjacent_egps(cs);
+      return;
+    }
+    auto& state = cs.requests.at(*assigned);
+    entry.request = *assigned;
+    entry.sequence = state.next_sequence++;
+    track.request_id = *assigned;
+    track.pair_sequence = entry.sequence;
+
+    if (state.request.type == RequestType::measure) {
+      entry.is_measure = true;
+      const PairCorrelator corr = d.correlator;
+      const CircuitId cid = cs.id;
+      device_.measure(entry.qubit, state.request.measure_basis,
+                      [this, cid, corr](int o) {
+                        auto* c = find_circuit(cid);
+                        if (c == nullptr) return;
+                        const auto it = c->in_transit.find(corr);
+                        if (it == c->in_transit.end()) return;
+                        it->second.measured = true;
+                        it->second.outcome = o;
+                        maybe_deliver(*c, corr);
+                      });
+      entry.qubit = QubitId::invalid();
+    } else if (state.request.type == RequestType::early) {
+      // Deliver the qubit immediately; tracking info follows.
+      entry.early_delivered = true;
+      ++counters_.early_deliveries;
+      app_qubits_[entry.qubit] = cs.id;
+      if (const auto* handlers = handlers_for(cs.head_endpoint);
+          handlers != nullptr && handlers->on_pair) {
+        PairDelivery out;
+        out.circuit = cs.id;
+        out.request = entry.request;
+        out.sequence = entry.sequence;
+        out.state = d.announced;  // provisional; final frame follows
+        out.qubit = entry.qubit;
+        out.tracking_pending = true;
+        out.pair = entry.pair;
+        out.delivered_at = sim_.now();
+        handlers->on_pair(out);
+      }
+    }
+  }
+
+  cs.in_transit.emplace(d.correlator, std::move(entry));
+  send(cs.downstream, track);
+  ++counters_.tracks_originated;
+}
+
+void QnpEngine::link_rule_tail(CircuitState& cs, const LinkPairDelivery& d) {
+  InTransit entry;
+  entry.qubit = d.local_qubit;
+  entry.local_announced = d.announced;
+  entry.pair = d.pair;
+  entry.birth = sim_.now();
+
+  const auto assigned = cs.demux.next_request();
+  if (assigned.has_value()) {
+    entry.request = *assigned;
+    const auto it = cs.requests.find(*assigned);
+    if (it != cs.requests.end()) {
+      if (it->second.request.type == RequestType::measure) {
+        entry.is_measure = true;
+        const PairCorrelator corr = d.correlator;
+        const CircuitId cid = cs.id;
+        device_.measure(entry.qubit, it->second.request.measure_basis,
+                        [this, cid, corr](int o) {
+                          auto* c = find_circuit(cid);
+                          if (c == nullptr) return;
+                          const auto e = c->in_transit.find(corr);
+                          if (e == c->in_transit.end()) return;
+                          e->second.measured = true;
+                          e->second.outcome = o;
+                          maybe_deliver(*c, corr);
+                        });
+        entry.qubit = QubitId::invalid();
+      } else if (it->second.request.type == RequestType::early) {
+        entry.early_delivered = true;
+        ++counters_.early_deliveries;
+        app_qubits_[entry.qubit] = cs.id;
+        if (const auto* handlers = handlers_for(cs.tail_endpoint);
+            handlers != nullptr && handlers->on_pair) {
+          PairDelivery out;
+          out.circuit = cs.id;
+          out.request = entry.request;
+          out.sequence = 0;  // head numbering arrives with the TRACK
+          out.state = d.announced;
+          out.qubit = entry.qubit;
+          out.tracking_pending = true;
+          out.pair = entry.pair;
+          out.delivered_at = sim_.now();
+          handlers->on_pair(out);
+        }
+      }
+    }
+  }
+
+  TrackMsg track;
+  track.circuit_id = cs.id;
+  track.request_id = entry.request;  // may be invalid: cross-check only
+  track.head_end_identifier = cs.head_endpoint;
+  track.tail_end_identifier = cs.tail_endpoint;
+  track.origin_correlator = d.correlator;
+  track.link_correlator = d.correlator;
+  track.outcome_state = d.announced;
+  track.epoch = 0;
+
+  cs.in_transit.emplace(d.correlator, std::move(entry));
+  send(cs.upstream, track);
+  ++counters_.tracks_originated;
+}
+
+void QnpEngine::link_rule_intermediate(CircuitState& cs,
+                                       const LinkPairDelivery& d,
+                                       bool from_upstream) {
+  if (device_.hardware().single_communication_qubit) {
+    // Near-term platform (Sec. 5.3): the communication qubit must be
+    // freed before the node can work another link, so move the arriving
+    // pair into carbon storage first.
+    const CircuitId cid = cs.id;
+    const PairCorrelator corr = d.correlator;
+    const qstate::BellIndex announced = d.announced;
+    const QubitId comm = d.local_qubit;
+    device_.move_to_storage(
+        comm, [this, cid, corr, announced, comm, from_upstream](QubitId s) {
+          auto* c = find_circuit(cid);
+          if (c == nullptr) {
+            device_.discard(s.valid() ? s : comm);
+            return;
+          }
+          if (!s.valid()) {
+            // No storage qubit free: the pair cannot be buffered.
+            ++counters_.pairs_discarded_unassigned;
+            device_.discard(comm);
+            poke_adjacent_egps(*c);
+            return;
+          }
+          enqueue_intermediate_pair(*c, corr, s, announced, from_upstream);
+          poke_adjacent_egps(*c);  // the communication qubit is free again
+        });
+    return;
+  }
+  enqueue_intermediate_pair(cs, d.correlator, d.local_qubit, d.announced,
+                            from_upstream);
+}
+
+void QnpEngine::enqueue_intermediate_pair(CircuitState& cs,
+                                          const PairCorrelator& correlator,
+                                          QubitId qubit,
+                                          qstate::BellIndex announced,
+                                          bool from_upstream) {
+  QueuedPair q;
+  q.correlator = correlator;
+  q.qubit = qubit;
+  q.announced = announced;
+  q.birth = sim_.now();
+  if (config_.decoherence == DecoherencePolicy::cutoff) {
+    const CircuitId cid = cs.id;
+    const PairCorrelator corr = correlator;
+    q.cutoff = des::ScopedTimer(sim_, cs.cutoff, [this, cid, corr,
+                                                  from_upstream] {
+      auto* c = find_circuit(cid);
+      if (c == nullptr) return;
+      auto& queue = from_upstream ? c->up_queue : c->down_queue;
+      const auto it = std::find_if(
+          queue.begin(), queue.end(),
+          [&corr](const QueuedPair& p) { return p.correlator == corr; });
+      if (it == queue.end()) return;  // already consumed by a swap
+      const QubitId expired_qubit = it->qubit;
+      queue.erase(it);
+      expire_rule_intermediate(*c, from_upstream, corr, expired_qubit);
+    });
+  }
+  auto& queue = from_upstream ? cs.up_queue : cs.down_queue;
+  queue.push_back(std::move(q));
+  try_swap(cs);
+}
+
+// ---------------------------------------------------------------------------
+// Entanglement swapping (Algorithm 7).
+// ---------------------------------------------------------------------------
+
+void QnpEngine::try_swap(CircuitState& cs) {
+  while (!cs.up_queue.empty() && !cs.down_queue.empty()) {
+    if (!config_.lazy_tracking) {
+      // Blocking-tracking ablation: wait for the downstream-travelling
+      // TRACK of the upstream pair before swapping.
+      if (cs.up_track_buf.count(cs.up_queue.front().correlator) == 0) return;
+    }
+    // "Entanglement swaps always prefer the oldest unexpired pairs."
+    QueuedPair up = std::move(cs.up_queue.front());
+    cs.up_queue.pop_front();
+    QueuedPair down = std::move(cs.down_queue.front());
+    cs.down_queue.pop_front();
+    up.cutoff.cancel();
+    down.cutoff.cancel();
+
+    ++counters_.swaps_started;
+    const CircuitId cid = cs.id;
+    // Copyable summaries survive into the completion callback; the device
+    // frees the physical qubits itself.
+    const SwapSide up_side{up.correlator, up.announced};
+    const SwapSide down_side{down.correlator, down.announced};
+    device_.entanglement_swap(
+        up.qubit, down.qubit,
+        [this, cid, up_side, down_side](const qdevice::SwapCompletion& c) {
+          on_swap_complete(cid, up_side, down_side, c);
+        });
+  }
+}
+
+void QnpEngine::on_swap_complete(CircuitId circuit_id, SwapSide up,
+                                 SwapSide down,
+                                 const qdevice::SwapCompletion& completion) {
+  ++counters_.swaps_completed;
+  auto* cs = find_circuit(circuit_id);
+  if (cs == nullptr) return;  // torn down mid-swap
+  poke_adjacent_egps(*cs);
+
+  // Downstream-travelling TRACK waiting for this swap? (Alg 7 upstream
+  // branch.)
+  const auto up_buf = cs->up_track_buf.find(up.correlator);
+  if (up_buf != cs->up_track_buf.end()) {
+    TrackMsg track = up_buf->second;
+    cs->up_track_buf.erase(up_buf);
+    track.link_correlator = down.correlator;
+    track.outcome_state =
+        track.outcome_state ^ down.announced ^ completion.announced;
+    send(cs->downstream, track);
+    ++counters_.tracks_forwarded;
+  } else {
+    cs->up_records[up.correlator] =
+        SwapRecord{down.correlator, down.announced, completion.announced,
+                   sim_.now()};
+  }
+
+  // Upstream-travelling TRACK waiting? (Alg 7 downstream branch.)
+  const auto down_buf = cs->down_track_buf.find(down.correlator);
+  if (down_buf != cs->down_track_buf.end()) {
+    TrackMsg track = down_buf->second;
+    cs->down_track_buf.erase(down_buf);
+    track.link_correlator = up.correlator;
+    track.outcome_state =
+        track.outcome_state ^ up.announced ^ completion.announced;
+    send(cs->upstream, track);
+    ++counters_.tracks_forwarded;
+  } else {
+    cs->down_records[down.correlator] =
+        SwapRecord{up.correlator, up.announced, completion.announced,
+                   sim_.now()};
+  }
+
+  gc_records(*cs);
+  try_swap(*cs);
+}
+
+// ---------------------------------------------------------------------------
+// Cutoff expiry (Algorithm 9) and EXPIRE handling (Algorithms 3, 6, 8).
+// ---------------------------------------------------------------------------
+
+void QnpEngine::expire_rule_intermediate(CircuitState& cs, bool from_upstream,
+                                         const PairCorrelator& correlator,
+                                         QubitId qubit) {
+  ++counters_.pairs_discarded_cutoff;
+  device_.discard(qubit);
+  poke_adjacent_egps(cs);
+
+  auto& track_buf = from_upstream ? cs.up_track_buf : cs.down_track_buf;
+  const auto buffered = track_buf.find(correlator);
+  if (buffered != track_buf.end()) {
+    // A TRACK already waited for this pair: bounce an EXPIRE to its
+    // origin end-node immediately.
+    ExpireMsg expire;
+    expire.circuit_id = cs.id;
+    expire.origin_correlator = buffered->second.origin_correlator;
+    track_buf.erase(buffered);
+    send(from_upstream ? cs.upstream : cs.downstream, expire);
+    ++counters_.expires_sent;
+    return;
+  }
+  auto& expire_records =
+      from_upstream ? cs.up_expire_records : cs.down_expire_records;
+  expire_records[correlator] = sim_.now();
+  gc_records(cs);
+}
+
+void QnpEngine::handle_expire(NodeId from, const ExpireMsg& msg) {
+  auto* cs = find_circuit(msg.circuit_id);
+  if (cs == nullptr) return;
+  const bool at_end = (from == cs->downstream && cs->is_head()) ||
+                      (from == cs->upstream && cs->is_tail());
+  if (!at_end) {
+    // Relay toward the end-node it is addressed to.
+    send(from == cs->downstream ? cs->upstream : cs->downstream, msg);
+    return;
+  }
+  ++counters_.expires_received;
+  const auto it = cs->in_transit.find(msg.origin_correlator);
+  if (it == cs->in_transit.end()) return;  // already resolved
+  discard_in_transit(*cs, msg.origin_correlator, it->second, "expire");
+}
+
+void QnpEngine::discard_in_transit(CircuitState& cs,
+                                   const PairCorrelator& corr,
+                                   InTransit& entry, const char* why) {
+  if (entry.is_test) {
+    cs.tests.erase(corr);
+  }
+  if (entry.early_delivered) {
+    // The application owns the qubit: notify it (Sec. 4.1 "Early
+    // delivery").
+    const EndpointId ep = cs.is_head() ? cs.head_endpoint : cs.tail_endpoint;
+    if (const auto* handlers = handlers_for(ep);
+        handlers != nullptr && handlers->on_expire) {
+      handlers->on_expire(cs.id, entry.request, entry.qubit);
+    }
+  } else if (entry.qubit.valid() && !entry.measured) {
+    device_.discard(entry.qubit);
+  }
+  if (entry.request.valid()) cs.demux.unassign(entry.request);
+  QNETP_LOG(trace, "qnp") << node() << " dropped in-transit pair "
+                          << corr.to_string() << " (" << why << ")";
+  cs.in_transit.erase(corr);
+  poke_adjacent_egps(cs);
+}
+
+// ---------------------------------------------------------------------------
+// TRACK handling (Algorithms 2, 5, 8).
+// ---------------------------------------------------------------------------
+
+void QnpEngine::handle_track(NodeId from, TrackMsg msg) {
+  auto* cs = find_circuit(msg.circuit_id);
+  if (cs == nullptr) return;
+
+  const bool from_upstream = (from == cs->upstream);
+  QNETP_ASSERT_MSG(from_upstream || from == cs->downstream,
+                   "TRACK from a node outside the circuit");
+
+  if (cs->is_head() || cs->is_tail()) {
+    end_node_track_rule(*cs, msg, cs->is_head());
+    return;
+  }
+
+  // Intermediate node: Algorithm 8.
+  auto& records = from_upstream ? cs->up_records : cs->down_records;
+  auto& expire_records =
+      from_upstream ? cs->up_expire_records : cs->down_expire_records;
+  auto& track_buf = from_upstream ? cs->up_track_buf : cs->down_track_buf;
+
+  const auto rec = records.find(msg.link_correlator);
+  if (rec != records.end()) {
+    msg.outcome_state = msg.outcome_state ^ rec->second.other_announced ^
+                        rec->second.swap_outcome;
+    msg.link_correlator = rec->second.other_correlator;
+    records.erase(rec);
+    send(from_upstream ? cs->downstream : cs->upstream, msg);
+    ++counters_.tracks_forwarded;
+    return;
+  }
+  const auto exp = expire_records.find(msg.link_correlator);
+  if (exp != expire_records.end()) {
+    expire_records.erase(exp);
+    ExpireMsg expire;
+    expire.circuit_id = cs->id;
+    expire.origin_correlator = msg.origin_correlator;
+    // Bounce back toward the TRACK's origin end-node.
+    send(from_upstream ? cs->upstream : cs->downstream, expire);
+    ++counters_.expires_sent;
+    return;
+  }
+  track_buf[msg.link_correlator] = msg;
+  if (!config_.lazy_tracking) try_swap(*cs);
+}
+
+void QnpEngine::end_node_track_rule(CircuitState& cs, const TrackMsg& msg,
+                                    bool at_head) {
+  const auto it = cs.in_transit.find(msg.link_correlator);
+  if (it == cs.in_transit.end()) {
+    // The local pair was already resolved (e.g. EXPIRE raced the TRACK).
+    return;
+  }
+  InTransit& entry = it->second;
+
+  // Fidelity test rounds terminate here.
+  if (at_head && entry.is_test) {
+    const auto test = cs.tests.find(msg.link_correlator);
+    if (test != cs.tests.end()) {
+      test->second.have_track = true;
+      test->second.tracked = msg.outcome_state;
+      finish_test_round(cs, msg.link_correlator, test->second);
+    }
+    cs.in_transit.erase(it);
+    return;
+  }
+  if (!at_head && msg.test_round) {
+    // Measure in the announced basis and report to the head-end.
+    cs.demux.unassign(entry.request);
+    if (entry.qubit.valid() && !entry.measured && !entry.early_delivered) {
+      const PairCorrelator origin = msg.origin_correlator;
+      const CircuitId cid = cs.id;
+      const Basis basis = msg.test_basis;
+      const NodeId upstream = cs.upstream;
+      device_.measure(entry.qubit, basis,
+                      [this, cid, origin, basis, upstream](int o) {
+                        TestResultMsg result;
+                        result.circuit_id = cid;
+                        result.origin_correlator = origin;
+                        result.basis = basis;
+                        result.outcome = static_cast<std::uint8_t>(o);
+                        send(upstream, result);
+                      });
+    }
+    cs.in_transit.erase(it);
+    poke_adjacent_egps(cs);
+    return;
+  }
+
+  // Unassigned pair (far end had no active request): release our side.
+  if (!msg.request_id.valid() && !at_head) {
+    discard_in_transit(cs, msg.link_correlator, entry, "unassigned");
+    return;
+  }
+  if (at_head && !entry.request.valid()) {
+    // We originated an unassigned TRACK; the pair was already discarded
+    // locally at LINK time.
+    cs.in_transit.erase(it);
+    return;
+  }
+
+  // Cross-check (Appendix C "Demultiplexing"): both ends assigned this
+  // pair; mismatching assignments mean a transient desync — discard.
+  if (entry.request.valid() && msg.request_id.valid() &&
+      !Demultiplexer::cross_check(entry.request, msg.request_id)) {
+    ++counters_.cross_check_failures;
+    discard_in_transit(cs, msg.link_correlator, entry, "cross-check");
+    return;
+  }
+
+  entry.track_received = true;
+  entry.final_track = msg;
+  maybe_deliver(cs, msg.link_correlator);
+}
+
+void QnpEngine::maybe_deliver(CircuitState& cs,
+                              const PairCorrelator& correlator) {
+  const auto it = cs.in_transit.find(correlator);
+  if (it == cs.in_transit.end()) return;
+  InTransit& entry = it->second;
+  if (!entry.track_received) return;
+  if (entry.is_measure && !entry.measured) return;  // outcome still pending
+  deliver_pair(cs, correlator, entry);
+}
+
+void QnpEngine::deliver_pair(CircuitState& cs,
+                             const PairCorrelator& correlator,
+                             InTransit& entry) {
+  const bool at_head = cs.is_head();
+  const TrackMsg& msg = entry.final_track;
+
+  // Identity: the head's assignment is authoritative (DESIGN.md sec. 6).
+  const RequestId request_id = at_head ? entry.request : msg.request_id;
+  const std::uint64_t sequence =
+      at_head ? entry.sequence : msg.pair_sequence;
+  BellIndex state = msg.outcome_state;
+
+  const auto req_it = cs.requests.find(request_id);
+  const AppRequest* request =
+      req_it == cs.requests.end() ? nullptr : &req_it->second.request;
+
+  // Head-end: a surplus pair whose request already completed cannot be
+  // delivered to anyone.
+  if (at_head && request == nullptr) {
+    discard_in_transit(cs, correlator, entry, "request-gone");
+    return;
+  }
+
+  // Baseline comparison protocol (Fig. 10): the end-nodes read the true
+  // fidelity from the simulator and silently discard sub-threshold pairs.
+  // The verdict is evaluated once (first end to deliver) and cached on
+  // the pair so both ends act consistently — the oracle is already
+  // physically impossible, so we let it be a consistent oracle.
+  if (config_.decoherence == DecoherencePolicy::oracle_end_discard &&
+      !entry.measured && !entry.early_delivered) {
+    qdevice::PairPtr current = entry.pair;
+    if (entry.qubit.valid()) {
+      if (const auto binding = device_.registry().find(
+              qdevice::QubitEndpoint{node(), entry.qubit})) {
+        current = binding->pair;
+      }
+    }
+    if (current != nullptr) {
+      if (current->oracle_tag < 0) {
+        const double oracle = current->oracle_fidelity(state, sim_.now());
+        current->oracle_tag = (oracle >= cs.end_to_end_fidelity) ? 1 : 0;
+      }
+      if (current->oracle_tag == 0) {
+        ++counters_.oracle_discards;
+        discard_in_transit(cs, correlator, entry, "oracle-below-threshold");
+        return;
+      }
+    }
+  }
+
+  // Tail side of a MEASURE request that could not measure at LINK time
+  // (assignment raced the FORWARD): measure now.
+  if (!at_head && request != nullptr &&
+      request->type == RequestType::measure && !entry.measured &&
+      entry.qubit.valid()) {
+    entry.is_measure = true;
+    const CircuitId cid = cs.id;
+    const PairCorrelator corr = correlator;
+    device_.measure(entry.qubit, request->measure_basis,
+                    [this, cid, corr](int o) {
+                      auto* c = find_circuit(cid);
+                      if (c == nullptr) return;
+                      const auto e = c->in_transit.find(corr);
+                      if (e == c->in_transit.end()) return;
+                      e->second.measured = true;
+                      e->second.outcome = o;
+                      maybe_deliver(*c, corr);
+                    });
+    entry.qubit = QubitId::invalid();
+    return;  // redelivered once the outcome lands
+  }
+
+  // Pauli correction to the requested delivery state: physical at the
+  // head-end, frame-relabelling at the tail (Algorithms 2 and 5).
+  if (request != nullptr && request->final_state.has_value() &&
+      !entry.measured && !entry.early_delivered) {
+    const BellIndex target = *request->final_state;
+    if (at_head && entry.qubit.valid() && state != target) {
+      // Apply the physical correction, then re-enter delivery.
+      const CircuitId cid = cs.id;
+      const PairCorrelator corr = correlator;
+      entry.final_track.outcome_state = target;
+      device_.pauli_correct(entry.qubit, target, [this, cid, corr] {
+        auto* c = find_circuit(cid);
+        if (c == nullptr) return;
+        maybe_deliver(*c, corr);
+      });
+      return;
+    }
+    state = target;
+  }
+  // A measured qubit cannot be physically corrected, but the Pauli frame
+  // correction acts classically on the outcome: the recorded bit flips
+  // when the correction Pauli anticommutes with the measured basis.
+  if (request != nullptr && request->final_state.has_value() &&
+      entry.measured && at_head && entry.outcome >= 0) {
+    const BellIndex diff = state ^ *request->final_state;
+    bool flip = false;
+    switch (request->measure_basis) {
+      case Basis::z: flip = diff.x_bit(); break;
+      case Basis::x: flip = diff.z_bit(); break;
+      case Basis::y: flip = diff.x_bit() != diff.z_bit(); break;
+    }
+    if (flip) entry.outcome ^= 1;
+    state = *request->final_state;
+  } else if (request != nullptr && request->final_state.has_value() &&
+             entry.measured) {
+    // Tail side: the head's (physical or classical) correction already
+    // moves the pair into the requested frame; only relabel.
+    state = *request->final_state;
+  }
+
+  PairDelivery out;
+  out.circuit = cs.id;
+  out.request = request_id;
+  out.sequence = sequence;
+  out.state = state;
+  out.qubit = entry.qubit;
+  out.measure_outcome = entry.outcome;
+  out.tracking_pending = false;
+  // Swaps re-home the qubit onto the merged end-to-end pair; resolve the
+  // CURRENT binding so the oracle handle refers to the delivered pair,
+  // not the consumed link-pair.
+  out.pair = entry.pair;
+  if (entry.qubit.valid()) {
+    if (const auto binding = device_.registry().find(
+            qdevice::QubitEndpoint{node(), entry.qubit})) {
+      out.pair = binding->pair;
+    }
+  }
+  out.delivered_at = sim_.now();
+
+  const EndpointId ep = at_head ? cs.head_endpoint : cs.tail_endpoint;
+  const auto* handlers = handlers_for(ep);
+  if (entry.early_delivered) {
+    // Tracking info completes an earlier delivery.
+    if (handlers != nullptr && handlers->on_tracking) {
+      handlers->on_tracking(out);
+    }
+  } else {
+    if (entry.qubit.valid()) app_qubits_[entry.qubit] = cs.id;
+    if (handlers != nullptr && handlers->on_pair) handlers->on_pair(out);
+  }
+  ++counters_.pairs_delivered;
+  cs.in_transit.erase(correlator);
+
+  if (at_head) head_count_delivery(cs, request_id);
+}
+
+void QnpEngine::head_count_delivery(CircuitState& cs, RequestId request_id) {
+  const auto it = cs.requests.find(request_id);
+  if (it == cs.requests.end()) return;
+  RequestState& state = it->second;
+  if (state.delivered == 0) state.first_delivery_at = sim_.now();
+  ++state.delivered;
+  if (state.request.num_pairs > 0 &&
+      state.delivered >= state.request.num_pairs && !state.completed) {
+    complete_request(cs, state);
+  }
+}
+
+void QnpEngine::complete_request(CircuitState& cs, RequestState& state) {
+  state.completed = true;
+  ++counters_.requests_completed;
+  cs.demux.remove_request(state.request.id);
+  cs.committed_eer =
+      std::max(0.0, cs.committed_eer - state.request.min_eer());
+  cs.current_eer = cs.committed_eer;
+  if (cs.active_requests > 0) --cs.active_requests;
+  if (state.request.num_pairs == 0 && cs.rate_based_requests > 0) {
+    --cs.rate_based_requests;
+  }
+
+  CompleteMsg msg;
+  msg.circuit_id = cs.id;
+  msg.request_id = state.request.id;
+  msg.head_end_identifier = state.request.head_endpoint;
+  msg.tail_end_identifier = state.request.tail_endpoint;
+  msg.rate = cs.current_eer;
+  send(cs.downstream, msg);
+
+  refresh_downstream_link_request(cs);
+
+  const RequestId finished = state.request.id;
+  if (const auto* handlers = handlers_for(cs.head_endpoint);
+      handlers != nullptr && handlers->on_complete) {
+    handlers->on_complete(cs.id, finished);
+  }
+  cs.requests.erase(finished);  // invalidates `state`
+  admit_shaped_requests(cs);
+}
+
+// ---------------------------------------------------------------------------
+// Fidelity test rounds.
+// ---------------------------------------------------------------------------
+
+void QnpEngine::handle_test_result(NodeId from, const TestResultMsg& msg) {
+  auto* cs = find_circuit(msg.circuit_id);
+  if (cs == nullptr) return;
+  if (!cs->is_head()) {
+    // Relay toward the head-end.
+    send(from == cs->downstream ? cs->upstream : cs->downstream, msg);
+    return;
+  }
+  const auto it = cs->tests.find(msg.origin_correlator);
+  if (it == cs->tests.end()) return;
+  it->second.tail_outcome = msg.outcome;
+  it->second.have_tail = true;
+  finish_test_round(*cs, msg.origin_correlator, it->second);
+}
+
+void QnpEngine::finish_test_round(CircuitState& cs,
+                                  const PairCorrelator& corr,
+                                  TestRound& round) {
+  if (round.head_outcome < 0 || !round.have_tail || !round.have_track) {
+    return;
+  }
+  cs.estimator.record(round.tracked, round.basis, round.head_outcome,
+                      round.tail_outcome);
+  ++counters_.test_rounds_completed;
+  cs.tests.erase(corr);
+}
+
+// ---------------------------------------------------------------------------
+// Message dispatch and misc.
+// ---------------------------------------------------------------------------
+
+void QnpEngine::on_message(NodeId from, const Message& msg) {
+  struct Visitor {
+    QnpEngine& self;
+    NodeId from;
+    void operator()(const ForwardMsg& m) { self.handle_forward(from, m); }
+    void operator()(const CompleteMsg& m) { self.handle_complete(from, m); }
+    void operator()(const TrackMsg& m) { self.handle_track(from, m); }
+    void operator()(const ExpireMsg& m) { self.handle_expire(from, m); }
+    void operator()(const InstallMsg& m) { self.handle_install(from, m); }
+    void operator()(const InstallAckMsg& m) {
+      self.handle_install_ack(from, m);
+    }
+    void operator()(const TeardownMsg& m) { self.handle_teardown(from, m); }
+    void operator()(const KeepaliveMsg&) {}
+    void operator()(const TestResultMsg& m) {
+      self.handle_test_result(from, m);
+    }
+  };
+  std::visit(Visitor{*this, from}, msg);
+}
+
+void QnpEngine::release_app_qubit(QubitId qubit) {
+  const auto it = app_qubits_.find(qubit);
+  QNETP_ASSERT_MSG(it != app_qubits_.end(), "unknown application qubit");
+  const CircuitId cid = it->second;
+  app_qubits_.erase(it);
+  device_.discard(qubit);
+  if (auto* cs = find_circuit(cid)) poke_adjacent_egps(*cs);
+}
+
+void QnpEngine::measure_app_qubit(QubitId qubit, Basis basis,
+                                  std::function<void(int)> done) {
+  const auto it = app_qubits_.find(qubit);
+  QNETP_ASSERT_MSG(it != app_qubits_.end(), "unknown application qubit");
+  const CircuitId cid = it->second;
+  app_qubits_.erase(it);
+  device_.measure(qubit, basis, [this, cid, done = std::move(done)](int o) {
+    if (auto* cs = find_circuit(cid)) poke_adjacent_egps(*cs);
+    if (done) done(o);
+  });
+}
+
+void QnpEngine::gc_records(CircuitState& cs) {
+  const Duration ttl =
+      std::max(cs.cutoff * 8.0, Duration::seconds(1.0));
+  const TimePoint floor = (sim_.now().count_ps() > ttl.count_ps())
+                              ? (sim_.now() - ttl)
+                              : TimePoint::origin();
+  auto sweep = [&](auto& map) {
+    if (map.size() < 64) return;
+    for (auto it = map.begin(); it != map.end();) {
+      if (it->second.created < floor) {
+        it = map.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+  sweep(cs.up_records);
+  sweep(cs.down_records);
+  auto sweep_times = [&](auto& map) {
+    if (map.size() < 64) return;
+    for (auto it = map.begin(); it != map.end();) {
+      if (it->second < floor) {
+        it = map.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+  sweep_times(cs.up_expire_records);
+  sweep_times(cs.down_expire_records);
+  auto sweep_tests = [&](auto& map) {
+    if (map.size() < 64) return;
+    for (auto it = map.begin(); it != map.end();) {
+      if (it->second.created < floor) {
+        it = map.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+  sweep_tests(cs.tests);
+}
+
+}  // namespace qnetp::qnp

@@ -1,0 +1,58 @@
+#include "qnp/fidelity_estimator.hpp"
+
+#include "qbase/assert.hpp"
+
+namespace qnetp::qnp {
+
+using qstate::Basis;
+using qstate::BellIndex;
+
+int FidelityEstimator::correlation_sign(BellIndex b, Basis basis) {
+  // Correlations of |B_xz>: <ZZ> = +1 for Phi (x=0), -1 for Psi (x=1).
+  // <XX> = +1 for Phi+/Psi+ (z=0), -1 for Phi-/Psi- (z=1).
+  // <YY> = -<XX><ZZ> ... concretely: Phi+: -1, Psi+: +1, Phi-: +1,
+  // Psi-: -1. Derived from (x, z):
+  const int zz = b.x_bit() ? -1 : +1;
+  const int xx = b.z_bit() ? -1 : +1;
+  const int yy = -zz * xx;
+  switch (basis) {
+    case Basis::z: return zz;
+    case Basis::x: return xx;
+    case Basis::y: return yy;
+  }
+  QNETP_ASSERT_MSG(false, "invalid basis");
+  return 0;
+}
+
+void FidelityEstimator::record(BellIndex tracked, Basis basis,
+                               int outcome_head, int outcome_tail) {
+  QNETP_ASSERT(outcome_head == 0 || outcome_head == 1);
+  QNETP_ASSERT(outcome_tail == 0 || outcome_tail == 1);
+  auto& stats = per_basis_[static_cast<std::size_t>(basis)];
+  ++stats.rounds;
+  ++rounds_;
+  // Raw correlation of this round: +1 if outcomes agree, -1 otherwise.
+  const int raw = (outcome_head == outcome_tail) ? +1 : -1;
+  // Normalise by the tracked state's expected sign so rounds from pairs
+  // tracked as different Bell states can be pooled: for a perfect pair
+  // the normalised value is always +1.
+  stats.agree_minus_disagree += raw * correlation_sign(tracked, basis);
+}
+
+std::uint64_t FidelityEstimator::rounds(Basis basis) const {
+  return per_basis_[static_cast<std::size_t>(basis)].rounds;
+}
+
+double FidelityEstimator::estimate() const {
+  double sum = 0.0;
+  for (const auto& stats : per_basis_) {
+    if (stats.rounds == 0) return 0.0;
+    sum += static_cast<double>(stats.agree_minus_disagree) /
+           static_cast<double>(stats.rounds);
+  }
+  // F = (1 + sum_b s_b <PbPb>) / 4 with the signs absorbed into the
+  // normalised correlators.
+  return (1.0 + sum) / 4.0;
+}
+
+}  // namespace qnetp::qnp

@@ -1,0 +1,47 @@
+// Fidelity estimation from test-round measurement statistics
+// (Sec. 4.1 "Fidelity test rounds").
+//
+// The network cannot read a pair's fidelity; instead some pairs are
+// consumed as test rounds: both ends measure in the same random Pauli
+// basis and the head-end correlates the outcomes. For a pair tracked as
+// Bell state B, F = (1 + s_x<XX> + s_y<YY> + s_z<ZZ>) / 4 where the signs
+// s_b are the Pauli correlation signs of B. The estimator accumulates
+// per-basis correlator estimates over the test rounds of one circuit.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "qstate/bell.hpp"
+#include "qstate/two_qubit_state.hpp"
+
+namespace qnetp::qnp {
+
+class FidelityEstimator {
+ public:
+  /// Record one completed test round: the tracked Bell state of the pair,
+  /// the shared basis and both raw outcomes (0/1).
+  void record(qstate::BellIndex tracked, qstate::Basis basis,
+              int outcome_head, int outcome_tail);
+
+  std::uint64_t rounds() const { return rounds_; }
+  std::uint64_t rounds(qstate::Basis basis) const;
+
+  /// Current fidelity estimate; requires at least one sample in every
+  /// basis (returns 0 otherwise, callers check sample counts).
+  double estimate() const;
+
+  /// Expected Pauli correlation sign (<P x P>) of Bell state `b` in basis
+  /// `basis` (+1 or -1).
+  static int correlation_sign(qstate::BellIndex b, qstate::Basis basis);
+
+ private:
+  struct BasisStats {
+    std::uint64_t rounds = 0;
+    std::int64_t agree_minus_disagree = 0;  // sum of normalised correlations
+  };
+  std::array<BasisStats, 3> per_basis_{};
+  std::uint64_t rounds_ = 0;
+};
+
+}  // namespace qnetp::qnp

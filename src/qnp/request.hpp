@@ -1,0 +1,89 @@
+// Application-facing request types and the per-request bookkeeping the
+// end-nodes maintain (Sec. 3.2 "Service delivered to higher layers").
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "netmsg/message.hpp"
+#include "qbase/ids.hpp"
+#include "qbase/units.hpp"
+#include "qdevice/entangled_pair.hpp"
+#include "qstate/bell.hpp"
+#include "qstate/two_qubit_state.hpp"
+
+namespace qnetp::qnp {
+
+/// A user request for entangled pairs between two end-points.
+struct AppRequest {
+  RequestId id;
+  EndpointId head_endpoint;
+  EndpointId tail_endpoint;
+  netmsg::RequestType type = netmsg::RequestType::keep;
+  qstate::Basis measure_basis = qstate::Basis::z;
+
+  /// Number of pairs (N); 0 together with rate > 0 means a pure
+  /// rate-based "measure directly" request.
+  std::uint64_t num_pairs = 0;
+  /// Requested rate R in pairs/s (rate-based requests).
+  double rate = 0.0;
+  /// Deadline T; zero = no deadline (Sec. 3.2 "class of service: time").
+  Duration deadline = Duration::zero();
+  /// Create-and-keep window: last pair at most delta_t after the first.
+  Duration delta_t = Duration::zero();
+  /// Desired delivery Bell state (Pauli-corrected at the head-end).
+  std::optional<qstate::BellIndex> final_state;
+
+  /// The minimum end-to-end rate this request needs (Sec. 4.1 "Policing
+  /// and shaping"): measure directly: N/T, R, or 0 with no deadline;
+  /// create and keep: N/delta_t.
+  double min_eer() const {
+    if (type == netmsg::RequestType::keep && delta_t > Duration::zero() &&
+        num_pairs > 0) {
+      return static_cast<double>(num_pairs) / delta_t.as_seconds();
+    }
+    if (rate > 0.0) return rate;
+    if (deadline > Duration::zero() && num_pairs > 0) {
+      return static_cast<double>(num_pairs) / deadline.as_seconds();
+    }
+    return 0.0;
+  }
+};
+
+/// One pair handed to the application.
+struct PairDelivery {
+  CircuitId circuit;
+  RequestId request;
+  std::uint64_t sequence = 0;  ///< pair number within the request
+  /// Final Bell frame of the pair (as tracked; what the app must assume).
+  qstate::BellIndex state;
+  /// The local qubit (valid for KEEP and EARLY deliveries: the app now
+  /// owns it and must measure/discard it).
+  QubitId qubit;
+  /// Measurement outcome for MEASURE requests (-1 otherwise).
+  int measure_outcome = -1;
+  /// True for EARLY deliveries that still await tracking confirmation.
+  bool tracking_pending = false;
+  /// Simulator-internal handle for oracle audits (never used by protocol
+  /// logic).
+  qdevice::PairPtr pair;
+  TimePoint delivered_at;
+};
+
+/// Callbacks an application registers for one endpoint identifier.
+struct EndpointHandlers {
+  /// A pair (or measurement outcome) is delivered.
+  std::function<void(const PairDelivery&)> on_pair;
+  /// EARLY only: tracking information arrived for a previously delivered
+  /// pair.
+  std::function<void(const PairDelivery&)> on_tracking;
+  /// EARLY only: a previously delivered pair was expired by the network.
+  std::function<void(CircuitId, RequestId, QubitId)> on_expire;
+  /// All pairs of the request have been delivered.
+  std::function<void(CircuitId, RequestId)> on_complete;
+  /// The circuit failed (signalling teardown / liveness loss).
+  std::function<void(CircuitId, const std::string&)> on_circuit_down;
+};
+
+}  // namespace qnetp::qnp

@@ -1,0 +1,69 @@
+#include "qstate/analytic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "qbase/assert.hpp"
+
+namespace qnetp::qstate {
+
+double werner_swap_fidelity(double f1, double f2) {
+  QNETP_ASSERT(f1 >= 0.0 && f1 <= 1.0 && f2 >= 0.0 && f2 <= 1.0);
+  // Swapping Werner(F1) and Werner(F2) with a perfect Bell measurement
+  // yields fidelity F1*F2 + (1-F1)(1-F2)/3.
+  return f1 * f2 + (1.0 - f1) * (1.0 - f2) / 3.0;
+}
+
+double werner_after_depolarizing(double f, double p) {
+  QNETP_ASSERT(p >= 0.0 && p <= 1.0);
+  // One-sided depolarizing takes |B><B| to (1-p)|B><B| + p I/4 restricted
+  // appropriately; on the fidelity it acts as F -> (1-p) F + p/4.
+  return (1.0 - p) * f + p * 0.25;
+}
+
+double werner_after_readout_error(double f, double q) {
+  QNETP_ASSERT(q >= 0.0 && q <= 0.5);
+  // Each announced bit flips independently with probability q; a wrong
+  // announcement moves the pair's tracked frame to an orthogonal Bell
+  // state (fidelity for Werner: (1-F)/3 each).
+  const double p_correct = (1.0 - q) * (1.0 - q);
+  return p_correct * f + (1.0 - p_correct) * (1.0 - f) / 3.0;
+}
+
+namespace {
+double combined_rate(Duration t2_left, Duration t2_right) {
+  double rate = 0.0;
+  if (t2_left != Duration::max()) rate += 1.0 / t2_left.as_seconds();
+  if (t2_right != Duration::max()) rate += 1.0 / t2_right.as_seconds();
+  return rate;
+}
+}  // namespace
+
+double werner_after_dephasing(double f, Duration dt, Duration t2_left,
+                              Duration t2_right) {
+  QNETP_ASSERT(!dt.is_negative());
+  const double rate = combined_rate(t2_left, t2_right);
+  if (rate == 0.0 || dt.is_zero()) return f;
+  const double k = std::exp(-dt.as_seconds() * rate);
+  // Dephasing mixes B with B^Z (its phase-flipped partner). For a Werner
+  // input the partner weight is (1-f)/3:
+  const double partner = (1.0 - f) / 3.0;
+  return (f + partner) / 2.0 + k * (f - partner) / 2.0;
+}
+
+Duration dephasing_time_to_fidelity(double f0, double f_target,
+                                    Duration t2_left, Duration t2_right) {
+  QNETP_ASSERT(f0 > f_target);
+  const double rate = combined_rate(t2_left, t2_right);
+  if (rate == 0.0) return Duration::max();
+  const double partner = (1.0 - f0) / 3.0;
+  const double mid = (f0 + partner) / 2.0;
+  const double amp = (f0 - partner) / 2.0;
+  // f(t) = mid + amp * exp(-rate t); solve f(t) = f_target.
+  if (f_target <= mid || amp <= 0.0) return Duration::max();
+  const double k = (f_target - mid) / amp;
+  QNETP_ASSERT(k > 0.0 && k <= 1.0);
+  return Duration::seconds(-std::log(k) / rate);
+}
+
+}  // namespace qnetp::qstate

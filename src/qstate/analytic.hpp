@@ -1,0 +1,39 @@
+// Analytic fidelity algebra used by the control plane.
+//
+// The routing protocol (Sec. 5 of the paper) computes per-link fidelity
+// requirements "by simulating the worst case scenario where every
+// link-pair is swapped just before its cutoff timer pops". These helpers
+// provide the closed-form pieces of that computation on Werner-like
+// states; the exact density-matrix machinery validates them in tests.
+#pragma once
+
+#include "qbase/units.hpp"
+
+namespace qnetp::qstate {
+
+/// Fidelity after an ideal entanglement swap of two Werner pairs.
+double werner_swap_fidelity(double f1, double f2);
+
+/// Effect of a depolarizing channel with probability p applied to one
+/// qubit of a Werner pair.
+double werner_after_depolarizing(double f, double p);
+
+/// Effect of readout-announcement errors: with probability q per outcome
+/// bit the tracked Bell frame is wrong, which behaves like a classical
+/// Pauli error on the pair.
+double werner_after_readout_error(double f, double q);
+
+/// Fidelity of a Werner pair after both qubits dephase for `dt` with
+/// transverse times t2_left / t2_right (Duration::max() = no decay).
+/// Exact for a {B, B^Z} mixture; slightly optimistic for full Werner --
+/// the control plane compensates with its worst-case idle assumption.
+double werner_after_dephasing(double f, Duration dt, Duration t2_left,
+                              Duration t2_right);
+
+/// Time for a Werner pair with initial fidelity f0 to drop to fidelity
+/// `f_target` under two-sided dephasing with the given T2s. Returns
+/// Duration::max() if it never drops that far.
+Duration dephasing_time_to_fidelity(double f0, double f_target,
+                                    Duration t2_left, Duration t2_right);
+
+}  // namespace qnetp::qstate

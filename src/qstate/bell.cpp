@@ -1,0 +1,47 @@
+#include "qstate/bell.hpp"
+
+#include "qbase/assert.hpp"
+
+namespace qnetp::qstate {
+
+namespace {
+constexpr double inv_sqrt2 = 0.70710678118654752440;
+}
+
+Vec4 bell_vector(BellIndex idx) {
+  switch (idx.code()) {
+    case 0:  // Phi+ = (|00> + |11>)/sqrt2
+      return Vec4{inv_sqrt2, 0, 0, inv_sqrt2};
+    case 1:  // Psi+ = (|01> + |10>)/sqrt2
+      return Vec4{0, inv_sqrt2, inv_sqrt2, 0};
+    case 2:  // Phi- = (|00> - |11>)/sqrt2
+      return Vec4{inv_sqrt2, 0, 0, -inv_sqrt2};
+    case 3:  // Psi- = (|01> - |10>)/sqrt2
+      return Vec4{0, inv_sqrt2, -inv_sqrt2, 0};
+    default:
+      QNETP_ASSERT_MSG(false, "invalid bell index");
+  }
+  return Vec4{};
+}
+
+Mat4 bell_projector(BellIndex idx) { return bell_vector(idx).outer(); }
+
+Mat2 pauli_i() { return Mat2{1, 0, 0, 1}; }
+Mat2 pauli_x() { return Mat2{0, 1, 1, 0}; }
+Mat2 pauli_y() {
+  return Mat2{0, Cplx{0, -1}, Cplx{0, 1}, 0};
+}
+Mat2 pauli_z() { return Mat2{1, 0, 0, -1}; }
+
+Mat2 pauli_for(BellIndex idx) {
+  Mat2 p = pauli_i();
+  if (idx.x_bit()) p = pauli_x() * p;
+  if (idx.z_bit()) p = pauli_z() * p;
+  return p;
+}
+
+Mat2 pauli_correction(BellIndex from, BellIndex to) {
+  return pauli_for(from ^ to);
+}
+
+}  // namespace qnetp::qstate

@@ -1,0 +1,112 @@
+#include "qstate/channels.hpp"
+
+#include <cmath>
+
+#include "qbase/assert.hpp"
+#include "qstate/bell.hpp"
+
+namespace qnetp::qstate {
+
+bool Channel::is_trace_preserving(double tol) const {
+  Mat2 acc = Mat2::zero();
+  for (const auto& k : kraus_) acc = acc + k.adjoint() * k;
+  return acc.approx_equal(Mat2::identity(), tol);
+}
+
+Channel Channel::after(const Channel& other) const {
+  std::vector<Mat2> combined;
+  combined.reserve(kraus_.size() * other.kraus_.size());
+  for (const auto& a : kraus_)
+    for (const auto& b : other.kraus_) combined.push_back(a * b);
+  return Channel(std::move(combined));
+}
+
+Mat2 Channel::apply(const Mat2& rho) const {
+  Mat2 out = Mat2::zero();
+  for (const auto& k : kraus_) out = out + k * rho * k.adjoint();
+  return out;
+}
+
+Mat4 Channel::apply_to_side(const Mat4& rho, int side) const {
+  QNETP_ASSERT(side == 0 || side == 1);
+  Mat4 out = Mat4::zero();
+  const Mat2 id = Mat2::identity();
+  for (const auto& k : kraus_) {
+    const Mat4 big = (side == 0) ? kron(k, id) : kron(id, k);
+    out += big * rho * big.adjoint();
+  }
+  return out;
+}
+
+Channel Channel::identity() { return Channel({Mat2::identity()}); }
+
+Channel Channel::dephasing(double lambda) {
+  QNETP_ASSERT(lambda >= 0.0 && lambda <= 1.0);
+  // K0 = sqrt(1 - lambda/2) I, K1 = sqrt(lambda/2) Z: off-diagonals scale
+  // by (1 - lambda).
+  const double p = lambda / 2.0;
+  return Channel({pauli_i() * std::sqrt(1.0 - p), pauli_z() * std::sqrt(p)});
+}
+
+Channel Channel::amplitude_damping(double gamma) {
+  QNETP_ASSERT(gamma >= 0.0 && gamma <= 1.0);
+  const Mat2 k0{1, 0, 0, std::sqrt(1.0 - gamma)};
+  const Mat2 k1{0, std::sqrt(gamma), 0, 0};
+  return Channel({k0, k1});
+}
+
+Channel Channel::depolarizing(double p) {
+  QNETP_ASSERT(p >= 0.0 && p <= 1.0);
+  return pauli_channel(1.0 - 0.75 * p, p / 4.0, p / 4.0, p / 4.0);
+}
+
+Channel Channel::bit_flip(double p) {
+  QNETP_ASSERT(p >= 0.0 && p <= 1.0);
+  return Channel({pauli_i() * std::sqrt(1.0 - p), pauli_x() * std::sqrt(p)});
+}
+
+Channel Channel::pauli_channel(double pi, double px, double py, double pz) {
+  QNETP_ASSERT(pi >= -1e-12 && px >= -1e-12 && py >= -1e-12 && pz >= -1e-12);
+  QNETP_ASSERT(std::abs(pi + px + py + pz - 1.0) < 1e-9);
+  std::vector<Mat2> kraus;
+  if (pi > 0) kraus.push_back(pauli_i() * std::sqrt(pi));
+  if (px > 0) kraus.push_back(pauli_x() * std::sqrt(px));
+  if (py > 0) kraus.push_back(pauli_y() * std::sqrt(py));
+  if (pz > 0) kraus.push_back(pauli_z() * std::sqrt(pz));
+  return Channel(std::move(kraus));
+}
+
+Channel Channel::unitary(const Mat2& u) { return Channel({u}); }
+
+Channel MemoryDecay::for_interval(Duration dt) const {
+  QNETP_ASSERT(!dt.is_negative());
+  if (dt.is_zero()) return Channel::identity();
+
+  const double dt_s = dt.as_seconds();
+  Channel result = Channel::identity();
+
+  double amp_coherence = 1.0;  // off-diagonal factor contributed by T1
+  if (t1 != Duration::max()) {
+    const double gamma = 1.0 - std::exp(-dt_s / t1.as_seconds());
+    result = Channel::amplitude_damping(gamma).after(result);
+    amp_coherence = std::sqrt(1.0 - gamma);  // = exp(-dt/(2 T1))
+  }
+  if (t2 != Duration::max()) {
+    // Total transverse decay must be exp(-dt/T2); amplitude damping already
+    // contributes exp(-dt/(2 T1)), the rest is pure dephasing.
+    const double target = std::exp(-dt_s / t2.as_seconds());
+    QNETP_ASSERT_MSG(amp_coherence >= target - 1e-12,
+                     "require T2 <= 2*T1 for a physical decay model");
+    const double residual = std::min(1.0, target / amp_coherence);
+    const double lambda = 1.0 - residual;
+    result = Channel::dephasing(lambda).after(result);
+  }
+  return result;
+}
+
+double MemoryDecay::coherence_factor(Duration dt) const {
+  if (t2 == Duration::max()) return 1.0;
+  return std::exp(-dt.as_seconds() / t2.as_seconds());
+}
+
+}  // namespace qnetp::qstate

@@ -1,0 +1,74 @@
+// Single-qubit CPTP noise channels and their application to pair states.
+//
+// All decoherence and gate noise in the simulator is expressed as Kraus
+// channels applied to one side of a two-qubit density matrix. The set here
+// covers the NV-centre noise processes the paper's evaluation exercises:
+// pure dephasing (T2*), amplitude damping (T1), depolarizing (gate errors)
+// and bit flips (readout misassignment is handled classically, see swap.hpp).
+#pragma once
+
+#include <vector>
+
+#include "qbase/units.hpp"
+#include "qstate/complex_mat.hpp"
+
+namespace qnetp::qstate {
+
+/// A CPTP map given by its Kraus operators: rho -> sum_k K rho K^dagger.
+class Channel {
+ public:
+  Channel() = default;
+  explicit Channel(std::vector<Mat2> kraus) : kraus_(std::move(kraus)) {}
+
+  const std::vector<Mat2>& kraus() const { return kraus_; }
+  bool empty() const { return kraus_.empty(); }
+
+  /// Verify sum_k K^dagger K == I within tol (trace preservation).
+  bool is_trace_preserving(double tol = 1e-9) const;
+
+  /// Compose: this after other.
+  Channel after(const Channel& other) const;
+
+  /// Apply to a single-qubit density matrix.
+  Mat2 apply(const Mat2& rho) const;
+
+  /// Apply to one side of a pair state: side 0 = left (first tensor
+  /// factor), side 1 = right.
+  Mat4 apply_to_side(const Mat4& rho, int side) const;
+
+  // --- Factories -----------------------------------------------------------
+
+  static Channel identity();
+  /// Pure dephasing: off-diagonals shrink by (1 - lambda); lambda in [0,1].
+  static Channel dephasing(double lambda);
+  /// Amplitude damping toward |0> with probability gamma.
+  static Channel amplitude_damping(double gamma);
+  /// Depolarizing: rho -> (1-p) rho + p I/2.
+  static Channel depolarizing(double p);
+  /// Bit flip: X with probability p.
+  static Channel bit_flip(double p);
+  /// General Pauli channel with probabilities (pi, px, py, pz) summing to 1.
+  static Channel pauli_channel(double pi, double px, double py, double pz);
+  /// Unitary channel.
+  static Channel unitary(const Mat2& u);
+
+ private:
+  std::vector<Mat2> kraus_;
+};
+
+/// Time-dependent memory decoherence with relaxation time T1 and total
+/// transverse coherence time T2 (T2 <= 2*T1). Produces the channel for an
+/// idle interval dt: amplitude damping with gamma = 1 - exp(-dt/T1)
+/// composed with pure dephasing so the total off-diagonal decay is
+/// exp(-dt/T2). T1/T2 of Duration::max() mean "no decay".
+struct MemoryDecay {
+  Duration t1 = Duration::max();
+  Duration t2 = Duration::max();
+
+  Channel for_interval(Duration dt) const;
+
+  /// Off-diagonal (coherence) decay factor over dt: exp(-dt/T2).
+  double coherence_factor(Duration dt) const;
+};
+
+}  // namespace qnetp::qstate

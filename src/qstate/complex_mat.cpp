@@ -1,0 +1,227 @@
+#include "qstate/complex_mat.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace qnetp::qstate {
+
+Mat2 Mat2::operator+(const Mat2& o) const {
+  Mat2 r;
+  for (std::size_t i = 0; i < 4; ++i) r.m_[i] = m_[i] + o.m_[i];
+  return r;
+}
+
+Mat2 Mat2::operator-(const Mat2& o) const {
+  Mat2 r;
+  for (std::size_t i = 0; i < 4; ++i) r.m_[i] = m_[i] - o.m_[i];
+  return r;
+}
+
+Mat2 Mat2::operator*(const Mat2& o) const {
+  Mat2 r;
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 2; ++j) {
+      Cplx acc = 0;
+      for (std::size_t k = 0; k < 2; ++k) acc += (*this)(i, k) * o(k, j);
+      r(i, j) = acc;
+    }
+  return r;
+}
+
+Mat2 Mat2::operator*(Cplx k) const {
+  Mat2 r;
+  for (std::size_t i = 0; i < 4; ++i) r.m_[i] = m_[i] * k;
+  return r;
+}
+
+Mat2 Mat2::adjoint() const {
+  Mat2 r;
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 2; ++j) r(i, j) = std::conj((*this)(j, i));
+  return r;
+}
+
+double Mat2::frobenius_norm() const {
+  double acc = 0;
+  for (const auto& x : m_) acc += std::norm(x);
+  return std::sqrt(acc);
+}
+
+bool Mat2::approx_equal(const Mat2& o, double tol) const {
+  for (std::size_t i = 0; i < 4; ++i)
+    if (std::abs(m_[i] - o.m_[i]) > tol) return false;
+  return true;
+}
+
+std::string Mat2::to_string() const {
+  char buf[256];
+  std::snprintf(buf, sizeof buf, "[[%.4f%+.4fi, %.4f%+.4fi],[%.4f%+.4fi, %.4f%+.4fi]]",
+                m_[0].real(), m_[0].imag(), m_[1].real(), m_[1].imag(),
+                m_[2].real(), m_[2].imag(), m_[3].real(), m_[3].imag());
+  return buf;
+}
+
+Mat4 Mat4::identity() {
+  Mat4 r;
+  for (std::size_t i = 0; i < 4; ++i) r(i, i) = 1;
+  return r;
+}
+
+Mat4 Mat4::operator+(const Mat4& o) const {
+  Mat4 r;
+  for (std::size_t i = 0; i < 16; ++i) r.m_[i] = m_[i] + o.m_[i];
+  return r;
+}
+
+Mat4 Mat4::operator-(const Mat4& o) const {
+  Mat4 r;
+  for (std::size_t i = 0; i < 16; ++i) r.m_[i] = m_[i] - o.m_[i];
+  return r;
+}
+
+Mat4 Mat4::operator*(const Mat4& o) const {
+  Mat4 r;
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 4; ++j) {
+      Cplx acc = 0;
+      for (std::size_t k = 0; k < 4; ++k) acc += (*this)(i, k) * o(k, j);
+      r(i, j) = acc;
+    }
+  return r;
+}
+
+Mat4 Mat4::operator*(Cplx k) const {
+  Mat4 r;
+  for (std::size_t i = 0; i < 16; ++i) r.m_[i] = m_[i] * k;
+  return r;
+}
+
+Mat4& Mat4::operator+=(const Mat4& o) {
+  for (std::size_t i = 0; i < 16; ++i) m_[i] += o.m_[i];
+  return *this;
+}
+
+Mat4 Mat4::adjoint() const {
+  Mat4 r;
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 4; ++j) r(i, j) = std::conj((*this)(j, i));
+  return r;
+}
+
+Cplx Mat4::trace() const { return m_[0] + m_[5] + m_[10] + m_[15]; }
+
+double Mat4::frobenius_norm() const {
+  double acc = 0;
+  for (const auto& x : m_) acc += std::norm(x);
+  return std::sqrt(acc);
+}
+
+bool Mat4::approx_equal(const Mat4& o, double tol) const {
+  for (std::size_t i = 0; i < 16; ++i)
+    if (std::abs(m_[i] - o.m_[i]) > tol) return false;
+  return true;
+}
+
+bool Mat4::is_density_matrix(double tol) const {
+  // Hermitian.
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 4; ++j)
+      if (std::abs((*this)(i, j) - std::conj((*this)(j, i))) > tol)
+        return false;
+  // Unit trace.
+  if (std::abs(trace() - Cplx{1, 0}) > tol) return false;
+  // Positive semidefinite: all leading principal minors of a Hermitian
+  // matrix are insufficient in general; instead check via eigenvalue lower
+  // bound using the Gershgorin-refined power-iteration-free test:
+  // a Hermitian matrix is PSD iff rho + tol*I passes a Cholesky
+  // factorisation.
+  Mat4 a = *this;
+  for (std::size_t i = 0; i < 4; ++i) a(i, i) += tol;
+  // Complex Cholesky (LL^dagger), failing on non-positive pivot.
+  Mat4 l = Mat4::zero();
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      Cplx sum = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) sum -= l(i, k) * std::conj(l(j, k));
+      if (i == j) {
+        const double d = sum.real();
+        if (d < 0 || std::abs(sum.imag()) > tol) return false;
+        l(i, i) = std::sqrt(d);
+      } else {
+        if (std::abs(l(j, j)) < 1e-300) {
+          // Zero pivot: the column must be zero too for PSD.
+          if (std::abs(sum) > tol) return false;
+          l(i, j) = 0;
+        } else {
+          l(i, j) = sum / l(j, j);
+        }
+      }
+    }
+  }
+  return true;
+}
+
+std::string Mat4::to_string() const {
+  std::string s = "[";
+  char buf[64];
+  for (std::size_t i = 0; i < 4; ++i) {
+    s += "[";
+    for (std::size_t j = 0; j < 4; ++j) {
+      std::snprintf(buf, sizeof buf, "%.4f%+.4fi", (*this)(i, j).real(),
+                    (*this)(i, j).imag());
+      s += buf;
+      if (j < 3) s += ", ";
+    }
+    s += "]";
+    if (i < 3) s += ",\n ";
+  }
+  s += "]";
+  return s;
+}
+
+double Vec4::norm2() const {
+  double acc = 0;
+  for (const auto& x : v_) acc += std::norm(x);
+  return acc;
+}
+
+Vec4 Vec4::normalized() const {
+  const double n = std::sqrt(norm2());
+  Vec4 r = *this;
+  for (auto& x : r.v_) x /= n;
+  return r;
+}
+
+Mat4 Vec4::outer() const {
+  Mat4 r;
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 4; ++j) r(i, j) = v_[i] * std::conj(v_[j]);
+  return r;
+}
+
+Cplx Vec4::dot(const Vec4& o) const {
+  Cplx acc = 0;
+  for (std::size_t i = 0; i < 4; ++i) acc += std::conj(v_[i]) * o.v_[i];
+  return acc;
+}
+
+Mat4 kron(const Mat2& left, const Mat2& right) {
+  Mat4 r;
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 2; ++j)
+      for (std::size_t k = 0; k < 2; ++k)
+        for (std::size_t l = 0; l < 2; ++l)
+          r(i * 2 + k, j * 2 + l) = left(i, j) * right(k, l);
+  return r;
+}
+
+double expectation(const Mat4& rho, const Vec4& psi) {
+  // <psi|rho|psi>
+  Cplx acc = 0;
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 4; ++j)
+      acc += std::conj(psi[i]) * rho(i, j) * psi[j];
+  return acc.real();
+}
+
+}  // namespace qnetp::qstate

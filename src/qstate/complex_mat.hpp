@@ -1,0 +1,109 @@
+// Small dense complex matrices for two-qubit density-matrix algebra.
+//
+// The whole quantum substrate works with 2x2 (single qubit) and 4x4
+// (qubit pair) complex matrices plus a couple of contractions between
+// pairs. Fixed-size value types keep this allocation-free and fast enough
+// that exact density-matrix evolution is cheaper than the event machinery
+// around it.
+#pragma once
+
+#include <array>
+#include <complex>
+#include <cstddef>
+#include <string>
+
+namespace qnetp::qstate {
+
+using Cplx = std::complex<double>;
+
+/// 2x2 complex matrix, row-major.
+class Mat2 {
+ public:
+  constexpr Mat2() = default;
+  constexpr Mat2(Cplx a, Cplx b, Cplx c, Cplx d) : m_{a, b, c, d} {}
+
+  static Mat2 identity() { return Mat2{1, 0, 0, 1}; }
+  static Mat2 zero() { return Mat2{}; }
+
+  Cplx& operator()(std::size_t r, std::size_t c) { return m_[r * 2 + c]; }
+  const Cplx& operator()(std::size_t r, std::size_t c) const {
+    return m_[r * 2 + c];
+  }
+
+  Mat2 operator+(const Mat2& o) const;
+  Mat2 operator-(const Mat2& o) const;
+  Mat2 operator*(const Mat2& o) const;
+  Mat2 operator*(Cplx k) const;
+  Mat2 adjoint() const;
+  Cplx trace() const { return m_[0] + m_[3]; }
+  double frobenius_norm() const;
+  bool approx_equal(const Mat2& o, double tol = 1e-9) const;
+
+  std::string to_string() const;
+
+ private:
+  std::array<Cplx, 4> m_{};
+};
+
+/// 4x4 complex matrix, row-major. Basis order |00>, |01>, |10>, |11>
+/// where the first ket index is the "left" qubit of a pair.
+class Mat4 {
+ public:
+  constexpr Mat4() = default;
+
+  static Mat4 identity();
+  static Mat4 zero() { return Mat4{}; }
+
+  Cplx& operator()(std::size_t r, std::size_t c) { return m_[r * 4 + c]; }
+  const Cplx& operator()(std::size_t r, std::size_t c) const {
+    return m_[r * 4 + c];
+  }
+
+  Mat4 operator+(const Mat4& o) const;
+  Mat4 operator-(const Mat4& o) const;
+  Mat4 operator*(const Mat4& o) const;
+  Mat4 operator*(Cplx k) const;
+  Mat4& operator+=(const Mat4& o);
+  Mat4 adjoint() const;
+  Cplx trace() const;
+  double frobenius_norm() const;
+  bool approx_equal(const Mat4& o, double tol = 1e-9) const;
+
+  /// True if the matrix is a valid density matrix: Hermitian, unit trace,
+  /// positive semidefinite (all within `tol`).
+  bool is_density_matrix(double tol = 1e-7) const;
+
+  std::string to_string() const;
+
+ private:
+  std::array<Cplx, 16> m_{};
+};
+
+/// 4-component complex vector (two-qubit pure state).
+class Vec4 {
+ public:
+  constexpr Vec4() = default;
+  constexpr Vec4(Cplx a, Cplx b, Cplx c, Cplx d) : v_{a, b, c, d} {}
+
+  Cplx& operator[](std::size_t i) { return v_[i]; }
+  const Cplx& operator[](std::size_t i) const { return v_[i]; }
+
+  double norm2() const;
+  Vec4 normalized() const;
+  /// |v><v|
+  Mat4 outer() const;
+  Cplx dot(const Vec4& o) const;  ///< <this|o> (conjugates this)
+
+ private:
+  std::array<Cplx, 4> v_{};
+};
+
+/// Kronecker product of two single-qubit operators: left acts on the first
+/// (row-major high) index.
+Mat4 kron(const Mat2& left, const Mat2& right);
+
+/// <psi| rho |psi> as a real number (imaginary part discarded; it is zero
+/// up to rounding for Hermitian rho).
+double expectation(const Mat4& rho, const Vec4& psi);
+
+}  // namespace qnetp::qstate

@@ -1,0 +1,52 @@
+// Entanglement swapping (Bell-state measurement at a repeater).
+//
+// Given pair AB (A at the far-left node, B at the repeater) and pair CD
+// (C at the repeater, D at the far-right node), a Bell-state measurement
+// on (B, C) leaves (A, D) entangled (Fig. 3 of the paper). The measurement
+// is computed exactly by tensor contraction of the two 4x4 pair states
+// with the Bell projectors.
+//
+// Noise model (matching Tables 1-2):
+//  * the two-qubit gate is imperfect: a depolarizing channel derived from
+//    the gate fidelity is applied to B and C before the projection;
+//  * electron readout is imperfect: each announced outcome bit flips with
+//    probability (1 - readout fidelity). A flipped announcement corrupts
+//    the *classical* tracking information, not the quantum state — exactly
+//    the failure mode the paper's entanglement tracking must tolerate.
+#pragma once
+
+#include "qbase/rng.hpp"
+#include "qstate/bell.hpp"
+#include "qstate/two_qubit_state.hpp"
+
+namespace qnetp::qstate {
+
+struct SwapNoise {
+  /// Depolarizing probability applied to each of the two measured qubits
+  /// (derived from the two-qubit gate fidelity, see qhw::GateModel).
+  double gate_depolarizing = 0.0;
+  /// Probability that an announced outcome bit is flipped (readout error).
+  double readout_flip_prob = 0.0;
+
+  static SwapNoise ideal() { return SwapNoise{}; }
+};
+
+struct SwapOutcome {
+  /// The physically realised Bell measurement outcome.
+  BellIndex true_outcome;
+  /// The outcome the node announces (may differ from true_outcome through
+  /// readout errors). Entanglement tracking uses this value.
+  BellIndex announced_outcome;
+  /// The post-swap state of the outer pair (A, D).
+  TwoQubitState state;
+  /// Probability with which the sampled outcome occurred.
+  double probability = 0.0;
+};
+
+/// Perform the entanglement swap. `left` is pair (A, B), `right` is pair
+/// (C, D); the measurement acts on B (left side 1) and C (right side 0).
+SwapOutcome entanglement_swap(const TwoQubitState& left,
+                              const TwoQubitState& right,
+                              const SwapNoise& noise, Rng& rng);
+
+}  // namespace qnetp::qstate

@@ -1,0 +1,143 @@
+#include "ctrl/controller.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qnetp::ctrl {
+namespace {
+
+using namespace qnetp::literals;
+
+class ControllerTest : public ::testing::Test {
+ protected:
+  ControllerTest() {
+    for (std::uint64_t i = 1; i <= 6; ++i) topo_.add_node(NodeId{i});
+    auto link = [&](std::uint64_t id, std::uint64_t a, std::uint64_t b) {
+      topo_.add_link(TopologyLink{
+          LinkId{id}, NodeId{a}, NodeId{b},
+          qhw::PhotonicLinkModel(qhw::simulation_preset(),
+                                 qhw::FiberParams::lab(2.0)),
+          1.0});
+    };
+    // Dumbbell.
+    link(1, 1, 5);
+    link(2, 2, 5);
+    link(3, 5, 6);
+    link(4, 6, 3);
+    link(5, 6, 4);
+  }
+  Topology topo_;
+};
+
+TEST_F(ControllerTest, PlansAThreeHopCircuit) {
+  Controller c(topo_, qhw::simulation_preset());
+  std::string reason;
+  const auto plan = c.plan_circuit(NodeId{1}, NodeId{3}, EndpointId{10},
+                                   EndpointId{20}, 0.85, {}, &reason);
+  ASSERT_TRUE(plan.has_value()) << reason;
+  EXPECT_EQ(plan->path.size(), 4u);
+  EXPECT_EQ(plan->install.hops.size(), 4u);
+  // Required link fidelity exceeds the end-to-end target.
+  EXPECT_GT(plan->link_fidelity, 0.85);
+  EXPECT_LT(plan->link_fidelity, 1.0);
+  EXPECT_GT(plan->max_lpr, 0.0);
+  EXPECT_GT(plan->max_eer, 0.0);
+  EXPECT_GT(plan->cutoff, Duration::zero());
+}
+
+TEST_F(ControllerTest, HopStateStructure) {
+  Controller c(topo_, qhw::simulation_preset());
+  const auto plan = c.plan_circuit(NodeId{1}, NodeId{3}, EndpointId{10},
+                                   EndpointId{20}, 0.8);
+  ASSERT_TRUE(plan.has_value());
+  const auto& hops = plan->install.hops;
+  // Head has no upstream; tail has no downstream.
+  EXPECT_FALSE(hops.front().upstream.valid());
+  EXPECT_TRUE(hops.front().downstream.valid());
+  EXPECT_TRUE(hops.back().upstream.valid());
+  EXPECT_FALSE(hops.back().downstream.valid());
+  // Labels chain: each node's downstream label equals the next node's
+  // upstream label.
+  for (std::size_t i = 0; i + 1 < hops.size(); ++i) {
+    EXPECT_EQ(hops[i].downstream_label, hops[i + 1].upstream_label);
+    EXPECT_EQ(hops[i].downstream, hops[i + 1].node);
+    EXPECT_EQ(hops[i + 1].upstream, hops[i].node);
+  }
+  // Distinct labels per link.
+  EXPECT_NE(hops[0].downstream_label, hops[1].downstream_label);
+}
+
+TEST_F(ControllerTest, DistinctCircuitsGetDistinctIdsAndLabels) {
+  Controller c(topo_, qhw::simulation_preset());
+  const auto p1 = c.plan_circuit(NodeId{1}, NodeId{3}, EndpointId{10},
+                                 EndpointId{20}, 0.8);
+  const auto p2 = c.plan_circuit(NodeId{2}, NodeId{4}, EndpointId{10},
+                                 EndpointId{20}, 0.8);
+  ASSERT_TRUE(p1 && p2);
+  EXPECT_NE(p1->install.circuit_id, p2->install.circuit_id);
+  EXPECT_NE(p1->install.hops[0].downstream_label,
+            p2->install.hops[0].downstream_label);
+}
+
+TEST_F(ControllerTest, HigherFidelityNeedsBetterLinksAndGivesLowerRate) {
+  Controller c(topo_, qhw::simulation_preset());
+  const auto low = c.plan_circuit(NodeId{1}, NodeId{3}, EndpointId{10},
+                                  EndpointId{20}, 0.8);
+  const auto high = c.plan_circuit(NodeId{1}, NodeId{3}, EndpointId{10},
+                                   EndpointId{20}, 0.9);
+  ASSERT_TRUE(low && high);
+  EXPECT_GT(high->link_fidelity, low->link_fidelity);
+  EXPECT_LT(high->max_lpr, low->max_lpr);
+}
+
+TEST_F(ControllerTest, ImpossibleFidelityRejected) {
+  Controller c(topo_, qhw::simulation_preset());
+  std::string reason;
+  const auto plan = c.plan_circuit(NodeId{1}, NodeId{3}, EndpointId{10},
+                                   EndpointId{20}, 0.9999, {}, &reason);
+  EXPECT_FALSE(plan.has_value());
+  EXPECT_FALSE(reason.empty());
+}
+
+TEST_F(ControllerTest, DisconnectedRejected) {
+  topo_.add_node(NodeId{42});
+  Controller c(topo_, qhw::simulation_preset());
+  std::string reason;
+  EXPECT_FALSE(c.plan_circuit(NodeId{1}, NodeId{42}, EndpointId{10},
+                              EndpointId{20}, 0.8, {}, &reason)
+                   .has_value());
+  EXPECT_EQ(reason, "no path between end-nodes");
+}
+
+TEST_F(ControllerTest, ShortCutoffOptionUsesGenerationQuantile) {
+  Controller c(topo_, qhw::simulation_preset());
+  CircuitPlanOptions options;
+  options.cutoff_generation_quantile = 0.85;
+  const auto short_plan = c.plan_circuit(NodeId{1}, NodeId{3},
+                                         EndpointId{10}, EndpointId{20},
+                                         0.85, options);
+  const auto long_plan = c.plan_circuit(NodeId{1}, NodeId{3},
+                                        EndpointId{10}, EndpointId{20},
+                                        0.85);
+  ASSERT_TRUE(short_plan && long_plan);
+  // The "shorter cutoff" (p85 of generation time, tens of ms) is far
+  // below the decoherence-based one (~1 s at T2=60 s).
+  EXPECT_LT(short_plan->cutoff, long_plan->cutoff / 5.0);
+  // A tighter idle bound relaxes the per-link fidelity requirement
+  // (Sec. 5.1: "a shorter cutoff allows the routing algorithm to ...
+  // relax the fidelity requirements on each link").
+  EXPECT_LE(short_plan->link_fidelity, long_plan->link_fidelity);
+}
+
+TEST_F(ControllerTest, CutoffOverrideRespected) {
+  Controller c(topo_, qhw::simulation_preset());
+  CircuitPlanOptions options;
+  options.cutoff_override = 25_ms;
+  const auto plan = c.plan_circuit(NodeId{1}, NodeId{3}, EndpointId{10},
+                                   EndpointId{20}, 0.85, options);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->cutoff, 25_ms);
+  for (const auto& hop : plan->install.hops) EXPECT_EQ(hop.cutoff, 25_ms);
+}
+
+}  // namespace
+}  // namespace qnetp::ctrl

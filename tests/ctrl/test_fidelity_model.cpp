@@ -1,0 +1,122 @@
+#include "ctrl/fidelity_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "qbase/stats.hpp"
+#include "qstate/channels.hpp"
+#include "qstate/swap.hpp"
+
+namespace qnetp::ctrl {
+namespace {
+
+using namespace qnetp::literals;
+
+PathAssumptions assumptions(std::size_t hops, Duration cutoff,
+                            Duration t2 = 60_s) {
+  return PathAssumptions{hops, cutoff, t2, qhw::simulation_preset()};
+}
+
+TEST(FidelityModel, SingleHopWithNoIdleIsIdentity) {
+  FidelityModel m(assumptions(1, Duration::zero()));
+  EXPECT_NEAR(m.end_to_end(0.93), 0.93, 1e-9);
+}
+
+TEST(FidelityModel, MoreHopsLowerFidelity) {
+  double prev = 1.0;
+  for (std::size_t hops : {1u, 2u, 3u, 5u, 8u}) {
+    FidelityModel m(assumptions(hops, 10_ms));
+    const double f = m.end_to_end(0.95);
+    EXPECT_LT(f, prev);
+    prev = f;
+  }
+}
+
+TEST(FidelityModel, LongerCutoffLowersFidelity) {
+  // Longer allowed idling means a worse worst case.
+  FidelityModel short_cut(assumptions(3, 10_ms, 2_s));
+  FidelityModel long_cut(assumptions(3, 500_ms, 2_s));
+  EXPECT_GT(short_cut.end_to_end(0.95), long_cut.end_to_end(0.95));
+}
+
+TEST(FidelityModel, MonotoneInLinkFidelity) {
+  FidelityModel m(assumptions(3, 20_ms));
+  double prev = 0.0;
+  for (double f = 0.5; f <= 1.0; f += 0.05) {
+    const double out = m.end_to_end(std::min(f, 1.0));
+    EXPECT_GE(out, prev - 1e-12);
+    prev = out;
+  }
+}
+
+TEST(FidelityModel, RequiredLinkFidelityInverts) {
+  FidelityModel m(assumptions(3, 20_ms));
+  double link = 0.0;
+  ASSERT_TRUE(m.required_link_fidelity(0.85, &link));
+  EXPECT_GT(link, 0.85);  // links must beat the end-to-end target
+  EXPECT_NEAR(m.end_to_end(link), 0.85, 1e-5);
+}
+
+TEST(FidelityModel, ImpossibleTargetFails) {
+  // 30 swaps with noisy gates cannot give 0.99.
+  FidelityModel m(assumptions(30, 100_ms));
+  double link = 0.0;
+  EXPECT_FALSE(m.required_link_fidelity(0.99, &link));
+}
+
+TEST(FidelityModel, WorstCaseBoundsSimulatedChain) {
+  // Property: the model's worst-case prediction must LOWER-bound the
+  // fidelity obtained by simulating the chain exactly with idle times
+  // equal to the cutoff.
+  Rng rng(5);
+  const std::size_t hops = 3;
+  const Duration cutoff = 30_ms;
+  const Duration t2 = 10_s;
+  const double f_link = 0.93;
+  FidelityModel model(PathAssumptions{hops, cutoff, t2,
+                                      qhw::simulation_preset()});
+  const double predicted = model.end_to_end(f_link);
+
+  RunningStats measured;
+  const auto hw_noise = qhw::simulation_preset().swap_noise();
+  const qstate::MemoryDecay decay{Duration::max(), t2};
+  for (int trial = 0; trial < 200; ++trial) {
+    // Build hop pairs, idle them for the FULL cutoff, swap sequentially.
+    std::vector<qstate::TwoQubitState> pairs;
+    for (std::size_t i = 0; i < hops; ++i) {
+      auto s = qstate::TwoQubitState::werner(
+          f_link, qstate::BellIndex::phi_plus());
+      s.apply_channel(0, decay.for_interval(cutoff));
+      s.apply_channel(1, decay.for_interval(cutoff));
+      pairs.push_back(s);
+    }
+    qstate::TwoQubitState acc = pairs[0];
+    qstate::BellIndex tracked = qstate::BellIndex::phi_plus();
+    for (std::size_t i = 1; i < hops; ++i) {
+      const auto out =
+          qstate::entanglement_swap(acc, pairs[i], hw_noise, rng);
+      tracked = tracked ^ qstate::BellIndex::phi_plus() ^
+                out.announced_outcome;
+      acc = out.state;
+    }
+    measured.add(acc.fidelity(tracked));
+  }
+  // Simulated chains idle exactly the worst case here, so the prediction
+  // should match closely (and never exceed the measurement by much).
+  EXPECT_NEAR(measured.mean(), predicted, 0.02);
+}
+
+TEST(FidelityModel, CutoffForFidelityLoss) {
+  const Duration t = FidelityModel::cutoff_for_fidelity_loss(0.95, 0.015,
+                                                             60_s);
+  ASSERT_NE(t, Duration::max());
+  // Matches the analytic solution checked in test_analytic.
+  EXPECT_GT(t, 0.5_s);
+  EXPECT_LT(t, 2_s);
+  // No decay -> infinite cutoff.
+  EXPECT_EQ(FidelityModel::cutoff_for_fidelity_loss(0.95, 0.015,
+                                                    Duration::max()),
+            Duration::max());
+}
+
+}  // namespace
+}  // namespace qnetp::ctrl

@@ -1,0 +1,102 @@
+#include "ctrl/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "qbase/assert.hpp"
+
+namespace qnetp::ctrl {
+namespace {
+
+TopologyLink make_link(std::uint64_t id, std::uint64_t a, std::uint64_t b,
+                       double cost = 1.0) {
+  return TopologyLink{LinkId{id}, NodeId{a}, NodeId{b},
+                      qhw::PhotonicLinkModel(qhw::simulation_preset(),
+                                             qhw::FiberParams::lab(2.0)),
+                      cost};
+}
+
+class TopologyTest : public ::testing::Test {
+ protected:
+  TopologyTest() {
+    for (std::uint64_t i = 1; i <= 6; ++i) topo_.add_node(NodeId{i});
+    // Dumbbell: 1,2 - 5 - 6 - 3,4
+    topo_.add_link(make_link(1, 1, 5));
+    topo_.add_link(make_link(2, 2, 5));
+    topo_.add_link(make_link(3, 5, 6));
+    topo_.add_link(make_link(4, 6, 3));
+    topo_.add_link(make_link(5, 6, 4));
+  }
+  Topology topo_;
+};
+
+TEST_F(TopologyTest, BasicQueries) {
+  EXPECT_EQ(topo_.node_count(), 6u);
+  EXPECT_EQ(topo_.link_count(), 5u);
+  EXPECT_TRUE(topo_.has_node(NodeId{3}));
+  EXPECT_FALSE(topo_.has_node(NodeId{9}));
+  ASSERT_NE(topo_.link_between(NodeId{1}, NodeId{5}), nullptr);
+  // Undirected.
+  ASSERT_NE(topo_.link_between(NodeId{5}, NodeId{1}), nullptr);
+  EXPECT_EQ(topo_.link_between(NodeId{1}, NodeId{2}), nullptr);
+  EXPECT_NE(topo_.link(LinkId{3}), nullptr);
+  EXPECT_EQ(topo_.link(LinkId{77}), nullptr);
+}
+
+TEST_F(TopologyTest, Neighbours) {
+  const auto n5 = topo_.neighbours(NodeId{5});
+  EXPECT_EQ(n5.size(), 3u);
+  const auto n1 = topo_.neighbours(NodeId{1});
+  ASSERT_EQ(n1.size(), 1u);
+  EXPECT_EQ(n1[0], NodeId{5});
+}
+
+TEST_F(TopologyTest, ShortestPathAcrossBottleneck) {
+  const auto path = topo_.shortest_path(NodeId{1}, NodeId{3});
+  ASSERT_TRUE(path.has_value());
+  ASSERT_EQ(path->size(), 4u);
+  EXPECT_EQ((*path)[0], NodeId{1});
+  EXPECT_EQ((*path)[1], NodeId{5});
+  EXPECT_EQ((*path)[2], NodeId{6});
+  EXPECT_EQ((*path)[3], NodeId{3});
+}
+
+TEST_F(TopologyTest, PathToSelf) {
+  const auto path = topo_.shortest_path(NodeId{1}, NodeId{1});
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->size(), 1u);
+}
+
+TEST_F(TopologyTest, DisconnectedReturnsNullopt) {
+  topo_.add_node(NodeId{10});
+  EXPECT_FALSE(topo_.shortest_path(NodeId{1}, NodeId{10}).has_value());
+}
+
+TEST(Topology, CostsShiftPathChoice) {
+  Topology t;
+  for (std::uint64_t i = 1; i <= 4; ++i) t.add_node(NodeId{i});
+  // Two routes 1->4: direct expensive link vs 2-hop cheap detour.
+  t.add_link(make_link(1, 1, 4, 5.0));
+  t.add_link(make_link(2, 1, 2, 1.0));
+  t.add_link(make_link(3, 2, 4, 1.0));
+  const auto path = t.shortest_path(NodeId{1}, NodeId{4});
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->size(), 3u);  // takes the detour
+}
+
+TEST(Topology, DuplicateNodeOrLinkAsserts) {
+  Topology t;
+  t.add_node(NodeId{1});
+  EXPECT_THROW(t.add_node(NodeId{1}), AssertionError);
+  t.add_node(NodeId{2});
+  t.add_link(make_link(1, 1, 2));
+  EXPECT_THROW(t.add_link(make_link(2, 2, 1)), AssertionError);
+}
+
+TEST(Topology, SelfLoopAsserts) {
+  Topology t;
+  t.add_node(NodeId{1});
+  EXPECT_THROW(t.add_link(make_link(1, 1, 1)), AssertionError);
+}
+
+}  // namespace
+}  // namespace qnetp::ctrl

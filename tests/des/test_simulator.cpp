@@ -1,0 +1,219 @@
+#include "des/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "qbase/rng.hpp"
+
+namespace qnetp::des {
+namespace {
+
+using namespace qnetp::literals;
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(3_ms, [&] { order.push_back(3); });
+  sim.schedule(1_ms, [&] { order.push_back(1); });
+  sim.schedule(2_ms, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), TimePoint::origin() + 3_ms);
+}
+
+TEST(Simulator, FifoTieBreakAtSameInstant) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule(1_ms, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Simulator, NestedScheduling) {
+  Simulator sim;
+  std::vector<double> times;
+  sim.schedule(1_ms, [&] {
+    times.push_back(sim.now().as_ms());
+    sim.schedule(1_ms, [&] { times.push_back(sim.now().as_ms()); });
+  });
+  sim.run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+  EXPECT_DOUBLE_EQ(times[1], 2.0);
+}
+
+TEST(Simulator, ZeroDelayRunsAtCurrentTime) {
+  Simulator sim;
+  bool ran = false;
+  sim.schedule(1_ms, [&] {
+    sim.schedule(Duration::zero(), [&] {
+      ran = true;
+      EXPECT_DOUBLE_EQ(sim.now().as_ms(), 1.0);
+    });
+  });
+  sim.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, SchedulingIntoThePastAsserts) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule(-1_ms, [] {}), AssertionError);
+  sim.schedule(5_ms, [&sim] {
+    EXPECT_THROW(sim.schedule_at(TimePoint::origin() + 1_ms, [] {}),
+                 AssertionError);
+  });
+  sim.run();
+}
+
+TEST(Simulator, RunUntilHorizonStopsAndAdvancesClock) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule(1_ms, [&] { ++count; });
+  sim.schedule(10_ms, [&] { ++count; });
+  sim.run_until(TimePoint::origin() + 5_ms);
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(sim.now(), TimePoint::origin() + 5_ms);
+  // The 10ms event still fires later.
+  sim.run_until(TimePoint::origin() + 20_ms);
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, EventAtHorizonBoundaryFires) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule(5_ms, [&] { fired = true; });
+  sim.run_until(TimePoint::origin() + 5_ms);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  const EventHandle h = sim.schedule(1_ms, [&] { ran = true; });
+  EXPECT_TRUE(sim.pending(h));
+  EXPECT_TRUE(sim.cancel(h));
+  EXPECT_FALSE(sim.pending(h));
+  EXPECT_FALSE(sim.cancel(h));  // double cancel is a no-op
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, CancelInertHandleIsNoop) {
+  Simulator sim;
+  EventHandle h;
+  EXPECT_FALSE(sim.cancel(h));
+  EXPECT_FALSE(sim.pending(h));
+}
+
+TEST(Simulator, CancelFromWithinEarlierEvent) {
+  Simulator sim;
+  bool ran = false;
+  const EventHandle h = sim.schedule(2_ms, [&] { ran = true; });
+  sim.schedule(1_ms, [&] { sim.cancel(h); });
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, StopRequestHaltsRun) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.schedule(Duration::ms(i), [&] {
+      ++count;
+      if (count == 3) sim.stop();
+    });
+  }
+  sim.run();
+  EXPECT_EQ(count, 3);
+  // Remaining events still pending.
+  EXPECT_EQ(sim.events_pending(), 7u);
+}
+
+TEST(Simulator, StepExecutesOneEvent) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule(1_ms, [&] { ++count; });
+  sim.schedule(2_ms, [&] { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, EventsExecutedCounter) {
+  Simulator sim;
+  for (int i = 0; i < 5; ++i) sim.schedule(1_ms, [] {});
+  const auto h = sim.schedule(1_ms, [] {});
+  sim.cancel(h);
+  sim.run();
+  EXPECT_EQ(sim.events_executed(), 5u);
+}
+
+TEST(Simulator, RunWithEmptyQueueKeepsClock) {
+  Simulator sim;
+  sim.schedule(1_ms, [] {});
+  sim.run();
+  const TimePoint t = sim.now();
+  sim.run();  // no events: clock unchanged
+  EXPECT_EQ(sim.now(), t);
+}
+
+TEST(ScopedTimer, CancelsOnDestruction) {
+  Simulator sim;
+  bool fired = false;
+  {
+    ScopedTimer t(sim, 1_ms, [&] { fired = true; });
+    EXPECT_TRUE(t.active());
+  }
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(ScopedTimer, FiresWhenKeptAlive) {
+  Simulator sim;
+  bool fired = false;
+  ScopedTimer t(sim, 1_ms, [&] { fired = true; });
+  sim.run();
+  EXPECT_TRUE(fired);
+  EXPECT_FALSE(t.active());
+}
+
+TEST(ScopedTimer, MoveTransfersOwnership) {
+  Simulator sim;
+  int fired = 0;
+  ScopedTimer a(sim, 1_ms, [&] { ++fired; });
+  ScopedTimer b = std::move(a);
+  EXPECT_FALSE(a.active());  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(b.active());
+  // Move-assignment cancels the destination's previous timer.
+  ScopedTimer c(sim, 2_ms, [&] { fired += 10; });
+  c = std::move(b);
+  sim.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, ManyEventsStress) {
+  Simulator sim;
+  Rng rng(99);
+  std::int64_t count = 0;
+  TimePoint last = TimePoint::origin();
+  std::function<void()> chain = [&] {
+    EXPECT_GE(sim.now(), last);
+    last = sim.now();
+    ++count;
+    if (count < 20000) {
+      sim.schedule(Duration::ps(static_cast<std::int64_t>(rng.uniform_int(1000000))), chain);
+    }
+  };
+  sim.schedule(Duration::zero(), chain);
+  sim.run();
+  EXPECT_EQ(count, 20000);
+}
+
+}  // namespace
+}  // namespace qnetp::des

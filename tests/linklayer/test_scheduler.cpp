@@ -1,0 +1,139 @@
+#include "linklayer/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "qbase/assert.hpp"
+
+namespace qnetp::linklayer {
+namespace {
+
+using namespace qnetp::literals;
+
+TEST(WfqScheduler, EmptyPicksNothing) {
+  WfqScheduler s;
+  EXPECT_FALSE(s.pick().has_value());
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(WfqScheduler, SingleEntryAlwaysPicked) {
+  WfqScheduler s;
+  s.upsert(LinkLabel{1}, 2.0);
+  for (int i = 0; i < 5; ++i) {
+    const auto p = s.pick();
+    ASSERT_TRUE(p);
+    EXPECT_EQ(*p, LinkLabel{1});
+    s.charge(*p, 10_ms);
+  }
+}
+
+TEST(WfqScheduler, EqualWeightsAlternate) {
+  WfqScheduler s;
+  s.upsert(LinkLabel{1}, 1.0);
+  s.upsert(LinkLabel{2}, 1.0);
+  std::map<LinkLabel, int> counts;
+  for (int i = 0; i < 100; ++i) {
+    const auto p = s.pick();
+    ASSERT_TRUE(p);
+    counts[*p]++;
+    s.charge(*p, 10_ms);  // equal service per pick
+  }
+  EXPECT_EQ(counts[LinkLabel{1}], 50);
+  EXPECT_EQ(counts[LinkLabel{2}], 50);
+}
+
+TEST(WfqScheduler, TimeShareProportionalToWeight) {
+  // Label 2 has 3x the weight: over many equal-service picks it should be
+  // served ~3x as often.
+  WfqScheduler s;
+  s.upsert(LinkLabel{1}, 1.0);
+  s.upsert(LinkLabel{2}, 3.0);
+  std::map<LinkLabel, int> counts;
+  for (int i = 0; i < 400; ++i) {
+    const auto p = s.pick();
+    ASSERT_TRUE(p);
+    counts[*p]++;
+    s.charge(*p, 10_ms);
+  }
+  EXPECT_NEAR(static_cast<double>(counts[LinkLabel{2}]) /
+                  counts[LinkLabel{1}],
+              3.0, 0.15);
+}
+
+TEST(WfqScheduler, EqualTimeShareRegardlessOfServiceCost) {
+  // The paper's requirement: equal-weight circuits get equal TIME even
+  // when one needs much longer per pair. Label 1 pairs take 5x longer:
+  // label 2 then produces ~5x more pairs but the time split is ~50/50.
+  WfqScheduler s;
+  s.upsert(LinkLabel{1}, 1.0);
+  s.upsert(LinkLabel{2}, 1.0);
+  double time1 = 0.0, time2 = 0.0;
+  int pairs1 = 0, pairs2 = 0;
+  for (int i = 0; i < 600; ++i) {
+    const auto p = s.pick();
+    ASSERT_TRUE(p);
+    if (*p == LinkLabel{1}) {
+      s.charge(*p, 50_ms);
+      time1 += 50.0;
+      ++pairs1;
+    } else {
+      s.charge(*p, 10_ms);
+      time2 += 10.0;
+      ++pairs2;
+    }
+  }
+  EXPECT_NEAR(time1 / (time1 + time2), 0.5, 0.03);
+  EXPECT_NEAR(static_cast<double>(pairs2) / pairs1, 5.0, 0.5);
+}
+
+TEST(WfqScheduler, NewcomerJoinsAtCurrentVirtualTime) {
+  WfqScheduler s;
+  s.upsert(LinkLabel{1}, 1.0);
+  for (int i = 0; i < 100; ++i) s.charge(LinkLabel{1}, 10_ms);
+  s.upsert(LinkLabel{2}, 1.0);
+  // The newcomer must not monopolise the link to "catch up": after one
+  // pick+charge each, both should alternate.
+  std::map<LinkLabel, int> counts;
+  for (int i = 0; i < 20; ++i) {
+    const auto p = s.pick();
+    ASSERT_TRUE(p);
+    counts[*p]++;
+    s.charge(*p, 10_ms);
+  }
+  EXPECT_NEAR(counts[LinkLabel{1}], 10, 1);
+  EXPECT_NEAR(counts[LinkLabel{2}], 10, 1);
+}
+
+TEST(WfqScheduler, RemoveEliminatesEntry) {
+  WfqScheduler s;
+  s.upsert(LinkLabel{1}, 1.0);
+  s.upsert(LinkLabel{2}, 1.0);
+  s.remove(LinkLabel{1});
+  EXPECT_FALSE(s.contains(LinkLabel{1}));
+  for (int i = 0; i < 5; ++i) {
+    const auto p = s.pick();
+    ASSERT_TRUE(p);
+    EXPECT_EQ(*p, LinkLabel{2});
+    s.charge(*p, 1_ms);
+  }
+}
+
+TEST(WfqScheduler, UpsertUpdatesWeight) {
+  WfqScheduler s;
+  s.upsert(LinkLabel{1}, 1.0);
+  s.upsert(LinkLabel{1}, 4.0);
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.weight(LinkLabel{1}), 4.0);
+}
+
+TEST(WfqScheduler, InvalidInputsAssert) {
+  WfqScheduler s;
+  EXPECT_THROW(s.upsert(LinkLabel{}, 1.0), AssertionError);
+  EXPECT_THROW(s.upsert(LinkLabel{1}, 0.0), AssertionError);
+  EXPECT_THROW(s.charge(LinkLabel{9}, 1_ms), AssertionError);
+  EXPECT_THROW(s.weight(LinkLabel{9}), AssertionError);
+}
+
+}  // namespace
+}  // namespace qnetp::linklayer

@@ -1,0 +1,107 @@
+#include "qbase/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace qnetp {
+namespace {
+
+TEST(Bytes, FixedWidthRoundTrip) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u16(0x1234);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFull);
+  w.boolean(true);
+  w.boolean(false);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_FALSE(r.boolean());
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Bytes, VarintRoundTrip) {
+  const std::uint64_t values[] = {0,
+                                  1,
+                                  127,
+                                  128,
+                                  16383,
+                                  16384,
+                                  0xFFFFFFFFull,
+                                  std::numeric_limits<std::uint64_t>::max()};
+  ByteWriter w;
+  for (auto v : values) w.varint(v);
+  ByteReader r(w.bytes());
+  for (auto v : values) EXPECT_EQ(r.varint(), v);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Bytes, VarintCompactness) {
+  ByteWriter w;
+  w.varint(127);
+  EXPECT_EQ(w.size(), 1u);
+  ByteWriter w2;
+  w2.varint(128);
+  EXPECT_EQ(w2.size(), 2u);
+}
+
+TEST(Bytes, DoubleRoundTrip) {
+  const double values[] = {0.0, -1.5, 3.141592653589793, 1e-300, 1e300};
+  ByteWriter w;
+  for (auto v : values) w.f64(v);
+  ByteReader r(w.bytes());
+  for (auto v : values) EXPECT_DOUBLE_EQ(r.f64(), v);
+}
+
+TEST(Bytes, StringRoundTrip) {
+  ByteWriter w;
+  w.str("");
+  w.str("hello");
+  w.str(std::string(1000, 'x'));
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.str(), "");
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.str(), std::string(1000, 'x'));
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Bytes, UnderrunThrows) {
+  ByteWriter w;
+  w.u16(7);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.u16(), 7);
+  EXPECT_THROW(r.u8(), CodecError);
+}
+
+TEST(Bytes, TruncatedStringThrows) {
+  ByteWriter w;
+  w.varint(100);  // claims 100 bytes follow
+  w.u8('a');
+  ByteReader r(w.bytes());
+  EXPECT_THROW(r.str(), CodecError);
+}
+
+TEST(Bytes, MalformedVarintThrows) {
+  Bytes buf(11, 0xFF);  // 11 continuation bytes > 64 bits
+  ByteReader r(buf);
+  EXPECT_THROW(r.varint(), CodecError);
+}
+
+TEST(Bytes, RawAppend) {
+  ByteWriter inner;
+  inner.u32(0xCAFEBABE);
+  ByteWriter outer;
+  outer.u8(1);
+  outer.raw(inner.bytes());
+  ByteReader r(outer.bytes());
+  EXPECT_EQ(r.u8(), 1);
+  EXPECT_EQ(r.u32(), 0xCAFEBABEu);
+}
+
+}  // namespace
+}  // namespace qnetp

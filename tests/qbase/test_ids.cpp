@@ -1,0 +1,79 @@
+#include "qbase/ids.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace qnetp {
+namespace {
+
+TEST(StrongId, DefaultIsInvalid) {
+  NodeId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id, NodeId::invalid());
+  EXPECT_TRUE(NodeId{7}.valid());
+}
+
+TEST(StrongId, DistinctTypesDoNotCompare) {
+  // Compile-time property: NodeId and LinkId are distinct types. This test
+  // documents the intent; the static_assert is the actual check.
+  static_assert(!std::is_same_v<NodeId, LinkId>);
+  static_assert(!std::is_convertible_v<NodeId, LinkId>);
+  SUCCEED();
+}
+
+TEST(StrongId, OrderingAndEquality) {
+  EXPECT_LT(NodeId{1}, NodeId{2});
+  EXPECT_EQ(CircuitId{42}, CircuitId{42});
+  EXPECT_NE(CircuitId{42}, CircuitId{43});
+}
+
+TEST(StrongId, ToString) {
+  EXPECT_EQ(NodeId{3}.to_string(), "node:3");
+  EXPECT_EQ(CircuitId{12}.to_string(), "vc:12");
+  EXPECT_EQ(LinkLabel{5}.to_string(), "label:5");
+}
+
+TEST(StrongId, Hashable) {
+  std::unordered_set<NodeId> set;
+  set.insert(NodeId{1});
+  set.insert(NodeId{2});
+  set.insert(NodeId{1});
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(PairCorrelator, EqualityAndHash) {
+  const PairCorrelator a{LinkId{1}, 7};
+  const PairCorrelator b{LinkId{1}, 7};
+  const PairCorrelator c{LinkId{2}, 7};
+  const PairCorrelator d{LinkId{1}, 8};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, d);
+  std::unordered_map<PairCorrelator, int> map;
+  map[a] = 1;
+  map[c] = 2;
+  map[d] = 3;
+  EXPECT_EQ(map.size(), 3u);
+  EXPECT_EQ(map[b], 1);
+}
+
+TEST(PairCorrelator, Validity) {
+  EXPECT_FALSE(PairCorrelator{}.valid());
+  EXPECT_TRUE((PairCorrelator{LinkId{1}, 0}).valid());
+}
+
+TEST(Address, EqualityHashToString) {
+  const Address a{NodeId{1}, EndpointId{5}};
+  const Address b{NodeId{1}, EndpointId{5}};
+  const Address c{NodeId{1}, EndpointId{6}};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.to_string(), "node:1/ep:5");
+  std::unordered_set<Address> set{a, b, c};
+  EXPECT_EQ(set.size(), 2u);
+}
+
+}  // namespace
+}  // namespace qnetp

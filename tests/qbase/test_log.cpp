@@ -1,0 +1,55 @@
+#include "qbase/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qnetp {
+namespace {
+
+class LogTest : public ::testing::Test {
+ protected:
+  LogTest() : saved_(Log::level()) {}
+  ~LogTest() override {
+    Log::set_level(saved_);
+    Log::set_clock(nullptr);
+  }
+  LogLevel saved_;
+};
+
+TEST_F(LogTest, LevelGating) {
+  Log::set_level(LogLevel::warn);
+  EXPECT_FALSE(Log::enabled(LogLevel::trace));
+  EXPECT_FALSE(Log::enabled(LogLevel::debug));
+  EXPECT_FALSE(Log::enabled(LogLevel::info));
+  EXPECT_TRUE(Log::enabled(LogLevel::warn));
+  EXPECT_TRUE(Log::enabled(LogLevel::error));
+  Log::set_level(LogLevel::trace);
+  EXPECT_TRUE(Log::enabled(LogLevel::trace));
+  Log::set_level(LogLevel::off);
+  EXPECT_FALSE(Log::enabled(LogLevel::error));
+}
+
+TEST_F(LogTest, MacroShortCircuitsWhenDisabled) {
+  Log::set_level(LogLevel::off);
+  int evaluations = 0;
+  auto expensive = [&] {
+    ++evaluations;
+    return "payload";
+  };
+  QNETP_LOG(debug, "test") << expensive();
+  EXPECT_EQ(evaluations, 0);
+  Log::set_level(LogLevel::trace);
+  QNETP_LOG(error, "test") << expensive();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LogTest, ClockStampingDoesNotCrash) {
+  Log::set_level(LogLevel::trace);
+  Log::set_clock([] { return TimePoint::origin() + Duration::ms(5); });
+  QNETP_LOG(info, "test") << "with clock";
+  Log::set_clock(nullptr);
+  QNETP_LOG(info, "test") << "without clock";
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace qnetp

@@ -1,0 +1,150 @@
+#include "qbase/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace qnetp {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+  bool differs = false;
+  Rng a2(42);
+  for (int i = 0; i < 10; ++i) {
+    if (a2.next() != c.next()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(5.0, 7.0);
+    EXPECT_GE(u, 5.0);
+    EXPECT_LT(u, 7.0);
+  }
+}
+
+TEST(Rng, UniformMeanApproximatesHalf) {
+  Rng rng(7);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform_int(10), 10u);
+  }
+  // n=1 must always give 0.
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(1), 0u);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(11);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / n, 2.0, 0.05);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(17);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(1.0, 2.0);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 1.0, 0.03);
+  EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(Rng, GeometricAttemptsMean) {
+  Rng rng(19);
+  const double p = 0.01;
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i)
+    sum += static_cast<double>(rng.geometric_attempts(p));
+  // Mean of geometric on {1,2,...} is 1/p.
+  EXPECT_NEAR(sum / n, 1.0 / p, 3.0);
+}
+
+TEST(Rng, GeometricAttemptsCertainSuccess) {
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.geometric_attempts(1.0), 1u);
+}
+
+TEST(Rng, GeometricAttemptsTinyProbability) {
+  Rng rng(29);
+  // Must not overflow or return zero for very small p.
+  const auto n = rng.geometric_attempts(1e-9);
+  EXPECT_GE(n, 1u);
+}
+
+TEST(Rng, DiscreteDistribution) {
+  Rng rng(31);
+  const std::vector<double> w{1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) counts[rng.discrete(w)]++;
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.25, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.01);
+}
+
+TEST(Rng, ForkGivesIndependentStream) {
+  Rng a(42);
+  Rng b = a.fork();
+  // Streams should differ from each other and from the parent's continued
+  // output.
+  bool differs = false;
+  for (int i = 0; i < 10; ++i) {
+    if (a.next() != b.next()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, ExponentialDurationMean) {
+  using namespace qnetp::literals;
+  Rng rng(37);
+  double sum_ms = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i)
+    sum_ms += rng.exponential_duration(10_ms).as_ms();
+  EXPECT_NEAR(sum_ms / n, 10.0, 0.5);
+}
+
+}  // namespace
+}  // namespace qnetp

@@ -1,0 +1,125 @@
+#include "qbase/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qnetp {
+namespace {
+
+using namespace qnetp::literals;
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(x);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 15.0);
+}
+
+TEST(RunningStats, SingleSample) {
+  RunningStats s;
+  s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 7.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stderr_mean(), 0.0);
+}
+
+TEST(RunningStats, EmptyAsserts) {
+  RunningStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_THROW(s.mean(), AssertionError);
+  EXPECT_THROW(s.min(), AssertionError);
+}
+
+TEST(SampleSet, QuantilesExact) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 100.0);
+  EXPECT_NEAR(s.quantile(0.5), 50.5, 1e-9);
+  EXPECT_NEAR(s.quantile(0.95), 95.05, 1e-9);
+}
+
+TEST(SampleSet, QuantileSingleSample) {
+  SampleSet s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 42.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 42.0);
+}
+
+TEST(SampleSet, CdfAt) {
+  SampleSet s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.cdf_at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.cdf_at(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(s.cdf_at(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(s.cdf_at(10.0), 1.0);
+}
+
+TEST(SampleSet, CdfPointsMonotonic) {
+  SampleSet s;
+  for (int i = 0; i < 57; ++i) s.add(static_cast<double>((i * 37) % 101));
+  const auto pts = s.cdf_points(20);
+  ASSERT_EQ(pts.size(), 20u);
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_GE(pts[i].first, pts[i - 1].first);
+    EXPECT_GE(pts[i].second, pts[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(pts.back().second, 1.0);
+}
+
+TEST(SampleSet, InterleavedAddAndQuery) {
+  SampleSet s;
+  s.add(3.0);
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  s.add(0.5);  // add after a sorted query must re-sort
+  EXPECT_DOUBLE_EQ(s.min(), 0.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(RateMeter, WindowedRate) {
+  RateMeter m;
+  m.record(TimePoint::origin() + 1_s);
+  m.record(TimePoint::origin() + 2_s);
+  m.record(TimePoint::origin() + 3_s);
+  m.record(TimePoint::origin() + 9_s);
+  // Window [0, 4s): 3 events -> 0.75/s.
+  EXPECT_DOUBLE_EQ(
+      m.rate_per_second(TimePoint::origin(), TimePoint::origin() + 4_s),
+      0.75);
+  // Window [2s, 4s): 2 events -> 1/s.
+  EXPECT_DOUBLE_EQ(m.rate_per_second(TimePoint::origin() + 2_s,
+                                     TimePoint::origin() + 4_s),
+                   1.0);
+  EXPECT_DOUBLE_EQ(m.count(), 4.0);
+  m.reset();
+  EXPECT_DOUBLE_EQ(m.count(), 0.0);
+}
+
+TEST(RateMeter, WeightedAmounts) {
+  RateMeter m;
+  m.record(TimePoint::origin() + 1_s, 2.5);
+  m.record(TimePoint::origin() + 2_s, 0.5);
+  EXPECT_DOUBLE_EQ(
+      m.rate_per_second(TimePoint::origin(), TimePoint::origin() + 3_s),
+      1.0);
+}
+
+TEST(DurationStats, RecordsMilliseconds) {
+  DurationStats d;
+  d.add(10_ms);
+  d.add(20_ms);
+  d.add(30_ms);
+  EXPECT_EQ(d.count(), 3u);
+  EXPECT_DOUBLE_EQ(d.mean_ms(), 20.0);
+  EXPECT_DOUBLE_EQ(d.min_ms(), 10.0);
+  EXPECT_DOUBLE_EQ(d.max_ms(), 30.0);
+  EXPECT_DOUBLE_EQ(d.quantile_ms(0.5), 20.0);
+}
+
+}  // namespace
+}  // namespace qnetp

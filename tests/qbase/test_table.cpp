@@ -1,0 +1,52 @@
+#include "qbase/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "qbase/assert.hpp"
+
+namespace qnetp {
+namespace {
+
+TEST(TablePrinter, AlignedOutput) {
+  TablePrinter t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22222"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22222"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TablePrinter, CsvOutput) {
+  TablePrinter t({"a", "b"});
+  t.add_row({"1", "2"});
+  t.add_row({"3", "4"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(TablePrinter, RowWidthMismatchAsserts) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), AssertionError);
+}
+
+TEST(TablePrinter, NumFormatting) {
+  EXPECT_EQ(TablePrinter::num(1.5), "1.5");
+  EXPECT_EQ(TablePrinter::num(0.123456789, 3), "0.123");
+}
+
+TEST(TablePrinter, Banner) {
+  std::ostringstream os;
+  print_banner(os, "Fig 5");
+  EXPECT_EQ(os.str(), "\n=== Fig 5 ===\n");
+}
+
+}  // namespace
+}  // namespace qnetp

@@ -1,0 +1,82 @@
+#include "qbase/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace qnetp {
+namespace {
+
+using namespace qnetp::literals;
+
+TEST(Duration, LiteralsAndConversions) {
+  EXPECT_EQ((1_ns).count_ps(), 1000);
+  EXPECT_EQ((1_us).count_ps(), 1'000'000);
+  EXPECT_EQ((1_ms).count_ps(), 1'000'000'000);
+  EXPECT_EQ((1_s).count_ps(), 1'000'000'000'000);
+  EXPECT_DOUBLE_EQ((2.5_ms).as_ms(), 2.5);
+  EXPECT_DOUBLE_EQ((1500_us).as_ms(), 1.5);
+  EXPECT_DOUBLE_EQ((0.5_s).as_seconds(), 0.5);
+}
+
+TEST(Duration, Arithmetic) {
+  EXPECT_EQ(1_ms + 500_us, 1.5_ms);
+  EXPECT_EQ(1_ms - 1500_us, -(0.5_ms));
+  EXPECT_EQ((2_ms) * 2.0, 4_ms);
+  EXPECT_EQ((2_ms) / 2.0, 1_ms);
+  EXPECT_DOUBLE_EQ((3_ms) / (1.5_ms), 2.0);
+  Duration d = 1_s;
+  d += 1_ms;
+  EXPECT_EQ(d.count_ps(), 1'001'000'000'000);
+  d -= 1_ms;
+  EXPECT_EQ(d, 1_s);
+}
+
+TEST(Duration, Comparisons) {
+  EXPECT_LT(1_us, 1_ms);
+  EXPECT_GT(1_s, 999_ms);
+  EXPECT_LE(5_ns, 5_ns);
+  EXPECT_TRUE((0_ns).is_zero());
+  EXPECT_TRUE((1_us - 2_us).is_negative());
+  EXPECT_FALSE((1_us).is_negative());
+}
+
+TEST(Duration, SubPicosecondRoundsToNearest) {
+  // 0.4 ps rounds to 0, 0.6 ps rounds to 1.
+  EXPECT_EQ(Duration::ns(0.0004).count_ps(), 0);
+  EXPECT_EQ(Duration::ns(0.0006).count_ps(), 1);
+}
+
+TEST(Duration, MaxActsAsInfinity) {
+  EXPECT_GT(Duration::max(), 1000000_s);
+  EXPECT_EQ(Duration::max(), Duration::max());
+}
+
+TEST(TimePoint, ArithmeticWithDurations) {
+  const TimePoint t0 = TimePoint::origin();
+  const TimePoint t1 = t0 + 5_ms;
+  EXPECT_EQ((t1 - t0), 5_ms);
+  EXPECT_EQ(t1 - 5_ms, t0);
+  EXPECT_LT(t0, t1);
+  TimePoint t = t0;
+  t += 1_s;
+  EXPECT_DOUBLE_EQ(t.as_seconds(), 1.0);
+}
+
+TEST(TimePoint, MaxIsSentinel) {
+  EXPECT_GT(TimePoint::max(), TimePoint::origin() + 1000000_s);
+}
+
+TEST(UnitsFormatting, HumanReadable) {
+  EXPECT_EQ((500_ps).to_string(), "500ps");
+  EXPECT_EQ((10_ns).to_string(), "10ns");
+  EXPECT_EQ((250_us).to_string(), "250us");
+  EXPECT_EQ((10_ms).to_string(), "10ms");
+  EXPECT_EQ((2_s).to_string(), "2s");
+  std::ostringstream os;
+  os << 10_ms;
+  EXPECT_EQ(os.str(), "10ms");
+}
+
+}  // namespace
+}  // namespace qnetp

@@ -1,0 +1,304 @@
+#include "qdevice/device.hpp"
+
+#include <gtest/gtest.h>
+
+#include "qbase/stats.hpp"
+
+namespace qnetp::qdevice {
+namespace {
+
+using namespace qnetp::literals;
+using qstate::Basis;
+using qstate::BellIndex;
+using qstate::TwoQubitState;
+
+// Test fixture wiring two devices (as if at adjacent nodes) plus helpers
+// to mint link pairs the way the link layer will.
+class DeviceTest : public ::testing::Test {
+ protected:
+  DeviceTest()
+      : rng_(42),
+        dev_a_(sim_, rng_, registry_, qhw::simulation_preset(), NodeId{1}),
+        dev_m_(sim_, rng_, registry_, qhw::simulation_preset(), NodeId{2}),
+        dev_b_(sim_, rng_, registry_, qhw::simulation_preset(), NodeId{3}) {
+    dev_a_.memory().add_link_pool(LinkId{12}, 4);
+    dev_m_.memory().add_link_pool(LinkId{12}, 4);
+    dev_m_.memory().add_link_pool(LinkId{23}, 4);
+    dev_b_.memory().add_link_pool(LinkId{23}, 4);
+  }
+
+  /// Mint an entangled pair between two devices, as the link layer does.
+  struct MintedPair {
+    PairPtr pair;
+    QubitId left_qubit;
+    QubitId right_qubit;
+  };
+  MintedPair mint(QuantumDevice& left, QuantumDevice& right, LinkId link,
+                  TwoQubitState state, BellIndex announced) {
+    const auto ql = left.memory().try_alloc_comm(link, sim_.now());
+    const auto qr = right.memory().try_alloc_comm(link, sim_.now());
+    EXPECT_TRUE(ql && qr);
+    auto pair = std::make_shared<EntangledPair>(
+        PairId{next_pair_++}, std::move(state), announced,
+        EntangledPair::Side{left.node(), *ql,
+                            left.hardware().electron_memory()},
+        EntangledPair::Side{right.node(), *qr,
+                            right.hardware().electron_memory()},
+        sim_.now());
+    registry_.bind(QubitEndpoint{left.node(), *ql}, pair, 0);
+    registry_.bind(QubitEndpoint{right.node(), *qr}, pair, 1);
+    return MintedPair{pair, *ql, *qr};
+  }
+
+  des::Simulator sim_;
+  Rng rng_;
+  PairRegistry registry_;
+  QuantumDevice dev_a_;
+  QuantumDevice dev_m_;
+  QuantumDevice dev_b_;
+  std::uint64_t next_pair_ = 1;
+};
+
+TEST_F(DeviceTest, SwapMergesPairsAndFreesLocalQubits) {
+  auto left = mint(dev_a_, dev_m_, LinkId{12},
+                   TwoQubitState::bell(BellIndex::phi_plus()),
+                   BellIndex::phi_plus());
+  auto right = mint(dev_m_, dev_b_, LinkId{23},
+                    TwoQubitState::bell(BellIndex::psi_plus()),
+                    BellIndex::psi_plus());
+
+  bool completed = false;
+  dev_m_.entanglement_swap(
+      left.right_qubit, right.left_qubit,
+      [&](const SwapCompletion& c) {
+        completed = true;
+        // Merged pair spans A and B.
+        EXPECT_EQ(c.new_pair->side(0).node, NodeId{1});
+        EXPECT_EQ(c.new_pair->side(1).node, NodeId{3});
+        // Tracked frame: phi+ ^ psi+ ^ announced.
+        const BellIndex expect =
+            BellIndex::phi_plus() ^ BellIndex::psi_plus() ^ c.announced;
+        EXPECT_EQ(c.new_pair->announced_bell(), expect);
+        // Physical state matches (noise is tiny at these parameters).
+        EXPECT_GT(c.new_pair->oracle_fidelity(sim_.now()), 0.98);
+      });
+  sim_.run();
+  EXPECT_TRUE(completed);
+  // Swap took the two-qubit gate plus two readouts.
+  EXPECT_EQ(sim_.now(), TimePoint::origin() + 500_us + 3.7_us + 3.7_us);
+  // Middle node's qubits returned to their pools.
+  EXPECT_EQ(dev_m_.memory().free_comm_count(LinkId{12}), 4u);
+  EXPECT_EQ(dev_m_.memory().free_comm_count(LinkId{23}), 4u);
+  // Outer endpoints rebound to the merged pair.
+  const auto binding =
+      registry_.find(QubitEndpoint{NodeId{1}, left.left_qubit});
+  ASSERT_TRUE(binding);
+  EXPECT_EQ(binding->side, 0);
+}
+
+TEST_F(DeviceTest, SwapOrientationIndependence) {
+  // Whichever argument order / side layout, the merged pair must span the
+  // two outer endpoints. Here the middle node holds side 1 of BOTH pairs
+  // (second pair minted "backwards").
+  auto left = mint(dev_a_, dev_m_, LinkId{12},
+                   TwoQubitState::bell(BellIndex::phi_plus()),
+                   BellIndex::phi_plus());
+  auto right = mint(dev_b_, dev_m_, LinkId{23},
+                    TwoQubitState::bell(BellIndex::phi_plus()),
+                    BellIndex::phi_plus());
+  bool completed = false;
+  dev_m_.entanglement_swap(left.right_qubit, right.right_qubit,
+                           [&](const SwapCompletion& c) {
+                             completed = true;
+                             EXPECT_EQ(c.new_pair->side(0).node, NodeId{1});
+                             EXPECT_EQ(c.new_pair->side(1).node, NodeId{3});
+                             EXPECT_GT(c.new_pair->oracle_fidelity(sim_.now()),
+                                       0.98);
+                           });
+  sim_.run();
+  EXPECT_TRUE(completed);
+}
+
+TEST_F(DeviceTest, SwapXorFrameStatisticallyConsistent) {
+  // Over many swaps, the merged announced frame must equal the physical
+  // best Bell state in the overwhelming majority of cases (readout error
+  // is 0.2%).
+  int agree = 0;
+  const int trials = 64;
+  for (int i = 0; i < trials; ++i) {
+    auto left = mint(dev_a_, dev_m_, LinkId{12},
+                     TwoQubitState::bell(BellIndex::psi_plus()),
+                     BellIndex::psi_plus());
+    auto right = mint(dev_m_, dev_b_, LinkId{23},
+                      TwoQubitState::bell(BellIndex::psi_plus()),
+                      BellIndex::psi_plus());
+    PairPtr merged;
+    dev_m_.entanglement_swap(left.right_qubit, right.left_qubit,
+                             [&](const SwapCompletion& c) {
+                               merged = c.new_pair;
+                             });
+    sim_.run();
+    ASSERT_TRUE(merged != nullptr);
+    const auto [best, f] = merged->state_at(sim_.now()).best_bell();
+    if (best == merged->announced_bell()) ++agree;
+    // Clean up for next iteration.
+    dev_a_.discard(left.left_qubit);
+    dev_b_.discard(right.right_qubit);
+  }
+  EXPECT_GE(agree, trials - 4);
+}
+
+TEST_F(DeviceTest, MeasureConsumesQubitAndAppliesReadoutError) {
+  auto pair = mint(dev_a_, dev_m_, LinkId{12},
+                   TwoQubitState::bell(BellIndex::phi_plus()),
+                   BellIndex::phi_plus());
+  int outcome_a = -1, outcome_b = -1;
+  dev_a_.measure(pair.left_qubit, Basis::z,
+                 [&](int o) { outcome_a = o; });
+  dev_m_.measure(pair.right_qubit, Basis::z,
+                 [&](int o) { outcome_b = o; });
+  sim_.run();
+  ASSERT_NE(outcome_a, -1);
+  ASSERT_NE(outcome_b, -1);
+  EXPECT_TRUE(dev_a_.memory().all_free());
+  EXPECT_TRUE(dev_m_.memory().all_free());
+  EXPECT_TRUE(registry_.empty());
+}
+
+TEST_F(DeviceTest, MeasurementCorrelationStatistics) {
+  int equal = 0;
+  const int trials = 200;
+  for (int i = 0; i < trials; ++i) {
+    auto pair = mint(dev_a_, dev_m_, LinkId{12},
+                     TwoQubitState::bell(BellIndex::phi_plus()),
+                     BellIndex::phi_plus());
+    int oa = -1, ob = -1;
+    dev_a_.measure(pair.left_qubit, Basis::z, [&](int o) { oa = o; });
+    dev_m_.measure(pair.right_qubit, Basis::z, [&](int o) { ob = o; });
+    sim_.run();
+    if (oa == ob) ++equal;
+  }
+  // Phi+ perfectly correlated in Z up to the 0.2% readout flips per side.
+  EXPECT_GE(equal, trials - 8);
+}
+
+TEST_F(DeviceTest, PauliCorrectMovesFrame) {
+  auto pair = mint(dev_a_, dev_m_, LinkId{12},
+                   TwoQubitState::bell(BellIndex::psi_minus()),
+                   BellIndex::psi_minus());
+  bool done = false;
+  dev_a_.pauli_correct(pair.left_qubit, BellIndex::phi_plus(), [&] {
+    done = true;
+  });
+  sim_.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(pair.pair->announced_bell(), BellIndex::phi_plus());
+  EXPECT_GT(pair.pair->oracle_fidelity(sim_.now()), 0.99);
+  // Correction is fast (single-qubit gate, 5 ns).
+  EXPECT_EQ(sim_.now(), TimePoint::origin() + 5_ns);
+}
+
+TEST_F(DeviceTest, DiscardBreaksPairAndFrees) {
+  auto pair = mint(dev_a_, dev_m_, LinkId{12},
+                   TwoQubitState::bell(BellIndex::phi_plus()),
+                   BellIndex::phi_plus());
+  dev_a_.discard(pair.left_qubit);
+  EXPECT_TRUE(pair.pair->broken());
+  EXPECT_EQ(dev_a_.memory().free_comm_count(LinkId{12}), 4u);
+  // Partner's oracle fidelity collapses to 0.25.
+  EXPECT_NEAR(pair.pair->oracle_fidelity(sim_.now()), 0.25, 1e-9);
+  // Partner qubit still allocated until its own discard.
+  EXPECT_TRUE(dev_m_.memory().is_allocated(pair.right_qubit));
+  dev_m_.discard(pair.right_qubit);
+  EXPECT_TRUE(dev_m_.memory().all_free());
+}
+
+TEST_F(DeviceTest, ReleaseUnusedRejectsBoundQubit) {
+  auto pair = mint(dev_a_, dev_m_, LinkId{12},
+                   TwoQubitState::bell(BellIndex::phi_plus()),
+                   BellIndex::phi_plus());
+  EXPECT_THROW(dev_a_.release_unused(pair.left_qubit), AssertionError);
+  const auto spare = dev_a_.memory().try_alloc_comm(LinkId{12}, sim_.now());
+  ASSERT_TRUE(spare);
+  dev_a_.release_unused(*spare);  // fine: no pair side attached
+}
+
+TEST_F(DeviceTest, SerializedModeQueuesOps) {
+  dev_m_.set_serialized(true);
+  auto p1 = mint(dev_a_, dev_m_, LinkId{12},
+                 TwoQubitState::bell(BellIndex::phi_plus()),
+                 BellIndex::phi_plus());
+  auto p2 = mint(dev_m_, dev_b_, LinkId{23},
+                 TwoQubitState::bell(BellIndex::phi_plus()),
+                 BellIndex::phi_plus());
+  TimePoint t_measure, t_correct;
+  // Two ops on the serialized device: the second starts after the first.
+  dev_m_.measure(p1.right_qubit, Basis::z, [&](int) { t_measure = sim_.now(); });
+  dev_m_.pauli_correct(p2.left_qubit, BellIndex::phi_plus(),
+                       [&] { t_correct = sim_.now(); });
+  sim_.run();
+  // measure = 3.7us readout; correction 5ns executes after it.
+  EXPECT_EQ(t_measure, TimePoint::origin() + 3.7_us);
+  EXPECT_EQ(t_correct, TimePoint::origin() + 3.7_us + 5_ns);
+}
+
+TEST_F(DeviceTest, AttemptDephasingHitsOnlyStorageQubits) {
+  // Build a near-term style device with storage.
+  QuantumDevice dev_nt(sim_, rng_, registry_, qhw::near_term_preset(),
+                       NodeId{9});
+  dev_nt.memory().set_shared_comm_pool(1);
+  dev_nt.memory().add_storage(2);
+
+  // Mint a pair ending on the near-term node's comm qubit.
+  const auto qc = dev_nt.memory().try_alloc_comm(LinkId{12}, sim_.now());
+  ASSERT_TRUE(qc);
+  auto pair = std::make_shared<EntangledPair>(
+      PairId{77}, TwoQubitState::bell(BellIndex::psi_plus()),
+      BellIndex::psi_plus(),
+      EntangledPair::Side{NodeId{9}, *qc,
+                          dev_nt.hardware().electron_memory()},
+      EntangledPair::Side{NodeId{1}, QubitId{1000},
+                          qstate::MemoryDecay{}},
+      sim_.now());
+  registry_.bind(QubitEndpoint{NodeId{9}, *qc}, pair, 0);
+
+  // While on the communication qubit, attempt dephasing must NOT apply.
+  dev_nt.apply_attempt_dephasing(1000);
+  EXPECT_NEAR(pair->oracle_fidelity(sim_.now()), 1.0, 1e-9);
+
+  // Move to storage, then attempts do degrade it.
+  QubitId storage;
+  dev_nt.move_to_storage(*qc, [&](QubitId s) { storage = s; });
+  sim_.run();
+  ASSERT_TRUE(storage.valid());
+  const double f_before = pair->oracle_fidelity(sim_.now());
+  dev_nt.apply_attempt_dephasing(5000);
+  const double f_after = pair->oracle_fidelity(sim_.now());
+  EXPECT_LT(f_after, f_before - 0.01);
+}
+
+TEST_F(DeviceTest, MoveToStorageFailsWhenStorageExhausted) {
+  QuantumDevice dev_nt(sim_, rng_, registry_, qhw::near_term_preset(),
+                       NodeId{9});
+  dev_nt.memory().set_shared_comm_pool(2);
+  dev_nt.memory().add_storage(0);
+  const auto qc = dev_nt.memory().try_alloc_comm(LinkId{12}, sim_.now());
+  ASSERT_TRUE(qc);
+  auto pair = std::make_shared<EntangledPair>(
+      PairId{78}, TwoQubitState::bell(BellIndex::psi_plus()),
+      BellIndex::psi_plus(),
+      EntangledPair::Side{NodeId{9}, *qc, qstate::MemoryDecay{}},
+      EntangledPair::Side{NodeId{1}, QubitId{1000}, qstate::MemoryDecay{}},
+      sim_.now());
+  registry_.bind(QubitEndpoint{NodeId{9}, *qc}, pair, 0);
+  bool called = false;
+  dev_nt.move_to_storage(*qc, [&](QubitId s) {
+    called = true;
+    EXPECT_FALSE(s.valid());
+  });
+  sim_.run();
+  EXPECT_TRUE(called);
+}
+
+}  // namespace
+}  // namespace qnetp::qdevice

@@ -1,0 +1,108 @@
+#include "qdevice/memory_manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include "qbase/assert.hpp"
+
+namespace qnetp::qdevice {
+namespace {
+
+using namespace qnetp::literals;
+
+TEST(MemoryManager, PerLinkPoolsAllocateAndExhaust) {
+  QuantumMemoryManager qmm(NodeId{1});
+  qmm.add_link_pool(LinkId{1}, 2);
+  qmm.add_link_pool(LinkId{2}, 1);
+  EXPECT_EQ(qmm.total_count(), 3u);
+  EXPECT_EQ(qmm.free_comm_count(LinkId{1}), 2u);
+
+  const auto a = qmm.try_alloc_comm(LinkId{1}, TimePoint::origin());
+  const auto b = qmm.try_alloc_comm(LinkId{1}, TimePoint::origin());
+  ASSERT_TRUE(a && b);
+  EXPECT_NE(*a, *b);
+  // Pool 1 exhausted; pool 2 unaffected.
+  EXPECT_FALSE(qmm.try_alloc_comm(LinkId{1}, TimePoint::origin()));
+  EXPECT_TRUE(qmm.try_alloc_comm(LinkId{2}, TimePoint::origin()));
+  EXPECT_EQ(qmm.in_use_count(), 3u);
+}
+
+TEST(MemoryManager, FreeReturnsToOwningPool) {
+  QuantumMemoryManager qmm(NodeId{1});
+  qmm.add_link_pool(LinkId{1}, 1);
+  qmm.add_link_pool(LinkId{2}, 1);
+  const auto a = qmm.try_alloc_comm(LinkId{1}, TimePoint::origin());
+  ASSERT_TRUE(a);
+  qmm.free(*a);
+  EXPECT_EQ(qmm.free_comm_count(LinkId{1}), 1u);
+  EXPECT_EQ(qmm.free_comm_count(LinkId{2}), 1u);
+  EXPECT_TRUE(qmm.all_free());
+}
+
+TEST(MemoryManager, DoubleFreeAsserts) {
+  QuantumMemoryManager qmm(NodeId{1});
+  qmm.add_link_pool(LinkId{1}, 1);
+  const auto a = qmm.try_alloc_comm(LinkId{1}, TimePoint::origin());
+  qmm.free(*a);
+  EXPECT_THROW(qmm.free(*a), AssertionError);
+}
+
+TEST(MemoryManager, UnknownQubitAsserts) {
+  QuantumMemoryManager qmm(NodeId{1});
+  EXPECT_THROW(qmm.free(QubitId{12345}), AssertionError);
+  EXPECT_THROW(qmm.slot(QubitId{12345}), AssertionError);
+}
+
+TEST(MemoryManager, SharedCommPool) {
+  QuantumMemoryManager qmm(NodeId{1});
+  qmm.set_shared_comm_pool(1);
+  // Any link draws from the shared pool.
+  const auto a = qmm.try_alloc_comm(LinkId{1}, TimePoint::origin());
+  ASSERT_TRUE(a);
+  EXPECT_FALSE(qmm.try_alloc_comm(LinkId{2}, TimePoint::origin()));
+  qmm.free(*a);
+  EXPECT_TRUE(qmm.try_alloc_comm(LinkId{2}, TimePoint::origin()));
+}
+
+TEST(MemoryManager, MixingPoolModesAsserts) {
+  QuantumMemoryManager a(NodeId{1});
+  a.set_shared_comm_pool(1);
+  EXPECT_THROW(a.add_link_pool(LinkId{1}, 1), AssertionError);
+  QuantumMemoryManager b(NodeId{2});
+  b.add_link_pool(LinkId{1}, 1);
+  EXPECT_THROW(b.set_shared_comm_pool(1), AssertionError);
+}
+
+TEST(MemoryManager, StoragePoolSeparateFromComm) {
+  QuantumMemoryManager qmm(NodeId{1});
+  qmm.set_shared_comm_pool(1);
+  qmm.add_storage(2);
+  EXPECT_EQ(qmm.free_storage_count(), 2u);
+  const auto s1 = qmm.try_alloc_storage(TimePoint::origin());
+  const auto s2 = qmm.try_alloc_storage(TimePoint::origin());
+  ASSERT_TRUE(s1 && s2);
+  EXPECT_FALSE(qmm.try_alloc_storage(TimePoint::origin()));
+  // Comm pool untouched.
+  EXPECT_EQ(qmm.free_comm_count(LinkId{1}), 1u);
+  // Freeing a storage qubit returns it to the storage pool.
+  qmm.free(*s1);
+  EXPECT_EQ(qmm.free_storage_count(), 1u);
+  EXPECT_EQ(qmm.slot(*s2).kind, QubitKind::storage);
+}
+
+TEST(MemoryManager, SlotMetadata) {
+  QuantumMemoryManager qmm(NodeId{7});
+  qmm.add_link_pool(LinkId{3}, 1);
+  const auto a = qmm.try_alloc_comm(LinkId{3}, TimePoint::origin() + 5_ms);
+  ASSERT_TRUE(a);
+  const QubitSlot& slot = qmm.slot(*a);
+  EXPECT_EQ(slot.kind, QubitKind::communication);
+  EXPECT_EQ(slot.pool_link, LinkId{3});
+  EXPECT_TRUE(slot.in_use);
+  EXPECT_EQ(slot.allocated_at, TimePoint::origin() + 5_ms);
+  EXPECT_TRUE(qmm.is_allocated(*a));
+  qmm.free(*a);
+  EXPECT_FALSE(qmm.is_allocated(*a));
+}
+
+}  // namespace
+}  // namespace qnetp::qdevice

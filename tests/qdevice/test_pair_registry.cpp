@@ -1,0 +1,87 @@
+#include "qdevice/pair_registry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qnetp::qdevice {
+namespace {
+
+using qstate::BellIndex;
+using qstate::TwoQubitState;
+
+PairPtr make_pair(std::uint64_t id) {
+  return std::make_shared<EntangledPair>(
+      PairId{id}, TwoQubitState::bell(BellIndex::phi_plus()),
+      BellIndex::phi_plus(),
+      EntangledPair::Side{NodeId{1}, QubitId{10}, qstate::MemoryDecay{}},
+      EntangledPair::Side{NodeId{2}, QubitId{20}, qstate::MemoryDecay{}},
+      TimePoint::origin());
+}
+
+TEST(PairRegistry, BindFindUnbind) {
+  PairRegistry reg;
+  const QubitEndpoint ep{NodeId{1}, QubitId{10}};
+  EXPECT_FALSE(reg.find(ep).has_value());
+  auto pair = make_pair(1);
+  reg.bind(ep, pair, 0);
+  const auto binding = reg.find(ep);
+  ASSERT_TRUE(binding);
+  EXPECT_EQ(binding->pair->id(), PairId{1});
+  EXPECT_EQ(binding->side, 0);
+  reg.unbind(ep);
+  EXPECT_FALSE(reg.find(ep).has_value());
+  EXPECT_TRUE(reg.empty());
+}
+
+TEST(PairRegistry, RebindReplaces) {
+  PairRegistry reg;
+  const QubitEndpoint ep{NodeId{1}, QubitId{10}};
+  reg.bind(ep, make_pair(1), 0);
+  reg.bind(ep, make_pair(2), 1);
+  const auto binding = reg.find(ep);
+  ASSERT_TRUE(binding);
+  EXPECT_EQ(binding->pair->id(), PairId{2});
+  EXPECT_EQ(binding->side, 1);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(PairRegistry, DistinctEndpointsIndependent) {
+  PairRegistry reg;
+  reg.bind(QubitEndpoint{NodeId{1}, QubitId{10}}, make_pair(1), 0);
+  reg.bind(QubitEndpoint{NodeId{2}, QubitId{10}}, make_pair(2), 1);
+  reg.bind(QubitEndpoint{NodeId{1}, QubitId{11}}, make_pair(3), 0);
+  EXPECT_EQ(reg.size(), 3u);
+  EXPECT_EQ(reg.find(QubitEndpoint{NodeId{2}, QubitId{10}})->pair->id(),
+            PairId{2});
+}
+
+TEST(PairRegistry, ForEachAtNodeFilters) {
+  PairRegistry reg;
+  reg.bind(QubitEndpoint{NodeId{1}, QubitId{10}}, make_pair(1), 0);
+  reg.bind(QubitEndpoint{NodeId{1}, QubitId{11}}, make_pair(2), 0);
+  reg.bind(QubitEndpoint{NodeId{2}, QubitId{20}}, make_pair(3), 1);
+  int count = 0;
+  reg.for_each_at_node(NodeId{1},
+                       [&](const QubitEndpoint& ep,
+                           const PairRegistry::Binding&) {
+                         EXPECT_EQ(ep.node, NodeId{1});
+                         ++count;
+                       });
+  EXPECT_EQ(count, 2);
+}
+
+TEST(PairRegistry, InvalidBindAsserts) {
+  PairRegistry reg;
+  EXPECT_THROW(reg.bind(QubitEndpoint{NodeId{1}, QubitId{1}}, nullptr, 0),
+               AssertionError);
+  EXPECT_THROW(reg.bind(QubitEndpoint{NodeId{1}, QubitId{1}}, make_pair(1), 2),
+               AssertionError);
+}
+
+TEST(PairRegistry, UnbindMissingIsNoop) {
+  PairRegistry reg;
+  reg.unbind(QubitEndpoint{NodeId{9}, QubitId{9}});
+  EXPECT_TRUE(reg.empty());
+}
+
+}  // namespace
+}  // namespace qnetp::qdevice

@@ -1,0 +1,58 @@
+#include "qhw/fiber.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qbase/assert.hpp"
+
+namespace qnetp::qhw {
+namespace {
+
+TEST(Fiber, LabPresetTransmissionNearUnity) {
+  const FiberParams f = FiberParams::lab(2.0);
+  // 2 m at 5 dB/km = 0.01 dB.
+  EXPECT_NEAR(f.transmission(), std::pow(10.0, -0.01 / 10.0), 1e-12);
+  EXPECT_GT(f.transmission(), 0.99);
+}
+
+TEST(Fiber, TelecomPresetAttenuation) {
+  const FiberParams f = FiberParams::telecom(25000.0);
+  // 25 km at 0.5 dB/km = 12.5 dB.
+  EXPECT_NEAR(f.transmission(), std::pow(10.0, -12.5 / 10.0), 1e-12);
+  // Half length (to midpoint): 6.25 dB.
+  EXPECT_NEAR(f.transmission(0.5), std::pow(10.0, -6.25 / 10.0), 1e-12);
+}
+
+TEST(Fiber, PropagationDelay) {
+  const FiberParams f = FiberParams::telecom(25000.0);
+  EXPECT_NEAR(f.propagation_delay().as_us(), 125.0, 1e-6);
+  EXPECT_NEAR(f.propagation_delay(0.5).as_us(), 62.5, 1e-6);
+  const FiberParams lab = FiberParams::lab(2.0);
+  EXPECT_NEAR(lab.propagation_delay().as_ns(), 10.0, 1e-6);
+}
+
+TEST(Fiber, TransmissionMonotoneInLength) {
+  double prev = 1.0;
+  for (double len : {10.0, 100.0, 1000.0, 10000.0, 50000.0}) {
+    const double t = FiberParams::telecom(len).transmission();
+    EXPECT_LT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(Fiber, ValidationRejectsNonPositiveLength) {
+  FiberParams f{0.0, 5.0};
+  EXPECT_THROW(f.validate(), AssertionError);
+  FiberParams g{100.0, -1.0};
+  EXPECT_THROW(g.validate(), AssertionError);
+}
+
+TEST(Fiber, FractionBoundsChecked) {
+  const FiberParams f = FiberParams::lab(2.0);
+  EXPECT_THROW(f.transmission(1.5), AssertionError);
+  EXPECT_THROW(f.propagation_delay(-0.1), AssertionError);
+}
+
+}  // namespace
+}  // namespace qnetp::qhw

@@ -1,0 +1,111 @@
+#include "qhw/params.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qnetp::qhw {
+namespace {
+
+using namespace qnetp::literals;
+
+TEST(Presets, SimulationMatchesTable1) {
+  const HardwareParams hw = simulation_preset();
+  EXPECT_EQ(hw.name, "simulation");
+  EXPECT_DOUBLE_EQ(hw.gates.electron_single_qubit.fidelity, 1.0);
+  EXPECT_EQ(hw.gates.electron_single_qubit.duration, 5_ns);
+  EXPECT_DOUBLE_EQ(hw.gates.two_qubit.fidelity, 0.998);
+  EXPECT_EQ(hw.gates.two_qubit.duration, 500_us);
+  EXPECT_DOUBLE_EQ(hw.gates.electron_init.fidelity, 0.99);
+  EXPECT_EQ(hw.gates.electron_init.duration, 2_us);
+  EXPECT_DOUBLE_EQ(hw.gates.electron_readout_0.fidelity, 0.998);
+  EXPECT_EQ(hw.gates.electron_readout_0.duration, 3.7_us);
+  EXPECT_FALSE(hw.single_communication_qubit);
+}
+
+TEST(Presets, SimulationMatchesTable2) {
+  const HardwareParams hw = simulation_preset();
+  EXPECT_EQ(hw.phys.electron_t2, 60_s);
+  EXPECT_EQ(hw.phys.tau_w, 25_ns);
+  EXPECT_EQ(hw.phys.tau_e, 6.0_ns);
+  EXPECT_DOUBLE_EQ(hw.phys.delta_phi_deg, 2.0);
+  EXPECT_DOUBLE_EQ(hw.phys.p_double_excitation, 0.0);
+  EXPECT_DOUBLE_EQ(hw.phys.p_zero_phonon, 0.75);
+  EXPECT_DOUBLE_EQ(hw.phys.collection_efficiency, 20.0e-3);
+  EXPECT_DOUBLE_EQ(hw.phys.dark_count_rate_hz, 20.0);
+  EXPECT_DOUBLE_EQ(hw.phys.p_detection, 0.8);
+  EXPECT_DOUBLE_EQ(hw.phys.visibility, 1.0);
+}
+
+TEST(Presets, NearTermMatchesTables) {
+  const HardwareParams hw = near_term_preset();
+  EXPECT_EQ(hw.name, "near-term");
+  EXPECT_TRUE(hw.single_communication_qubit);
+  EXPECT_DOUBLE_EQ(hw.gates.two_qubit.fidelity, 0.992);
+  EXPECT_DOUBLE_EQ(hw.gates.carbon_init.fidelity, 0.95);
+  EXPECT_EQ(hw.gates.carbon_init.duration, 300_us);
+  EXPECT_DOUBLE_EQ(hw.gates.electron_readout_0.fidelity, 0.95);
+  EXPECT_DOUBLE_EQ(hw.gates.electron_readout_1.fidelity, 0.995);
+  EXPECT_EQ(hw.phys.electron_t2, 1.46_s);
+  EXPECT_EQ(hw.phys.carbon_t2, 60_s);
+  EXPECT_EQ(hw.phys.tau_e, 6.48_ns);
+  EXPECT_DOUBLE_EQ(hw.phys.delta_phi_deg, 10.6);
+  EXPECT_DOUBLE_EQ(hw.phys.p_double_excitation, 0.04);
+  EXPECT_DOUBLE_EQ(hw.phys.p_zero_phonon, 0.46);
+  EXPECT_DOUBLE_EQ(hw.phys.collection_efficiency, 4.38e-3);
+  EXPECT_DOUBLE_EQ(hw.phys.visibility, 0.9);
+}
+
+TEST(Derived, DepolarizingFromFidelity) {
+  EXPECT_DOUBLE_EQ(HardwareParams::depolarizing_from_fidelity(1.0), 0.0);
+  EXPECT_NEAR(HardwareParams::depolarizing_from_fidelity(0.998),
+              0.002 * 4.0 / 3.0, 1e-12);
+  // Floors at 1.
+  EXPECT_DOUBLE_EQ(HardwareParams::depolarizing_from_fidelity(0.25), 1.0);
+}
+
+TEST(Derived, SwapNoiseAndDuration) {
+  const HardwareParams hw = simulation_preset();
+  const auto noise = hw.swap_noise();
+  EXPECT_NEAR(noise.gate_depolarizing, 0.002 * 4.0 / 3.0 / 2.0, 1e-12);
+  EXPECT_NEAR(noise.readout_flip_prob, 0.002, 1e-12);
+  EXPECT_EQ(hw.swap_duration(), 500_us + 3.7_us + 3.7_us);
+}
+
+TEST(Derived, ReadoutFlipAveragesAsymmetricErrors) {
+  const HardwareParams hw = near_term_preset();
+  EXPECT_NEAR(hw.readout_flip_prob(), (0.05 + 0.005) / 2.0, 1e-12);
+}
+
+TEST(Derived, MemoryModels) {
+  const HardwareParams hw = near_term_preset();
+  EXPECT_EQ(hw.electron_memory().t2, 1.46_s);
+  EXPECT_EQ(hw.carbon_memory().t2, 60_s);
+  // Simulation preset has no carbon decay.
+  EXPECT_EQ(simulation_preset().carbon_memory().t2, Duration::max());
+}
+
+TEST(Derived, NuclearDephasingPerAttempt) {
+  const HardwareParams sim = simulation_preset();
+  EXPECT_DOUBLE_EQ(sim.nuclear_dephasing_lambda_per_attempt(), 0.0);
+  const HardwareParams nt = near_term_preset();
+  const double lambda = nt.nuclear_dephasing_lambda_per_attempt();
+  EXPECT_GT(lambda, 0.0);
+  EXPECT_LT(lambda, 0.01);  // decoupling keeps the per-attempt hit small
+}
+
+TEST(Derived, MoveCosts) {
+  const HardwareParams hw = near_term_preset();
+  EXPECT_EQ(hw.move_duration(), 300_us + 500_us);
+  EXPECT_GT(hw.move_depolarizing(), 0.0);
+}
+
+TEST(Validation, RejectsBadParameters) {
+  HardwareParams hw = simulation_preset();
+  hw.phys.p_detection = 1.5;
+  EXPECT_THROW(hw.validate(), AssertionError);
+  HardwareParams hw2 = simulation_preset();
+  hw2.gates.two_qubit.fidelity = -0.1;
+  EXPECT_THROW(hw2.validate(), AssertionError);
+}
+
+}  // namespace
+}  // namespace qnetp::qhw

@@ -1,0 +1,128 @@
+#include "qnp/demux.hpp"
+
+#include <gtest/gtest.h>
+
+#include "qbase/assert.hpp"
+
+namespace qnetp::qnp {
+namespace {
+
+TEST(Demux, EmptyHasNoRequests) {
+  Demultiplexer d;
+  EXPECT_FALSE(d.next_request().has_value());
+  EXPECT_EQ(d.active_count(), 0u);
+}
+
+TEST(Demux, FifoServesOldestUntilQuotaExhausted) {
+  Demultiplexer d(DemuxPolicy::fifo);
+  d.add_request(RequestId{1}, 2);
+  d.add_request(RequestId{2}, 2);
+  EXPECT_EQ(d.next_request(), RequestId{1});
+  EXPECT_EQ(d.next_request(), RequestId{1});
+  EXPECT_EQ(d.next_request(), RequestId{2});
+  EXPECT_EQ(d.next_request(), RequestId{2});
+}
+
+TEST(Demux, FifoOverAssignsToOldestWhenAllExhausted) {
+  Demultiplexer d(DemuxPolicy::fifo);
+  d.add_request(RequestId{1}, 1);
+  EXPECT_EQ(d.next_request(), RequestId{1});
+  // Quota exhausted but the request is still active (pair in flight):
+  // keep assigning so generation never stops.
+  EXPECT_EQ(d.next_request(), RequestId{1});
+}
+
+TEST(Demux, RateBasedRequestsHaveUnlimitedQuota) {
+  Demultiplexer d(DemuxPolicy::fifo);
+  d.add_request(RequestId{1}, 0);  // rate-based
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(d.next_request(), RequestId{1});
+}
+
+TEST(Demux, UnassignReturnsQuota) {
+  Demultiplexer d(DemuxPolicy::fifo);
+  d.add_request(RequestId{1}, 1);
+  d.add_request(RequestId{2}, 5);
+  EXPECT_EQ(d.next_request(), RequestId{1});
+  EXPECT_EQ(d.next_request(), RequestId{2});
+  // The first pair expired: its slot reopens and FIFO goes back to 1.
+  d.unassign(RequestId{1});
+  EXPECT_EQ(d.next_request(), RequestId{1});
+}
+
+TEST(Demux, RoundRobinInterleaves) {
+  Demultiplexer d(DemuxPolicy::round_robin);
+  d.add_request(RequestId{1}, 0);
+  d.add_request(RequestId{2}, 0);
+  d.add_request(RequestId{3}, 0);
+  EXPECT_EQ(d.next_request(), RequestId{1});
+  EXPECT_EQ(d.next_request(), RequestId{2});
+  EXPECT_EQ(d.next_request(), RequestId{3});
+  EXPECT_EQ(d.next_request(), RequestId{1});
+}
+
+TEST(Demux, RoundRobinSurvivesRemoval) {
+  Demultiplexer d(DemuxPolicy::round_robin);
+  d.add_request(RequestId{1}, 0);
+  d.add_request(RequestId{2}, 0);
+  d.add_request(RequestId{3}, 0);
+  EXPECT_EQ(d.next_request(), RequestId{1});
+  d.remove_request(RequestId{2});
+  EXPECT_EQ(d.next_request(), RequestId{3});
+  EXPECT_EQ(d.next_request(), RequestId{1});
+  EXPECT_EQ(d.next_request(), RequestId{3});
+}
+
+TEST(Demux, EpochAdvancesOnEveryMembershipChange) {
+  Demultiplexer d;
+  EXPECT_EQ(d.epoch(), 0u);
+  EXPECT_EQ(d.add_request(RequestId{1}, 1), 1u);
+  EXPECT_EQ(d.add_request(RequestId{2}, 1), 2u);
+  EXPECT_EQ(d.remove_request(RequestId{1}), 3u);
+  EXPECT_EQ(d.epoch(), 3u);
+}
+
+TEST(Demux, EpochsMirrorAcrossTwoEnds) {
+  // The synchronisation property the protocol relies on: both ends apply
+  // the same FORWARD/COMPLETE sequence and reach the same epoch.
+  Demultiplexer head, tail;
+  head.add_request(RequestId{1}, 5);
+  tail.add_request(RequestId{1}, 5);
+  head.add_request(RequestId{2}, 5);
+  tail.add_request(RequestId{2}, 5);
+  head.remove_request(RequestId{1});
+  tail.remove_request(RequestId{1});
+  EXPECT_EQ(head.epoch(), tail.epoch());
+  // And the same assignment order.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(head.next_request(), tail.next_request());
+  }
+}
+
+TEST(Demux, CrossCheck) {
+  EXPECT_TRUE(Demultiplexer::cross_check(RequestId{1}, RequestId{1}));
+  EXPECT_FALSE(Demultiplexer::cross_check(RequestId{1}, RequestId{2}));
+}
+
+TEST(Demux, DuplicateAddAsserts) {
+  Demultiplexer d;
+  d.add_request(RequestId{1}, 1);
+  EXPECT_THROW(d.add_request(RequestId{1}, 1), AssertionError);
+}
+
+TEST(Demux, RemoveUnknownIsHarmless) {
+  Demultiplexer d;
+  d.add_request(RequestId{1}, 1);
+  d.remove_request(RequestId{99});
+  EXPECT_TRUE(d.has_request(RequestId{1}));
+}
+
+TEST(Demux, UnassignAfterCompletionIsHarmless) {
+  Demultiplexer d;
+  d.add_request(RequestId{1}, 1);
+  d.remove_request(RequestId{1});
+  d.unassign(RequestId{1});  // no crash, no effect
+  EXPECT_FALSE(d.has_request(RequestId{1}));
+}
+
+}  // namespace
+}  // namespace qnetp::qnp

@@ -1,0 +1,102 @@
+#include "qnp/fidelity_estimator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "qbase/rng.hpp"
+#include "qstate/two_qubit_state.hpp"
+
+namespace qnetp::qnp {
+namespace {
+
+using qstate::Basis;
+using qstate::BellIndex;
+using qstate::TwoQubitState;
+
+TEST(FidelityEstimator, CorrelationSignsMatchPhysics) {
+  // Verify the sign table against the exact correlators.
+  for (BellIndex b : qstate::all_bell_indices()) {
+    const TwoQubitState s = TwoQubitState::bell(b);
+    for (Basis basis : {Basis::z, Basis::x, Basis::y}) {
+      const double c = s.correlator(basis);
+      EXPECT_NEAR(c, FidelityEstimator::correlation_sign(b, basis), 1e-9)
+          << b.to_string();
+    }
+  }
+}
+
+TEST(FidelityEstimator, PerfectPairsEstimateOne) {
+  FidelityEstimator est;
+  Rng rng(3);
+  for (int i = 0; i < 300; ++i) {
+    const Basis basis =
+        std::array<Basis, 3>{Basis::z, Basis::x, Basis::y}[i % 3];
+    TwoQubitState s = TwoQubitState::bell(BellIndex::psi_plus());
+    const auto [a, b] = s.measure_both(basis, basis, rng);
+    est.record(BellIndex::psi_plus(), basis, a, b);
+  }
+  EXPECT_EQ(est.rounds(), 300u);
+  EXPECT_NEAR(est.estimate(), 1.0, 1e-9);
+}
+
+TEST(FidelityEstimator, WernerPairsEstimateTheirFidelity) {
+  FidelityEstimator est;
+  Rng rng(7);
+  const double f = 0.85;
+  for (int i = 0; i < 6000; ++i) {
+    const Basis basis =
+        std::array<Basis, 3>{Basis::z, Basis::x, Basis::y}[i % 3];
+    TwoQubitState s = TwoQubitState::werner(f, BellIndex::phi_plus());
+    const auto [a, b] = s.measure_both(basis, basis, rng);
+    est.record(BellIndex::phi_plus(), basis, a, b);
+  }
+  EXPECT_NEAR(est.estimate(), f, 0.02);
+}
+
+TEST(FidelityEstimator, PoolsAcrossDifferentTrackedStates) {
+  // Pairs tracked as different Bell states can share one estimator thanks
+  // to sign normalisation.
+  FidelityEstimator est;
+  Rng rng(11);
+  for (int i = 0; i < 3000; ++i) {
+    const Basis basis =
+        std::array<Basis, 3>{Basis::z, Basis::x, Basis::y}[i % 3];
+    const BellIndex tracked{static_cast<std::uint8_t>(i % 4)};
+    TwoQubitState s = TwoQubitState::werner(0.9, tracked);
+    const auto [a, b] = s.measure_both(basis, basis, rng);
+    est.record(tracked, basis, a, b);
+  }
+  EXPECT_NEAR(est.estimate(), 0.9, 0.03);
+}
+
+TEST(FidelityEstimator, RequiresAllBases) {
+  FidelityEstimator est;
+  est.record(BellIndex::phi_plus(), Basis::z, 0, 0);
+  EXPECT_DOUBLE_EQ(est.estimate(), 0.0);  // x and y missing
+  EXPECT_EQ(est.rounds(Basis::z), 1u);
+  EXPECT_EQ(est.rounds(Basis::x), 0u);
+  est.record(BellIndex::phi_plus(), Basis::x, 0, 0);
+  est.record(BellIndex::phi_plus(), Basis::y, 0, 1);
+  EXPECT_GT(est.estimate(), 0.0);
+}
+
+TEST(FidelityEstimator, JunkPairsEstimateQuarter) {
+  FidelityEstimator est;
+  Rng rng(13);
+  for (int i = 0; i < 6000; ++i) {
+    const Basis basis =
+        std::array<Basis, 3>{Basis::z, Basis::x, Basis::y}[i % 3];
+    TwoQubitState s = TwoQubitState::maximally_mixed();
+    const auto [a, b] = s.measure_both(basis, basis, rng);
+    est.record(BellIndex::phi_plus(), basis, a, b);
+  }
+  EXPECT_NEAR(est.estimate(), 0.25, 0.03);
+}
+
+TEST(FidelityEstimator, InvalidOutcomeAsserts) {
+  FidelityEstimator est;
+  EXPECT_THROW(est.record(BellIndex::phi_plus(), Basis::z, 2, 0),
+               AssertionError);
+}
+
+}  // namespace
+}  // namespace qnetp::qnp

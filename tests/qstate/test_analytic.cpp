@@ -1,0 +1,117 @@
+#include "qstate/analytic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "qstate/channels.hpp"
+#include "qstate/swap.hpp"
+#include "qstate/two_qubit_state.hpp"
+
+namespace qnetp::qstate {
+namespace {
+
+using namespace qnetp::literals;
+
+TEST(Analytic, SwapFidelityEndpoints) {
+  EXPECT_NEAR(werner_swap_fidelity(1.0, 1.0), 1.0, 1e-12);
+  EXPECT_NEAR(werner_swap_fidelity(1.0, 0.25), 0.25, 1e-12);
+  // Two junk pairs stay junk.
+  EXPECT_NEAR(werner_swap_fidelity(0.25, 0.25), 0.25, 1e-12);
+}
+
+TEST(Analytic, SwapFidelityMonotone) {
+  double prev = 0.0;
+  for (double f = 0.25; f <= 1.0; f += 0.05) {
+    const double out = werner_swap_fidelity(f, 0.9);
+    EXPECT_GE(out, prev);
+    prev = out;
+  }
+}
+
+TEST(Analytic, SwapNeverExceedsInputs) {
+  for (double f1 = 0.25; f1 <= 1.0; f1 += 0.083) {
+    for (double f2 = 0.25; f2 <= 1.0; f2 += 0.083) {
+      EXPECT_LE(werner_swap_fidelity(f1, f2) - 1e-12,
+                std::min(std::max(f1, 0.25), std::max(f2, 0.25)) +
+                    (1.0 - std::min(f1, f2)));
+      // Weaker but exact property: output <= max input for inputs >= 1/4.
+      EXPECT_LE(werner_swap_fidelity(f1, f2), std::max(f1, f2) + 1e-12);
+    }
+  }
+}
+
+TEST(Analytic, DepolarizingMatchesChannel) {
+  for (double f : {0.6, 0.8, 0.95}) {
+    for (double p : {0.01, 0.1, 0.3}) {
+      TwoQubitState s = TwoQubitState::werner(f, BellIndex::phi_plus());
+      s.apply_channel(0, Channel::depolarizing(p));
+      EXPECT_NEAR(s.fidelity(BellIndex::phi_plus()),
+                  werner_after_depolarizing(f, p), 1e-12);
+    }
+  }
+}
+
+TEST(Analytic, ReadoutErrorFormula) {
+  // q = 0: unchanged; q = 0.5: announcement random over 4 states.
+  EXPECT_NEAR(werner_after_readout_error(0.9, 0.0), 0.9, 1e-12);
+  const double f = 0.9;
+  const double scrambled = werner_after_readout_error(f, 0.5);
+  // p_correct = 0.25 -> F' = 0.25*F + 0.75*(1-F)/3.
+  EXPECT_NEAR(scrambled, 0.25 * f + 0.75 * (1 - f) / 3, 1e-12);
+}
+
+TEST(Analytic, DephasingMatchesChannelOnWerner) {
+  const double f0 = 0.92;
+  const Duration t2 = 2_s;
+  for (Duration dt : {100_ms, 500_ms, 1_s, 3_s}) {
+    TwoQubitState s = TwoQubitState::werner(f0, BellIndex::phi_plus());
+    const MemoryDecay decay{Duration::max(), t2};
+    s.apply_channel(0, decay.for_interval(dt));
+    s.apply_channel(1, decay.for_interval(dt));
+    EXPECT_NEAR(s.fidelity(BellIndex::phi_plus()),
+                werner_after_dephasing(f0, dt, t2, t2), 1e-9)
+        << "dt=" << dt.to_string();
+  }
+}
+
+TEST(Analytic, DephasingOneSidedOnly) {
+  const double f0 = 0.9;
+  TwoQubitState s = TwoQubitState::werner(f0, BellIndex::phi_plus());
+  const MemoryDecay decay{Duration::max(), 1_s};
+  s.apply_channel(0, decay.for_interval(1_s));
+  EXPECT_NEAR(s.fidelity(BellIndex::phi_plus()),
+              werner_after_dephasing(f0, 1_s, 1_s, Duration::max()), 1e-9);
+}
+
+TEST(Analytic, TimeToFidelityInvertsDecay) {
+  const double f0 = 0.95;
+  const Duration t2 = 10_s;
+  const double target = 0.9;
+  const Duration t = dephasing_time_to_fidelity(f0, target, t2, t2);
+  ASSERT_NE(t, Duration::max());
+  EXPECT_NEAR(werner_after_dephasing(f0, t, t2, t2), target, 1e-9);
+}
+
+TEST(Analytic, TimeToFidelityUnreachable) {
+  // Dephasing floors above 0.5 * (f0 + partner); asking below that floor
+  // returns infinity.
+  const double f0 = 0.9;
+  EXPECT_EQ(dephasing_time_to_fidelity(f0, 0.4, 1_s, 1_s), Duration::max());
+  // No decay at all -> never reaches target.
+  EXPECT_EQ(dephasing_time_to_fidelity(f0, 0.8, Duration::max(),
+                                       Duration::max()),
+            Duration::max());
+}
+
+TEST(Analytic, CutoffAnchorLose1Point5Percent) {
+  // The paper's cutoff: time for a link-pair to lose ~1.5% of its initial
+  // fidelity. For F0=0.95 and T2=60s on both qubits this lands near 1 s.
+  const double f0 = 0.95;
+  const Duration t =
+      dephasing_time_to_fidelity(f0, f0 * 0.985, 60_s, 60_s);
+  ASSERT_NE(t, Duration::max());
+  EXPECT_GT(t, 0.5_s);
+  EXPECT_LT(t, 2_s);
+}
+
+}  // namespace
+}  // namespace qnetp::qstate

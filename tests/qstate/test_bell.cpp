@@ -1,0 +1,107 @@
+#include "qstate/bell.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qnetp::qstate {
+namespace {
+
+TEST(BellIndex, CodesAndBits) {
+  EXPECT_EQ(BellIndex::phi_plus().code(), 0);
+  EXPECT_EQ(BellIndex::psi_plus().code(), 1);
+  EXPECT_EQ(BellIndex::phi_minus().code(), 2);
+  EXPECT_EQ(BellIndex::psi_minus().code(), 3);
+  EXPECT_FALSE(BellIndex::phi_plus().x_bit());
+  EXPECT_TRUE(BellIndex::psi_plus().x_bit());
+  EXPECT_FALSE(BellIndex::psi_plus().z_bit());
+  EXPECT_TRUE(BellIndex::phi_minus().z_bit());
+  EXPECT_TRUE(BellIndex::psi_minus().x_bit());
+  EXPECT_TRUE(BellIndex::psi_minus().z_bit());
+}
+
+TEST(BellIndex, XorComposition) {
+  const BellIndex a = BellIndex::psi_plus();   // (x=1,z=0)
+  const BellIndex b = BellIndex::phi_minus();  // (x=0,z=1)
+  EXPECT_EQ((a ^ b), BellIndex::psi_minus());
+  EXPECT_EQ((a ^ a), BellIndex::phi_plus());
+  // XOR is associative and commutative over the group.
+  for (BellIndex x : all_bell_indices())
+    for (BellIndex y : all_bell_indices()) {
+      EXPECT_EQ((x ^ y), (y ^ x));
+      for (BellIndex z : all_bell_indices())
+        EXPECT_EQ(((x ^ y) ^ z), (x ^ (y ^ z)));
+    }
+}
+
+TEST(BellIndex, Names) {
+  EXPECT_EQ(BellIndex::phi_plus().to_string(), "Phi+");
+  EXPECT_EQ(BellIndex::psi_minus().to_string(), "Psi-");
+}
+
+TEST(BellVectors, OrthonormalBasis) {
+  for (BellIndex a : all_bell_indices())
+    for (BellIndex b : all_bell_indices()) {
+      const Cplx d = bell_vector(a).dot(bell_vector(b));
+      if (a == b) {
+        EXPECT_NEAR(d.real(), 1.0, 1e-12);
+        EXPECT_NEAR(d.imag(), 0.0, 1e-12);
+      } else {
+        EXPECT_NEAR(std::abs(d), 0.0, 1e-12);
+      }
+    }
+}
+
+TEST(BellVectors, PauliGenerationConvention) {
+  // |B_xz> == (Z^z X^x (x) I) |Phi+> up to global phase. Verify via
+  // projectors to ignore phase.
+  for (BellIndex idx : all_bell_indices()) {
+    const Mat2 p = pauli_for(idx);
+    const Mat4 op = kron(p, pauli_i());
+    const Vec4 phi = bell_vector(BellIndex::phi_plus());
+    // transformed = op * phi
+    Vec4 transformed;
+    for (std::size_t i = 0; i < 4; ++i) {
+      Cplx acc = 0;
+      for (std::size_t j = 0; j < 4; ++j) acc += op(i, j) * phi[j];
+      transformed[i] = acc;
+    }
+    EXPECT_TRUE(
+        transformed.outer().approx_equal(bell_projector(idx), 1e-12))
+        << "failed for " << idx.to_string();
+  }
+}
+
+TEST(BellProjectors, SumToIdentity) {
+  Mat4 sum = Mat4::zero();
+  for (BellIndex b : all_bell_indices()) sum += bell_projector(b);
+  EXPECT_TRUE(sum.approx_equal(Mat4::identity()));
+}
+
+TEST(Pauli, AlgebraRelations) {
+  const Mat2 x = pauli_x();
+  const Mat2 y = pauli_y();
+  const Mat2 z = pauli_z();
+  EXPECT_TRUE((x * x).approx_equal(Mat2::identity()));
+  EXPECT_TRUE((y * y).approx_equal(Mat2::identity()));
+  EXPECT_TRUE((z * z).approx_equal(Mat2::identity()));
+  // XY = iZ
+  EXPECT_TRUE((x * y).approx_equal(z * Cplx{0, 1}));
+  // Anticommutation {X, Z} = 0
+  EXPECT_TRUE((x * z + z * x).approx_equal(Mat2::zero()));
+}
+
+TEST(PauliCorrection, MapsBetweenBellFrames) {
+  // For every (from, to): applying pauli_correction(from, to) on the left
+  // qubit of |B_from> yields |B_to> up to global phase.
+  for (BellIndex from : all_bell_indices()) {
+    for (BellIndex to : all_bell_indices()) {
+      const Mat2 c = pauli_correction(from, to);
+      const Mat4 op = kron(c, pauli_i());
+      const Mat4 rho = op * bell_projector(from) * op.adjoint();
+      EXPECT_TRUE(rho.approx_equal(bell_projector(to), 1e-12))
+          << "from=" << from.to_string() << " to=" << to.to_string();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qnetp::qstate

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qbase/stats.hpp"
+#include "qstate/two_qubit_state.hpp"
+
+namespace qnetp::qstate {
+namespace {
+
+TEST(BlochAxis, ObservablesMatchPaulis) {
+  EXPECT_TRUE(BlochAxis::pauli_z().observable().approx_equal(pauli_z()));
+  EXPECT_TRUE(BlochAxis::pauli_x().observable().approx_equal(pauli_x()));
+  EXPECT_TRUE(BlochAxis::pauli_y().observable().approx_equal(pauli_y()));
+}
+
+TEST(BlochAxis, NormalizationAndValidation) {
+  const BlochAxis n = BlochAxis{3, 0, 4}.normalized();
+  EXPECT_NEAR(n.x, 0.6, 1e-12);
+  EXPECT_NEAR(n.z, 0.8, 1e-12);
+  EXPECT_THROW((BlochAxis{0, 0, 0}.normalized()), AssertionError);
+}
+
+TEST(BlochAxis, ObservableProperties) {
+  // (n.sigma)^2 = I and Tr(n.sigma) = 0 for any axis.
+  for (const auto& axis :
+       {BlochAxis{1, 2, 3}, BlochAxis{0.5, -0.2, 0.1}, BlochAxis{0, 1, 0}}) {
+    const Mat2 obs = axis.observable();
+    EXPECT_TRUE((obs * obs).approx_equal(Mat2::identity(), 1e-9));
+    EXPECT_NEAR(std::abs(obs.trace()), 0.0, 1e-12);
+  }
+}
+
+TEST(BlochAxis, ProjectorsSumToIdentityAndAreIdempotent) {
+  const BlochAxis axis = BlochAxis::xz_plane(0.7);
+  const Mat2 p0 = axis.projector(0);
+  const Mat2 p1 = axis.projector(1);
+  EXPECT_TRUE((p0 + p1).approx_equal(Mat2::identity(), 1e-12));
+  EXPECT_TRUE((p0 * p0).approx_equal(p0, 1e-12));
+  EXPECT_TRUE((p0 * p1).approx_equal(Mat2::zero(), 1e-12));
+}
+
+TEST(BlochAxis, XzPlaneInterpolates) {
+  const BlochAxis z = BlochAxis::xz_plane(0.0);
+  EXPECT_NEAR(z.z, 1.0, 1e-12);
+  const BlochAxis x = BlochAxis::xz_plane(M_PI / 2.0);
+  EXPECT_NEAR(x.x, 1.0, 1e-12);
+  EXPECT_NEAR(x.z, 0.0, 1e-12);
+}
+
+TEST(CorrelatorAlong, MatchesPauliCorrelators) {
+  const TwoQubitState s = TwoQubitState::bell(BellIndex::psi_minus());
+  EXPECT_NEAR(s.correlator_along(BlochAxis::pauli_z(), BlochAxis::pauli_z()),
+              s.correlator(Basis::z), 1e-12);
+  EXPECT_NEAR(s.correlator_along(BlochAxis::pauli_x(), BlochAxis::pauli_x()),
+              s.correlator(Basis::x), 1e-12);
+}
+
+TEST(CorrelatorAlong, SingletIsMinusCosine) {
+  // The singlet Psi- has E(n, m) = -n.m.
+  const TwoQubitState s = TwoQubitState::bell(BellIndex::psi_minus());
+  for (double theta : {0.0, 0.3, 0.7, 1.2, M_PI / 2}) {
+    const double e = s.correlator_along(BlochAxis::pauli_z(),
+                                        BlochAxis::xz_plane(theta));
+    EXPECT_NEAR(e, -std::cos(theta), 1e-9) << theta;
+  }
+}
+
+TEST(Chsh, PhiPlusReachesTsirelson) {
+  const TwoQubitState s = TwoQubitState::bell(BellIndex::phi_plus());
+  EXPECT_NEAR(s.chsh_value(), 2.0 * std::sqrt(2.0), 1e-9);
+}
+
+TEST(Chsh, WernerFollowsClosedForm) {
+  // S(F) = 2*sqrt2 * (4F-1)/3 for Werner states.
+  for (double f : {0.5, 0.7, 0.78, 0.9, 1.0}) {
+    const TwoQubitState s = TwoQubitState::werner(f, BellIndex::phi_plus());
+    EXPECT_NEAR(s.chsh_value(), 2.0 * std::sqrt(2.0) * (4 * f - 1) / 3.0,
+                1e-9)
+        << f;
+  }
+}
+
+TEST(Chsh, MixedStateDoesNotViolate) {
+  EXPECT_NEAR(TwoQubitState::maximally_mixed().chsh_value(), 0.0, 1e-12);
+  // The violation threshold for Werner states sits near F = 0.78.
+  const TwoQubitState below =
+      TwoQubitState::werner(0.75, BellIndex::phi_plus());
+  EXPECT_LT(below.chsh_value(), 2.0);
+  const TwoQubitState above =
+      TwoQubitState::werner(0.82, BellIndex::phi_plus());
+  EXPECT_GT(above.chsh_value(), 2.0);
+}
+
+TEST(MeasureAlong, SampledCorrelatorsMatchExpectation) {
+  Rng rng(99);
+  const BlochAxis a = BlochAxis::pauli_z();
+  const BlochAxis b = BlochAxis::xz_plane(M_PI / 4.0);
+  const double expected =
+      TwoQubitState::bell(BellIndex::phi_plus()).correlator_along(a, b);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    TwoQubitState s = TwoQubitState::bell(BellIndex::phi_plus());
+    const auto [oa, ob] = s.measure_both_along(a, b, rng);
+    sum += ((oa == 0) == (ob == 0)) ? 1.0 : -1.0;
+  }
+  EXPECT_NEAR(sum / n, expected, 0.02);
+}
+
+TEST(MeasureAlong, CollapseIsConsistent) {
+  Rng rng(101);
+  // Measuring twice along the same axes must repeat the outcomes.
+  for (int i = 0; i < 50; ++i) {
+    TwoQubitState s = TwoQubitState::bell(BellIndex::phi_plus());
+    const BlochAxis axis = BlochAxis::xz_plane(0.9);
+    const auto first = s.measure_both_along(axis, axis, rng);
+    const auto second = s.measure_both_along(axis, axis, rng);
+    EXPECT_EQ(first, second);
+  }
+}
+
+}  // namespace
+}  // namespace qnetp::qstate

@@ -1,0 +1,199 @@
+#include "qstate/channels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qstate/bell.hpp"
+#include "qstate/two_qubit_state.hpp"
+
+namespace qnetp::qstate {
+namespace {
+
+using namespace qnetp::literals;
+
+// ---------------------------------------------------------------------------
+// Parameterized CPTP property sweep: every factory channel at many
+// parameter values must be trace preserving and keep density matrices
+// valid when applied to either side of a Bell pair.
+// ---------------------------------------------------------------------------
+
+struct ChannelCase {
+  std::string name;
+  Channel channel;
+};
+
+class ChannelCptp : public ::testing::TestWithParam<double> {};
+
+TEST_P(ChannelCptp, AllFactoriesTracePreservingAndPhysical) {
+  const double p = GetParam();
+  const std::vector<ChannelCase> cases = {
+      {"dephasing", Channel::dephasing(p)},
+      {"amplitude_damping", Channel::amplitude_damping(p)},
+      {"depolarizing", Channel::depolarizing(p)},
+      {"bit_flip", Channel::bit_flip(p)},
+      {"pauli", Channel::pauli_channel(1.0 - p, p / 2, p / 4, p / 4)},
+  };
+  for (const auto& c : cases) {
+    EXPECT_TRUE(c.channel.is_trace_preserving(1e-9)) << c.name << " p=" << p;
+    for (int side : {0, 1}) {
+      TwoQubitState s = TwoQubitState::bell(BellIndex::phi_plus());
+      s.apply_channel(side, c.channel);
+      EXPECT_TRUE(s.valid_density(1e-7))
+          << c.name << " side " << side << " p=" << p;
+      EXPECT_NEAR(s.rho().trace().real(), 1.0, 1e-9) << c.name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ParamSweep, ChannelCptp,
+                         ::testing::Values(0.0, 0.01, 0.1, 0.25, 0.5, 0.75,
+                                           0.9, 1.0));
+
+TEST(Channels, DephasingShrinksOffDiagonals) {
+  const double lambda = 0.4;
+  Mat2 rho{0.5, 0.5, 0.5, 0.5};  // |+><+|
+  const Mat2 out = Channel::dephasing(lambda).apply(rho);
+  EXPECT_NEAR(out(0, 1).real(), 0.5 * (1.0 - lambda), 1e-12);
+  EXPECT_NEAR(out(0, 0).real(), 0.5, 1e-12);  // populations untouched
+}
+
+TEST(Channels, FullDephasingKillsCoherence) {
+  Mat2 rho{0.5, 0.5, 0.5, 0.5};
+  const Mat2 out = Channel::dephasing(1.0).apply(rho);
+  EXPECT_NEAR(std::abs(out(0, 1)), 0.0, 1e-12);
+}
+
+TEST(Channels, AmplitudeDampingMovesPopulationToGround) {
+  Mat2 excited{0, 0, 0, 1};  // |1><1|
+  const Mat2 out = Channel::amplitude_damping(0.3).apply(excited);
+  EXPECT_NEAR(out(0, 0).real(), 0.3, 1e-12);
+  EXPECT_NEAR(out(1, 1).real(), 0.7, 1e-12);
+  // Full damping lands exactly in |0>.
+  const Mat2 full = Channel::amplitude_damping(1.0).apply(excited);
+  EXPECT_NEAR(full(0, 0).real(), 1.0, 1e-12);
+}
+
+TEST(Channels, DepolarizingMixesTowardIdentity) {
+  Mat2 rho{1, 0, 0, 0};  // |0><0|
+  const Mat2 out = Channel::depolarizing(1.0).apply(rho);
+  EXPECT_NEAR(out(0, 0).real(), 0.5, 1e-12);
+  EXPECT_NEAR(out(1, 1).real(), 0.5, 1e-12);
+}
+
+TEST(Channels, DepolarizingFidelityOnBellPair) {
+  // One-sided depolarizing p on a perfect Bell pair: F = 1 - p/2... check
+  // against the known formula F -> (1-p)*F + p/4 for F=1.
+  const double p = 0.2;
+  TwoQubitState s = TwoQubitState::bell(BellIndex::phi_plus());
+  s.apply_channel(0, Channel::depolarizing(p));
+  EXPECT_NEAR(s.fidelity(BellIndex::phi_plus()), (1 - p) + p / 4.0, 1e-12);
+}
+
+TEST(Channels, BitFlipTogglesPopulations) {
+  Mat2 rho{1, 0, 0, 0};
+  const Mat2 out = Channel::bit_flip(1.0).apply(rho);
+  EXPECT_NEAR(out(1, 1).real(), 1.0, 1e-12);
+}
+
+TEST(Channels, CompositionMatchesSequentialApplication) {
+  const Channel a = Channel::dephasing(0.3);
+  const Channel b = Channel::amplitude_damping(0.2);
+  const Mat2 rho{0.6, Cplx{0.2, 0.1}, Cplx{0.2, -0.1}, 0.4};
+  const Mat2 seq = b.apply(a.apply(rho));
+  const Mat2 comp = b.after(a).apply(rho);
+  EXPECT_TRUE(seq.approx_equal(comp, 1e-12));
+}
+
+TEST(Channels, UnitaryChannelConjugates) {
+  const Channel ux = Channel::unitary(pauli_x());
+  Mat2 rho{1, 0, 0, 0};
+  const Mat2 out = ux.apply(rho);
+  EXPECT_NEAR(out(1, 1).real(), 1.0, 1e-12);
+  EXPECT_TRUE(ux.is_trace_preserving());
+}
+
+TEST(Channels, SideApplicationOnlyAffectsThatQubit) {
+  // Dephasing the left qubit of Phi+ mixes Phi+ with Phi- but preserves
+  // the reduced state of the right qubit.
+  TwoQubitState s = TwoQubitState::bell(BellIndex::phi_plus());
+  s.apply_channel(0, Channel::dephasing(0.5));
+  EXPECT_NEAR(s.fidelity(BellIndex::phi_plus()), 0.75, 1e-12);
+  EXPECT_NEAR(s.fidelity(BellIndex::phi_minus()), 0.25, 1e-12);
+  EXPECT_NEAR(s.fidelity(BellIndex::psi_plus()), 0.0, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// MemoryDecay: time-based decoherence model.
+// ---------------------------------------------------------------------------
+
+TEST(MemoryDecay, NoDecayForInfiniteTimes) {
+  const MemoryDecay decay;  // both infinite
+  TwoQubitState s = TwoQubitState::bell(BellIndex::psi_plus());
+  s.apply_channel(0, decay.for_interval(100_s));
+  EXPECT_NEAR(s.fidelity(BellIndex::psi_plus()), 1.0, 1e-12);
+}
+
+TEST(MemoryDecay, ZeroIntervalIsIdentity) {
+  const MemoryDecay decay{1_s, 1_s};
+  TwoQubitState s = TwoQubitState::bell(BellIndex::phi_plus());
+  s.apply_channel(0, decay.for_interval(Duration::zero()));
+  EXPECT_NEAR(s.fidelity(BellIndex::phi_plus()), 1.0, 1e-12);
+}
+
+TEST(MemoryDecay, PureDephasingDecaysCoherenceAtT2Rate) {
+  const MemoryDecay decay{Duration::max(), 2_s};
+  const Duration dt = 1_s;
+  Mat2 plus{0.5, 0.5, 0.5, 0.5};
+  const Mat2 out = decay.for_interval(dt).apply(plus);
+  EXPECT_NEAR(out(0, 1).real(), 0.5 * std::exp(-0.5), 1e-9);
+}
+
+TEST(MemoryDecay, CombinedT1T2MatchesTargetCoherence) {
+  // With T1 = 1s and T2 = 1s, off-diagonals must decay exactly as
+  // exp(-dt/T2) even though amplitude damping contributes part of it.
+  const MemoryDecay decay{1_s, 1_s};
+  const Duration dt = 0.7_s;
+  Mat2 plus{0.5, 0.5, 0.5, 0.5};
+  const Mat2 out = decay.for_interval(dt).apply(plus);
+  EXPECT_NEAR(std::abs(out(0, 1)), 0.5 * std::exp(-0.7), 1e-9);
+}
+
+TEST(MemoryDecay, T1RelaxesPopulations) {
+  const MemoryDecay decay{1_s, 2_s};  // T2 = 2 T1: pure relaxation limit
+  Mat2 excited{0, 0, 0, 1};
+  const Mat2 out = decay.for_interval(1_s).apply(excited);
+  EXPECT_NEAR(out(1, 1).real(), std::exp(-1.0), 1e-9);
+}
+
+TEST(MemoryDecay, FidelityMonotonicallyDecreasesTowardHalf) {
+  const MemoryDecay decay{Duration::max(), 1_s};
+  TwoQubitState s = TwoQubitState::bell(BellIndex::phi_plus());
+  double prev = 1.0;
+  for (int i = 0; i < 8; ++i) {
+    s.apply_channel(0, decay.for_interval(0.5_s));
+    const double f = s.fidelity(BellIndex::phi_plus());
+    EXPECT_LT(f, prev);
+    EXPECT_GE(f, 0.5 - 1e-12);
+    prev = f;
+  }
+  // Long-time limit for one-sided dephasing on Phi+: 0.5.
+  s.apply_channel(0, decay.for_interval(100_s));
+  EXPECT_NEAR(s.fidelity(BellIndex::phi_plus()), 0.5, 1e-6);
+}
+
+TEST(MemoryDecay, UnphysicalT2Asserts) {
+  // T2 > 2*T1 cannot be realised by amplitude damping + dephasing.
+  const MemoryDecay decay{1_s, 3_s};
+  EXPECT_THROW(decay.for_interval(1_s), AssertionError);
+}
+
+TEST(MemoryDecay, CoherenceFactor) {
+  const MemoryDecay decay{Duration::max(), 2_s};
+  EXPECT_NEAR(decay.coherence_factor(2_s), std::exp(-1.0), 1e-12);
+  const MemoryDecay none;
+  EXPECT_DOUBLE_EQ(none.coherence_factor(100_s), 1.0);
+}
+
+}  // namespace
+}  // namespace qnetp::qstate

@@ -1,0 +1,141 @@
+#include "qstate/complex_mat.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qnetp::qstate {
+namespace {
+
+TEST(Mat2, IdentityAndZero) {
+  const Mat2 i = Mat2::identity();
+  EXPECT_EQ(i(0, 0), Cplx(1, 0));
+  EXPECT_EQ(i(0, 1), Cplx(0, 0));
+  EXPECT_EQ(i.trace(), Cplx(2, 0));
+  EXPECT_EQ(Mat2::zero().trace(), Cplx(0, 0));
+}
+
+TEST(Mat2, Arithmetic) {
+  const Mat2 a{1, 2, 3, 4};
+  const Mat2 b{5, 6, 7, 8};
+  const Mat2 sum = a + b;
+  EXPECT_EQ(sum(0, 0), Cplx(6, 0));
+  EXPECT_EQ(sum(1, 1), Cplx(12, 0));
+  const Mat2 prod = a * b;
+  // [[1,2],[3,4]] * [[5,6],[7,8]] = [[19,22],[43,50]]
+  EXPECT_EQ(prod(0, 0), Cplx(19, 0));
+  EXPECT_EQ(prod(0, 1), Cplx(22, 0));
+  EXPECT_EQ(prod(1, 0), Cplx(43, 0));
+  EXPECT_EQ(prod(1, 1), Cplx(50, 0));
+  const Mat2 scaled = a * Cplx{2, 0};
+  EXPECT_EQ(scaled(1, 0), Cplx(6, 0));
+}
+
+TEST(Mat2, Adjoint) {
+  const Mat2 a{Cplx{1, 1}, Cplx{2, -3}, Cplx{0, 5}, Cplx{4, 0}};
+  const Mat2 ad = a.adjoint();
+  EXPECT_EQ(ad(0, 0), Cplx(1, -1));
+  EXPECT_EQ(ad(0, 1), Cplx(0, -5));
+  EXPECT_EQ(ad(1, 0), Cplx(2, 3));
+  EXPECT_EQ(ad(1, 1), Cplx(4, 0));
+}
+
+TEST(Mat4, IdentityTrace) {
+  EXPECT_EQ(Mat4::identity().trace(), Cplx(4, 0));
+}
+
+TEST(Mat4, MatMulAgainstManual) {
+  Mat4 a;
+  Mat4 b;
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 4; ++j) {
+      a(i, j) = Cplx(static_cast<double>(i + 1), static_cast<double>(j));
+      b(i, j) = Cplx(static_cast<double>(i == j ? 2 : 0), 0);
+    }
+  const Mat4 p = a * b;  // b = 2I, so p = 2a
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 4; ++j)
+      EXPECT_EQ(p(i, j), a(i, j) * Cplx(2, 0));
+}
+
+TEST(Mat4, AdjointInvolution) {
+  Mat4 a;
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 4; ++j)
+      a(i, j) = Cplx(static_cast<double>(i), static_cast<double>(j * j));
+  EXPECT_TRUE(a.adjoint().adjoint().approx_equal(a));
+}
+
+TEST(Mat4, KronBasic) {
+  const Mat2 x{0, 1, 1, 0};
+  const Mat2 id = Mat2::identity();
+  const Mat4 xi = kron(x, id);
+  // (X (x) I)|00> = |10>: column 0 has a 1 in row 2.
+  EXPECT_EQ(xi(2, 0), Cplx(1, 0));
+  EXPECT_EQ(xi(0, 0), Cplx(0, 0));
+  const Mat4 ix = kron(id, x);
+  // (I (x) X)|00> = |01>: column 0 has a 1 in row 1.
+  EXPECT_EQ(ix(1, 0), Cplx(1, 0));
+}
+
+TEST(Mat4, KronMixedProduct) {
+  // (A (x) B)(C (x) D) == (AC) (x) (BD)
+  const Mat2 a{1, 2, 3, 4};
+  const Mat2 b{0, 1, 1, 0};
+  const Mat2 c{2, 0, 0, 2};
+  const Mat2 d{1, 1, 0, 1};
+  const Mat4 lhs = kron(a, b) * kron(c, d);
+  const Mat4 rhs = kron(a * c, b * d);
+  EXPECT_TRUE(lhs.approx_equal(rhs));
+}
+
+TEST(Vec4, NormalizationAndOuter) {
+  Vec4 v{1, 0, 0, 1};
+  EXPECT_DOUBLE_EQ(v.norm2(), 2.0);
+  const Vec4 n = v.normalized();
+  EXPECT_NEAR(n.norm2(), 1.0, 1e-12);
+  const Mat4 p = n.outer();
+  EXPECT_NEAR(p.trace().real(), 1.0, 1e-12);
+  // Projector is idempotent.
+  EXPECT_TRUE((p * p).approx_equal(p));
+}
+
+TEST(Vec4, DotConjugatesLeft) {
+  const Vec4 a{Cplx{0, 1}, 0, 0, 0};
+  const Vec4 b{Cplx{0, 1}, 0, 0, 0};
+  EXPECT_EQ(a.dot(b), Cplx(1, 0));
+}
+
+TEST(Mat4, DensityMatrixValidation) {
+  // Maximally mixed state is a valid density matrix.
+  const Mat4 mixed = Mat4::identity() * Cplx{0.25, 0};
+  EXPECT_TRUE(mixed.is_density_matrix());
+
+  // Trace != 1 is rejected.
+  EXPECT_FALSE(Mat4::identity().is_density_matrix());
+
+  // Non-Hermitian is rejected.
+  Mat4 nh = mixed;
+  nh(0, 1) = Cplx{0.1, 0};
+  EXPECT_FALSE(nh.is_density_matrix());
+
+  // Negative eigenvalue is rejected: diag(0.75, 0.5, 0, -0.25).
+  Mat4 neg = Mat4::zero();
+  neg(0, 0) = 0.75;
+  neg(1, 1) = 0.5;
+  neg(3, 3) = -0.25;
+  EXPECT_FALSE(neg.is_density_matrix());
+}
+
+TEST(Mat4, ExpectationOfProjector) {
+  const Vec4 psi = Vec4{1, 0, 0, 1}.normalized();
+  const Mat4 rho = psi.outer();
+  EXPECT_NEAR(expectation(rho, psi), 1.0, 1e-12);
+  const Vec4 orth = Vec4{1, 0, 0, -1}.normalized();
+  EXPECT_NEAR(expectation(rho, orth), 0.0, 1e-12);
+}
+
+TEST(Mat4, FrobeniusNorm) {
+  EXPECT_DOUBLE_EQ(Mat4::identity().frobenius_norm(), 2.0);
+}
+
+}  // namespace
+}  // namespace qnetp::qstate

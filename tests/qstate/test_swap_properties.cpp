@@ -1,0 +1,123 @@
+// Parameterized property sweeps binding the exact density-matrix swap to
+// the analytic algebra the control plane plans with.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "qbase/stats.hpp"
+#include "qhw/photonic_link.hpp"
+#include "qstate/analytic.hpp"
+#include "qstate/swap.hpp"
+
+namespace qnetp::qstate {
+namespace {
+
+// (f1, f2, gate_depolarizing)
+using SwapCase = std::tuple<double, double, double>;
+
+class SwapNoiseSweep : public ::testing::TestWithParam<SwapCase> {};
+
+TEST_P(SwapNoiseSweep, MeanFidelityMatchesAnalyticPrediction) {
+  const auto [f1, f2, gate] = GetParam();
+  Rng rng(42);
+  RunningStats fid;
+  for (int i = 0; i < 96; ++i) {
+    SwapNoise noise;
+    noise.gate_depolarizing = gate;
+    const auto out = entanglement_swap(
+        TwoQubitState::werner(f1, BellIndex::phi_plus()),
+        TwoQubitState::werner(f2, BellIndex::phi_plus()), noise, rng);
+    const BellIndex expected = out.true_outcome;  // phi+^phi+ = identity
+    fid.add(out.state.fidelity(expected));
+  }
+  // Analytic: depolarize each input once (the implementation applies the
+  // channel to one qubit of each pair), then the perfect-swap formula.
+  const double predicted = werner_swap_fidelity(
+      werner_after_depolarizing(f1, gate),
+      werner_after_depolarizing(f2, gate));
+  EXPECT_NEAR(fid.mean(), predicted, 0.015)
+      << "f1=" << f1 << " f2=" << f2 << " gate=" << gate;
+}
+
+TEST_P(SwapNoiseSweep, OutputAlwaysPhysical) {
+  const auto [f1, f2, gate] = GetParam();
+  Rng rng(77);
+  SwapNoise noise;
+  noise.gate_depolarizing = gate;
+  noise.readout_flip_prob = 0.01;
+  for (int i = 0; i < 16; ++i) {
+    const auto out = entanglement_swap(
+        TwoQubitState::werner(f1, BellIndex::psi_plus()),
+        TwoQubitState::werner(f2, BellIndex::phi_minus()), noise, rng);
+    EXPECT_TRUE(out.state.valid_density(1e-6));
+    EXPECT_GT(out.probability, 0.0);
+    EXPECT_LE(out.probability, 1.0 + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FidelityGateGrid, SwapNoiseSweep,
+    ::testing::Combine(::testing::Values(0.7, 0.85, 0.95, 1.0),
+                       ::testing::Values(0.6, 0.9, 1.0),
+                       ::testing::Values(0.0, 0.01, 0.05)));
+
+// Photonic link properties across fibre lengths and both schemes.
+using LinkCase = std::tuple<double, qhw::HeraldScheme>;
+
+class LinkSweep : public ::testing::TestWithParam<LinkCase> {};
+
+TEST_P(LinkSweep, ModelInvariantsHold) {
+  const auto [length_m, scheme] = GetParam();
+  const qhw::PhotonicLinkModel link(
+      qhw::simulation_preset(),
+      length_m > 100.0 ? qhw::FiberParams::telecom(length_m)
+                       : qhw::FiberParams::lab(length_m),
+      scheme);
+  EXPECT_GT(link.eta(), 0.0);
+  EXPECT_LE(link.eta(), 1.0);
+  EXPECT_GT(link.attempt_cycle(), Duration::zero());
+  // The heralded state at the optimum is physical and dominated by the
+  // announced Bell state whenever the link is usable at all.
+  const auto state = link.produced_state(
+      scheme == qhw::HeraldScheme::single_click ? link.optimal_alpha()
+                                                : 0.0);
+  EXPECT_TRUE(state.valid_density(1e-7));
+  if (link.max_fidelity() > 0.5) {
+    EXPECT_EQ(state.best_bell().first, link.announced_bell());
+  }
+  // Quantiles are ordered and bracket the mean.
+  double alpha = 0.0;
+  if (link.solve_alpha(std::min(0.9, link.max_fidelity() - 0.01), &alpha)) {
+    const auto q25 = link.generation_time_quantile(alpha, 0.25);
+    const auto q50 = link.generation_time_quantile(alpha, 0.50);
+    const auto q95 = link.generation_time_quantile(alpha, 0.95);
+    EXPECT_LE(q25, q50);
+    EXPECT_LE(q50, q95);
+    EXPECT_LE(q50, link.mean_generation_time(alpha) * 1.01);
+    EXPECT_GE(q95, link.mean_generation_time(alpha));
+  }
+}
+
+TEST_P(LinkSweep, LongerFibreIsSlower) {
+  const auto [length_m, scheme] = GetParam();
+  const auto make = [&](double len) {
+    return qhw::PhotonicLinkModel(
+        qhw::simulation_preset(),
+        len > 100.0 ? qhw::FiberParams::telecom(len)
+                    : qhw::FiberParams::lab(len),
+        scheme);
+  };
+  const auto here = make(length_m);
+  const auto longer = make(length_m * 2.0);
+  EXPECT_LE(longer.eta(), here.eta());
+  EXPECT_GE(longer.attempt_cycle(), here.attempt_cycle());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LengthSchemeGrid, LinkSweep,
+    ::testing::Combine(::testing::Values(2.0, 50.0, 1000.0, 25000.0),
+                       ::testing::Values(qhw::HeraldScheme::single_click,
+                                         qhw::HeraldScheme::double_click)));
+
+}  // namespace
+}  // namespace qnetp::qstate

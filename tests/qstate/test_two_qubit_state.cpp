@@ -1,0 +1,217 @@
+#include "qstate/two_qubit_state.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qbase/stats.hpp"
+
+namespace qnetp::qstate {
+namespace {
+
+TEST(TwoQubitState, DefaultIsMaximallyMixed) {
+  const TwoQubitState s;
+  for (BellIndex b : all_bell_indices())
+    EXPECT_NEAR(s.fidelity(b), 0.25, 1e-12);
+  EXPECT_TRUE(s.valid_density());
+}
+
+TEST(TwoQubitState, BellStatesHaveUnitFidelity) {
+  for (BellIndex b : all_bell_indices()) {
+    const TwoQubitState s = TwoQubitState::bell(b);
+    EXPECT_NEAR(s.fidelity(b), 1.0, 1e-12);
+    for (BellIndex other : all_bell_indices()) {
+      if (other != b) {
+        EXPECT_NEAR(s.fidelity(other), 0.0, 1e-12);
+      }
+    }
+    EXPECT_TRUE(s.valid_density());
+  }
+}
+
+class WernerParam : public ::testing::TestWithParam<double> {};
+
+TEST_P(WernerParam, WernerStateProperties) {
+  const double f = GetParam();
+  const TwoQubitState s = TwoQubitState::werner(f, BellIndex::psi_plus());
+  EXPECT_NEAR(s.fidelity(BellIndex::psi_plus()), f, 1e-12);
+  EXPECT_NEAR(s.fidelity(BellIndex::phi_plus()), (1 - f) / 3.0, 1e-12);
+  EXPECT_TRUE(s.valid_density());
+  const auto [best, bf] = s.best_bell();
+  if (f > 0.25) {
+    EXPECT_EQ(best, BellIndex::psi_plus());
+    EXPECT_NEAR(bf, f, 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FidelitySweep, WernerParam,
+                         ::testing::Values(0.3, 0.5, 0.7, 0.85, 0.95, 1.0));
+
+TEST(TwoQubitState, ComputationalStates) {
+  const TwoQubitState s = TwoQubitState::computational(1, 0);
+  // |10> has overlap 1/2 with Psi+ and Psi-.
+  EXPECT_NEAR(s.fidelity(BellIndex::psi_plus()), 0.5, 1e-12);
+  EXPECT_NEAR(s.fidelity(BellIndex::psi_minus()), 0.5, 1e-12);
+  EXPECT_NEAR(s.fidelity(BellIndex::phi_plus()), 0.0, 1e-12);
+}
+
+TEST(TwoQubitState, PauliCorrectionRestoresFrame) {
+  for (BellIndex from : all_bell_indices()) {
+    for (BellIndex to : all_bell_indices()) {
+      TwoQubitState s = TwoQubitState::bell(from);
+      s.apply_correction(0, from, to);
+      EXPECT_NEAR(s.fidelity(to), 1.0, 1e-12)
+          << from.to_string() << "->" << to.to_string();
+    }
+  }
+}
+
+TEST(TwoQubitState, CorrectionOnRightSideAlsoWorks) {
+  // For Bell states, correcting on either qubit moves the frame, though
+  // the Pauli needed on the right side can differ by a sign for Y-type
+  // corrections. Verify the frame lands where expected for X and Z.
+  TwoQubitState s = TwoQubitState::bell(BellIndex::phi_plus());
+  s.apply_pauli(1, pauli_x());
+  EXPECT_NEAR(s.fidelity(BellIndex::psi_plus()), 1.0, 1e-12);
+  TwoQubitState s2 = TwoQubitState::bell(BellIndex::phi_plus());
+  s2.apply_pauli(1, pauli_z());
+  EXPECT_NEAR(s2.fidelity(BellIndex::phi_minus()), 1.0, 1e-12);
+}
+
+TEST(Measurement, ZBasisOnBellPairIsCorrelated) {
+  Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    TwoQubitState s = TwoQubitState::bell(BellIndex::phi_plus());
+    const auto [a, b] = s.measure_both(Basis::z, Basis::z, rng);
+    EXPECT_EQ(a, b);  // Phi+ is perfectly correlated in Z
+  }
+  for (int trial = 0; trial < 200; ++trial) {
+    TwoQubitState s = TwoQubitState::bell(BellIndex::psi_plus());
+    const auto [a, b] = s.measure_both(Basis::z, Basis::z, rng);
+    EXPECT_NE(a, b);  // Psi+ anti-correlated in Z
+  }
+}
+
+TEST(Measurement, XBasisCorrelations) {
+  Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    TwoQubitState s = TwoQubitState::bell(BellIndex::phi_plus());
+    const auto [a, b] = s.measure_both(Basis::x, Basis::x, rng);
+    EXPECT_EQ(a, b);  // Phi+ correlated in X
+  }
+  for (int trial = 0; trial < 200; ++trial) {
+    TwoQubitState s = TwoQubitState::bell(BellIndex::phi_minus());
+    const auto [a, b] = s.measure_both(Basis::x, Basis::x, rng);
+    EXPECT_NE(a, b);  // Phi- anti-correlated in X
+  }
+}
+
+TEST(Measurement, OutcomeFrequenciesUniformForBell) {
+  Rng rng(11);
+  int zeros = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    TwoQubitState s = TwoQubitState::bell(BellIndex::phi_plus());
+    Mat2 partner;
+    const int o = s.measure_side(0, Basis::z, rng, &partner);
+    zeros += (o == 0) ? 1 : 0;
+    // Partner collapses to the same computational state.
+    EXPECT_NEAR(partner(o, o).real(), 1.0, 1e-9);
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / n, 0.5, 0.05);
+}
+
+TEST(Measurement, CollapseIsConsistentOnSecondMeasurement) {
+  Rng rng(13);
+  TwoQubitState s = TwoQubitState::bell(BellIndex::phi_plus());
+  const int first = s.measure_side(0, Basis::z, rng);
+  // After measuring side 0 in Z, side 1 must give the same outcome with
+  // certainty.
+  const int second = s.measure_side(1, Basis::z, rng);
+  EXPECT_EQ(first, second);
+}
+
+TEST(Measurement, CorrelatorValues) {
+  const TwoQubitState phi_plus = TwoQubitState::bell(BellIndex::phi_plus());
+  EXPECT_NEAR(phi_plus.correlator(Basis::z), 1.0, 1e-12);
+  EXPECT_NEAR(phi_plus.correlator(Basis::x), 1.0, 1e-12);
+  EXPECT_NEAR(phi_plus.correlator(Basis::y), -1.0, 1e-12);
+  const TwoQubitState psi_minus = TwoQubitState::bell(BellIndex::psi_minus());
+  EXPECT_NEAR(psi_minus.correlator(Basis::z), -1.0, 1e-12);
+  EXPECT_NEAR(psi_minus.correlator(Basis::x), -1.0, 1e-12);
+  EXPECT_NEAR(psi_minus.correlator(Basis::y), -1.0, 1e-12);
+}
+
+TEST(Measurement, WernerCorrelatorScalesWithFidelity) {
+  const double f = 0.85;
+  const TwoQubitState s = TwoQubitState::werner(f, BellIndex::phi_plus());
+  // For Werner: <ZZ> = (4F-1)/3.
+  EXPECT_NEAR(s.correlator(Basis::z), (4 * f - 1) / 3.0, 1e-12);
+}
+
+TEST(Renormalize, FixesDriftedTrace) {
+  Mat4 rho = bell_projector(BellIndex::phi_plus()) * Cplx{0.98, 0};
+  TwoQubitState s(rho);
+  s.renormalize();
+  EXPECT_NEAR(s.rho().trace().real(), 1.0, 1e-12);
+  EXPECT_NEAR(s.fidelity(BellIndex::phi_plus()), 1.0, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Teleportation.
+// ---------------------------------------------------------------------------
+
+Mat2 pure_state_dm(Cplx a, Cplx b) {
+  // |psi> = a|0> + b|1>
+  return Mat2{a * std::conj(a), a * std::conj(b), b * std::conj(a),
+              b * std::conj(b)};
+}
+
+TEST(Teleport, PerfectResourceReproducesInput) {
+  Rng rng(17);
+  const Mat2 psi = pure_state_dm(Cplx{0.6, 0}, Cplx{0, 0.8});
+  for (int i = 0; i < 50; ++i) {
+    const auto [out, m] =
+        teleport(psi, TwoQubitState::bell(BellIndex::phi_plus()), rng);
+    EXPECT_TRUE(out.approx_equal(psi, 1e-9)) << "outcome " << m.to_string();
+  }
+}
+
+TEST(Teleport, AllFourOutcomesOccur) {
+  Rng rng(19);
+  const Mat2 psi = pure_state_dm(Cplx{1 / std::sqrt(2.0), 0},
+                                 Cplx{0.5, 0.5});
+  int seen[4] = {0, 0, 0, 0};
+  for (int i = 0; i < 400; ++i) {
+    const auto [out, m] =
+        teleport(psi, TwoQubitState::bell(BellIndex::phi_plus()), rng);
+    seen[m.code()]++;
+  }
+  for (int c = 0; c < 4; ++c) EXPECT_GT(seen[c], 50);
+}
+
+TEST(Teleport, WernerResourceDegradesOutput) {
+  Rng rng(23);
+  const Mat2 psi = pure_state_dm(Cplx{1, 0}, Cplx{0, 0});
+  const double f = 0.75;
+  RunningStats fid;
+  for (int i = 0; i < 200; ++i) {
+    const auto [out, m] =
+        teleport(psi, TwoQubitState::werner(f, BellIndex::phi_plus()), rng);
+    // Output fidelity <0|out|0>.
+    fid.add(out(0, 0).real());
+  }
+  // Teleportation fidelity through Werner F: (2F+1)/3 on average.
+  EXPECT_NEAR(fid.mean(), (2 * f + 1) / 3.0, 0.02);
+}
+
+TEST(Teleport, MixedMaximallyMixedResourceGivesMixedOutput) {
+  Rng rng(29);
+  const Mat2 psi = pure_state_dm(Cplx{1, 0}, Cplx{0, 0});
+  const auto [out, m] = teleport(psi, TwoQubitState::maximally_mixed(), rng);
+  EXPECT_NEAR(out(0, 0).real(), 0.5, 1e-9);
+  EXPECT_NEAR(out(1, 1).real(), 0.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace qnetp::qstate
