@@ -7,8 +7,10 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <stdexcept>
 #include <string>
 
 #include "netsim/network.hpp"
@@ -28,13 +30,26 @@ struct BenchArgs {
     for (int i = 1; i < argc; ++i) {
       const std::string a = argv[i];
       if (a.rfind("--runs=", 0) == 0) {
-        args.runs = static_cast<std::size_t>(std::stoul(a.substr(7)));
+        const std::string value = a.substr(7);
+        const bool all_digits =
+            !value.empty() &&
+            value.find_first_not_of("0123456789") == std::string::npos;
+        try {
+          if (!all_digits) throw std::invalid_argument(value);
+          args.runs = static_cast<std::size_t>(std::stoul(value));
+        } catch (const std::exception&) {
+          std::fprintf(stderr, "bad value for --runs: %s\n", value.c_str());
+          std::exit(2);
+        }
       } else if (a == "--quick") {
         args.quick = true;
       } else if (a == "--csv") {
         args.csv = true;
       } else {
         std::fprintf(stderr, "unknown argument: %s\n", a.c_str());
+        std::fprintf(stderr,
+                     "usage: %s [--runs=N] [--quick] [--csv]\n", argv[0]);
+        std::exit(2);
       }
     }
     return args;
