@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <iostream>
 #include <stdexcept>
 #include <string>
@@ -25,7 +26,14 @@ struct BenchArgs {
   bool quick = false;
   bool csv = false;
 
-  static BenchArgs parse(int argc, char** argv) {
+  /// Parse the shared flags. A binary with extra flags passes `extra`
+  /// (return true when the argument was consumed) and an `extra_usage`
+  /// suffix for the usage line, so the shared --runs/--quick/--csv
+  /// handling is never duplicated per binary.
+  static BenchArgs parse(
+      int argc, char** argv,
+      const std::function<bool(const std::string&)>& extra = nullptr,
+      const char* extra_usage = "") {
     BenchArgs args;
     for (int i = 1; i < argc; ++i) {
       const std::string a = argv[i];
@@ -45,10 +53,12 @@ struct BenchArgs {
         args.quick = true;
       } else if (a == "--csv") {
         args.csv = true;
+      } else if (extra != nullptr && extra(a)) {
+        // consumed by the binary's own flag handler
       } else {
         std::fprintf(stderr, "unknown argument: %s\n", a.c_str());
-        std::fprintf(stderr,
-                     "usage: %s [--runs=N] [--quick] [--csv]\n", argv[0]);
+        std::fprintf(stderr, "usage: %s [--runs=N] [--quick] [--csv]%s\n",
+                     argv[0], extra_usage);
         std::exit(2);
       }
     }

@@ -5,6 +5,9 @@
 // numbers show exactness is affordable (microseconds per operation).
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "des/simulator.hpp"
 #include "netmsg/codec.hpp"
 #include "qbase/rng.hpp"
@@ -92,6 +95,85 @@ static void BM_SimulatorScheduleRun(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_SimulatorScheduleRun);
+
+// DES kernel primitives (see also bench/des_kernel for the legacy-kernel
+// comparison and the BENCH_des.json emitter).
+
+static void BM_DesSchedule(benchmark::State& state) {
+  for (auto _ : state) {
+    des::Simulator sim;
+    for (int i = 0; i < 1000; ++i) {
+      sim.schedule(Duration::us(i), [] {});
+    }
+    benchmark::DoNotOptimize(sim.events_pending());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_DesSchedule);
+
+static void BM_DesScheduleCancel(benchmark::State& state) {
+  std::vector<des::EventHandle> handles;
+  handles.reserve(1000);
+  for (auto _ : state) {
+    des::Simulator sim;
+    handles.clear();
+    for (int i = 0; i < 1000; ++i) {
+      handles.push_back(sim.schedule(Duration::us(i + 1), [] {}));
+    }
+    for (const auto& h : handles) sim.cancel(h);
+    benchmark::DoNotOptimize(sim.events_pending());
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_DesScheduleCancel);
+
+static void BM_DesDispatchWithCapture(benchmark::State& state) {
+  // Dispatch cost with a realistic (~48-byte) closure capture.
+  struct Payload {
+    std::uint64_t a, b, c, d, e;
+    std::uint64_t* sink;
+  };
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    des::Simulator sim;
+    for (int i = 0; i < 1000; ++i) {
+      const Payload p{static_cast<std::uint64_t>(i), 1, 2, 3, 4, &sink};
+      sim.schedule(Duration::us(i), [p] { *p.sink += p.a; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_DesDispatchWithCapture);
+
+static void BM_DesScheduleCancelDispatchMix(benchmark::State& state) {
+  // The cutoff-heavy mix: every pair schedules a cutoff timer and a work
+  // event; 80% of the cutoffs are cancelled before they fire.
+  Rng rng(7);
+  std::vector<des::EventHandle> cutoffs;
+  cutoffs.reserve(512);
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    des::Simulator sim;
+    cutoffs.clear();
+    for (int i = 0; i < 512; ++i) {
+      cutoffs.push_back(sim.schedule(
+          Duration::us(static_cast<double>(500 + rng.uniform_int(1000))),
+          [&sink, i] { sink += static_cast<std::uint64_t>(i); }));
+      sim.schedule(
+          Duration::us(static_cast<double>(1 + rng.uniform_int(400))),
+          [&sink, i] { sink ^= static_cast<std::uint64_t>(i); });
+    }
+    for (int i = 0; i < 512; ++i) {
+      if (rng.uniform_int(100) < 80) sim.cancel(cutoffs[static_cast<std::size_t>(i)]);
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_DesScheduleCancelDispatchMix);
 
 static void BM_CodecTrackRoundTrip(benchmark::State& state) {
   netmsg::TrackMsg m;

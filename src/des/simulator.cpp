@@ -1,49 +1,132 @@
 #include "des/simulator.hpp"
 
+#include <algorithm>
+#include <utility>
+
 namespace qnetp::des {
 
 Simulator::Simulator() = default;
 
-EventHandle Simulator::schedule(Duration delay, std::function<void()> fn) {
+EventHandle Simulator::schedule(Duration delay, UniqueFunction fn) {
   QNETP_ASSERT_MSG(!delay.is_negative(), "cannot schedule into the past");
   return schedule_at(now_ + delay, std::move(fn));
 }
 
-EventHandle Simulator::schedule_at(TimePoint at, std::function<void()> fn) {
+EventHandle Simulator::schedule_at(TimePoint at, UniqueFunction fn) {
   QNETP_ASSERT_MSG(at >= now_, "cannot schedule into the past");
-  QNETP_ASSERT(fn != nullptr);
-  const std::uint64_t id = next_seq_++;
-  queue_.push(Event{at, id, std::move(fn)});
-  live_.insert(id);
-  return EventHandle{id};
+  QNETP_ASSERT(static_cast<bool>(fn));
+  const std::uint32_t idx = acquire_slot();
+  Slot& slot = slots_[idx];
+  slot.at = at;
+  slot.seq = next_seq_++;
+  slot.fn = std::move(fn);
+  const auto pos = static_cast<std::uint32_t>(heap_.size());
+  heap_.push_back(idx);
+  slot.heap_pos = pos;
+  sift_up(pos);
+  return EventHandle{idx, slot.gen};
 }
 
 bool Simulator::cancel(EventHandle h) {
-  if (!h.valid()) return false;
-  return live_.erase(h.id_) > 0;
+  if (!pending(h)) return false;
+  heap_remove(slots_[h.slot_].heap_pos);
+  // release_slot destroys the closure (and everything it captured) right
+  // here — the whole point of the indexed heap.
+  release_slot(h.slot_);
+  return true;
 }
 
 bool Simulator::pending(EventHandle h) const {
-  return h.valid() && live_.count(h.id_) > 0;
+  return h.valid() && h.slot_ < slots_.size() &&
+         slots_[h.slot_].gen == h.gen_ &&
+         slots_[h.slot_].heap_pos != kNone;
+}
+
+std::uint32_t Simulator::acquire_slot() {
+  if (free_head_ != kNone) {
+    const std::uint32_t idx = free_head_;
+    free_head_ = slots_[idx].next_free;
+    slots_[idx].next_free = kNone;
+    return idx;
+  }
+  QNETP_ASSERT_MSG(slots_.size() < EventHandle::kInvalid,
+                   "event slot space exhausted");
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void Simulator::release_slot(std::uint32_t idx) {
+  // Move the closure out before any bookkeeping: destroying it runs user
+  // destructors, which may reentrantly schedule and reallocate slots_ —
+  // no reference into the slab may be live when `dead` destructs.
+  UniqueFunction dead = std::move(slots_[idx].fn);
+  Slot& slot = slots_[idx];
+  ++slot.gen;  // invalidate outstanding handles
+  slot.heap_pos = kNone;
+  slot.next_free = free_head_;
+  free_head_ = idx;
+  // `dead` (and everything it captured) destructs here.
+}
+
+void Simulator::sift_up(std::uint32_t pos) {
+  const std::uint32_t slot = heap_[pos];
+  while (pos > 0) {
+    const std::uint32_t parent = (pos - 1) / kArity;
+    if (!earlier(slot, heap_[parent])) break;
+    heap_place(pos, heap_[parent]);
+    pos = parent;
+  }
+  heap_place(pos, slot);
+}
+
+void Simulator::sift_down(std::uint32_t pos) {
+  const std::uint32_t slot = heap_[pos];
+  const auto size = static_cast<std::uint32_t>(heap_.size());
+  for (;;) {
+    const std::uint64_t first = std::uint64_t{pos} * kArity + 1;
+    if (first >= size) break;
+    const std::uint32_t last =
+        static_cast<std::uint32_t>(std::min<std::uint64_t>(first + kArity, size));
+    std::uint32_t best = static_cast<std::uint32_t>(first);
+    for (std::uint32_t c = best + 1; c < last; ++c) {
+      if (earlier(heap_[c], heap_[best])) best = c;
+    }
+    if (!earlier(heap_[best], slot)) break;
+    heap_place(pos, heap_[best]);
+    pos = best;
+  }
+  heap_place(pos, slot);
+}
+
+void Simulator::heap_remove(std::uint32_t pos) {
+  const auto last = static_cast<std::uint32_t>(heap_.size() - 1);
+  slots_[heap_[pos]].heap_pos = kNone;
+  if (pos == last) {
+    heap_.pop_back();
+    return;
+  }
+  // Fill the hole with the last element; it may violate the heap property
+  // in either direction relative to its new neighbourhood.
+  const std::uint32_t moved = heap_[last];
+  heap_.pop_back();
+  heap_place(pos, moved);
+  sift_down(pos);
+  if (slots_[moved].heap_pos == pos) sift_up(pos);
 }
 
 bool Simulator::dispatch_next(TimePoint horizon) {
-  // Discard cancelled events first so horizon checks see the real next one.
-  while (!queue_.empty() && live_.count(queue_.top().seq) == 0) {
-    queue_.pop();
-  }
-  if (queue_.empty()) return false;
-  if (queue_.top().at > horizon) {
+  if (heap_.empty()) return false;
+  const std::uint32_t idx = heap_[0];
+  if (slots_[idx].at > horizon) {
     now_ = horizon;
     return false;
   }
-  // priority_queue::top() is const; moving the callable out requires a
-  // const_cast. This is safe: the element is popped immediately after.
-  Event& ev = const_cast<Event&>(queue_.top());
-  auto fn = std::move(ev.fn);
-  now_ = ev.at;
-  live_.erase(ev.seq);
-  queue_.pop();
+  // Move everything we need to locals before running the callback: the
+  // callback may schedule new events and reallocate slots_/heap_.
+  UniqueFunction fn = std::move(slots_[idx].fn);
+  now_ = slots_[idx].at;
+  heap_remove(0);
+  release_slot(idx);
   ++events_executed_;
   fn();
   return true;
@@ -66,7 +149,5 @@ std::uint64_t Simulator::run_until(TimePoint horizon) {
 std::uint64_t Simulator::run() { return run_until(TimePoint::max()); }
 
 bool Simulator::step() { return dispatch_next(TimePoint::max()); }
-
-std::size_t Simulator::events_pending() const { return live_.size(); }
 
 }  // namespace qnetp::des

@@ -5,17 +5,28 @@
 // callbacks at future instants; events can be cancelled (cutoff timers are
 // cancelled whenever the qubit they guard is consumed first).
 //
+// The pending set is an indexed 4-ary min-heap over slab-allocated event
+// slots. Each slot carries its own heap position, so cancel() removes the
+// event from the heap and destroys its closure immediately — cancelled
+// events never linger holding captured state (qubits, engine pointers),
+// which matters in cutoff-heavy workloads where most timers are cancelled
+// long before they would fire. Handles are (slot, generation) pairs;
+// slot reuse bumps the generation so stale handles are inert.
+//
+// Complexity: schedule O(log n), cancel O(log n), dispatch O(log n), with
+// no per-event heap allocation for closures up to 64 bytes
+// (des::UniqueFunction).
+//
 // Determinism: events at the same instant execute in scheduling order
 // (FIFO tie-break by sequence number), so a run is a pure function of the
-// RNG seed.
+// RNG seed. The heap orders by the total key (time, sequence); its
+// internal layout never leaks into execution order.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "des/unique_function.hpp"
 #include "qbase/assert.hpp"
 #include "qbase/units.hpp"
 
@@ -28,12 +39,17 @@ class Simulator;
 class EventHandle {
  public:
   EventHandle() = default;
-  bool valid() const { return id_ != 0; }
+  bool valid() const { return slot_ != kInvalid; }
 
  private:
   friend class Simulator;
-  explicit EventHandle(std::uint64_t id) : id_(id) {}
-  std::uint64_t id_ = 0;
+  static constexpr std::uint32_t kInvalid = 0xffffffffu;
+  EventHandle(std::uint32_t slot, std::uint64_t gen)
+      : slot_(slot), gen_(gen) {}
+  std::uint32_t slot_ = kInvalid;
+  // 64-bit so a slot reused billions of times (long runs, shallow queues,
+  // LIFO free list) can never wrap a stale handle back into validity.
+  std::uint64_t gen_ = 0;
 };
 
 class Simulator {
@@ -44,14 +60,18 @@ class Simulator {
 
   TimePoint now() const { return now_; }
 
-  /// Schedule `fn` to run after `delay` (>= 0) of simulated time.
-  EventHandle schedule(Duration delay, std::function<void()> fn);
+  /// Schedule `fn` to run after `delay` (>= 0) of simulated time. Any
+  /// callable converts implicitly to UniqueFunction; closures up to 64
+  /// bytes are stored inline (no allocation).
+  EventHandle schedule(Duration delay, UniqueFunction fn);
   /// Schedule `fn` at the absolute instant `at` (>= now).
-  EventHandle schedule_at(TimePoint at, std::function<void()> fn);
+  EventHandle schedule_at(TimePoint at, UniqueFunction fn);
 
-  /// Cancel a pending event. Cancelling an already-fired, already-cancelled
-  /// or inert handle is a harmless no-op; returns whether a pending event
-  /// was actually cancelled.
+  /// Cancel a pending event: the event leaves the heap and its closure
+  /// (with everything it captures) is destroyed before this returns.
+  /// Cancelling an already-fired, already-cancelled or inert handle is a
+  /// harmless no-op; returns whether a pending event was actually
+  /// cancelled.
   bool cancel(EventHandle h);
 
   /// True if the handle refers to an event that has not yet fired or been
@@ -70,28 +90,47 @@ class Simulator {
   void stop() { stop_requested_ = true; }
 
   std::uint64_t events_executed() const { return events_executed_; }
-  std::size_t events_pending() const;
+  /// Exactly the number of events in the heap (cancelled events are
+  /// removed eagerly, so there is nothing else to count).
+  std::size_t events_pending() const { return heap_.size(); }
 
  private:
-  struct Event {
+  static constexpr std::uint32_t kNone = 0xffffffffu;
+  static constexpr std::uint32_t kArity = 4;
+
+  struct Slot {
     TimePoint at;
-    std::uint64_t seq;  // FIFO tie-break and cancellation id
-    std::function<void()> fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
+    std::uint64_t seq = 0;       // FIFO tie-break
+    std::uint64_t gen = 1;       // bumped on release; stale handles miss
+    UniqueFunction fn;
+    std::uint32_t heap_pos = kNone;
+    std::uint32_t next_free = kNone;
   };
 
   bool dispatch_next(TimePoint horizon);
 
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t idx);
+
+  // (time, seq) total order over live slots.
+  bool earlier(std::uint32_t a, std::uint32_t b) const {
+    const Slot& sa = slots_[a];
+    const Slot& sb = slots_[b];
+    if (sa.at != sb.at) return sa.at < sb.at;
+    return sa.seq < sb.seq;
+  }
+  void heap_place(std::uint32_t pos, std::uint32_t slot) {
+    heap_[pos] = slot;
+    slots_[slot].heap_pos = pos;
+  }
+  void sift_up(std::uint32_t pos);
+  void sift_down(std::uint32_t pos);
+  void heap_remove(std::uint32_t pos);
+
   TimePoint now_ = TimePoint::origin();
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  // Set of ids still pending; cancel() removes from here and the event is
-  // skipped lazily when it pops from the heap.
-  std::unordered_set<std::uint64_t> live_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> heap_;  // slot indices, 4-ary min-heap
+  std::uint32_t free_head_ = kNone;
   std::uint64_t next_seq_ = 1;
   std::uint64_t events_executed_ = 0;
   bool stop_requested_ = false;
@@ -102,7 +141,7 @@ class Simulator {
 class ScopedTimer {
  public:
   ScopedTimer() = default;
-  ScopedTimer(Simulator& sim, Duration delay, std::function<void()> fn)
+  ScopedTimer(Simulator& sim, Duration delay, UniqueFunction fn)
       : sim_(&sim), handle_(sim.schedule(delay, std::move(fn))) {}
   ScopedTimer(ScopedTimer&& o) noexcept
       : sim_(o.sim_), handle_(o.handle_) {

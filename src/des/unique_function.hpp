@@ -1,0 +1,122 @@
+// Move-only callable with small-buffer optimisation for DES events.
+//
+// Every event the simulator ever runs carries exactly one closure that is
+// invoked at most once and then destroyed. std::function is the wrong tool
+// for that job: it requires copyability (so move-only captures need
+// shared_ptr detours) and its small-buffer threshold is
+// implementation-defined, so the common event closures (a `this` pointer
+// plus a few ids) often heap-allocate — one allocation per scheduled event
+// on the simulator's hottest path. UniqueFunction fixes the inline
+// capacity at 64 bytes, accepts move-only captures, and never allocates
+// for closures that fit.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace qnetp::des {
+
+/// Move-only `void()` callable. Closures up to `kInlineSize` bytes that are
+/// nothrow-move-constructible live inline; anything larger (or
+/// throwing-move) falls back to a single heap allocation.
+class UniqueFunction {
+ public:
+  static constexpr std::size_t kInlineSize = 64;
+
+  UniqueFunction() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, UniqueFunction> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  UniqueFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    // Null-testable callables (std::function, function pointers) that are
+    // empty produce an empty UniqueFunction, so the scheduler's
+    // fail-fast assert fires at the buggy call site instead of a
+    // bad_function_call deep inside the event loop.
+    if constexpr (std::is_constructible_v<bool, Fn&>) {
+      if (!static_cast<bool>(f)) return;
+    }
+    if constexpr (fits_inline<Fn>()) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      ops_ = &inline_ops<Fn>;
+    } else {
+      ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &heap_ops<Fn>;
+    }
+  }
+
+  UniqueFunction(UniqueFunction&& o) noexcept : ops_(o.ops_) {
+    if (ops_ != nullptr) ops_->relocate(o.storage_, storage_);
+    o.ops_ = nullptr;
+  }
+
+  UniqueFunction& operator=(UniqueFunction&& o) noexcept {
+    if (this != &o) {
+      reset();
+      ops_ = o.ops_;
+      if (ops_ != nullptr) ops_->relocate(o.storage_, storage_);
+      o.ops_ = nullptr;
+    }
+    return *this;
+  }
+
+  UniqueFunction(const UniqueFunction&) = delete;
+  UniqueFunction& operator=(const UniqueFunction&) = delete;
+
+  ~UniqueFunction() { reset(); }
+
+  /// Destroys the held callable (and its captures) immediately.
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(storage_); }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    // Move-construct into `to`, then destroy the source. Both buffers are
+    // raw storage of kInlineSize bytes.
+    void (*relocate)(void* from, void* to) noexcept;
+    void (*destroy)(void* storage) noexcept;
+  };
+
+  template <typename Fn>
+  static constexpr bool fits_inline() {
+    return sizeof(Fn) <= kInlineSize &&
+           alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  template <typename Fn>
+  static constexpr Ops inline_ops{
+      [](void* s) { (*static_cast<Fn*>(s))(); },
+      [](void* from, void* to) noexcept {
+        auto* src = static_cast<Fn*>(from);
+        ::new (to) Fn(std::move(*src));
+        src->~Fn();
+      },
+      [](void* s) noexcept { static_cast<Fn*>(s)->~Fn(); }};
+
+  template <typename Fn>
+  static constexpr Ops heap_ops{
+      [](void* s) { (**static_cast<Fn**>(s))(); },
+      [](void* from, void* to) noexcept {
+        ::new (to) Fn*(*static_cast<Fn**>(from));
+      },
+      [](void* s) noexcept { delete *static_cast<Fn**>(s); }};
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineSize];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace qnetp::des

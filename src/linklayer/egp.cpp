@@ -71,6 +71,8 @@ void EgpLink::poke() { try_start(); }
 
 void EgpLink::abort_generation() {
   QNETP_ASSERT(generating_.has_value());
+  // Removes the herald event from the kernel heap and destroys its
+  // closure immediately (it captures `this`).
   sim_.cancel(generating_->herald);
   // Attempts burned before the abort still count (nuclear dephasing and
   // accounting), pro-rated by elapsed time.

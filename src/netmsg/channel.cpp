@@ -1,5 +1,7 @@
 #include "netmsg/channel.hpp"
 
+#include <utility>
+
 #include "qbase/assert.hpp"
 #include "qbase/log.hpp"
 
@@ -8,8 +10,17 @@ namespace qnetp::netmsg {
 void ClassicalNetwork::connect(NodeId a, NodeId b, Duration propagation) {
   QNETP_ASSERT(a.valid() && b.valid() && a != b);
   QNETP_ASSERT(!propagation.is_negative());
-  channels_[{a, b}] = DirectedChannel{propagation, true, sim_.now()};
-  channels_[{b, a}] = DirectedChannel{propagation, true, sim_.now()};
+  for (const auto& key : {std::pair{a, b}, std::pair{b, a}}) {
+    auto [it, inserted] = channels_.try_emplace(
+        key, DirectedChannel{propagation, true, sim_.now()});
+    if (!inserted) {
+      // Re-connect: refresh the delay and bring the link up, but keep the
+      // FIFO floor — resetting last_delivery would let sends issued after
+      // the reconnect overtake messages still in flight.
+      it->second.propagation = propagation;
+      it->second.up = true;
+    }
+  }
 }
 
 bool ClassicalNetwork::connected(NodeId a, NodeId b) const {
@@ -20,6 +31,8 @@ void ClassicalNetwork::set_handler(NodeId node, Handler handler) {
   QNETP_ASSERT(handler != nullptr);
   handlers_[node] = std::move(handler);
 }
+
+void ClassicalNetwork::clear_handler(NodeId node) { handlers_.erase(node); }
 
 void ClassicalNetwork::set_link_up(NodeId a, NodeId b, bool up) {
   auto* ab = channel(a, b);
@@ -57,7 +70,14 @@ void ClassicalNetwork::send(NodeId from, NodeId to, const Message& msg) {
 
   sim_.schedule_at(deliver_at, [this, from, to, wire] {
     const auto it = handlers_.find(to);
-    QNETP_ASSERT_MSG(it != handlers_.end(), "no handler installed at node");
+    if (it == handlers_.end()) {
+      // The receiver tore down while the message was in flight: a drop,
+      // not a programming error (transport liveness handles the rest).
+      ++dropped_;
+      QNETP_LOG(debug, "netmsg") << "dropped message " << from << "->" << to
+                                 << " (receiver gone)";
+      return;
+    }
     ++delivered_;
     it->second(from, decode(wire));
   });

@@ -28,12 +28,19 @@ class ClassicalNetwork {
 
   /// Create a bidirectional channel with the given one-way propagation
   /// delay (typically the fibre delay of the parallel quantum link).
+  /// Reconnecting an existing pair updates the delay but keeps the FIFO
+  /// floor, so later sends can never overtake messages already in flight.
   void connect(NodeId a, NodeId b, Duration propagation);
 
   bool connected(NodeId a, NodeId b) const;
 
   /// Install the receive handler for a node (one per node).
   void set_handler(NodeId node, Handler handler);
+
+  /// Remove a node's handler (teardown). Messages already in flight to
+  /// the node are counted as dropped on arrival instead of asserting —
+  /// a node may leave while packets are on the wire.
+  void clear_handler(NodeId node);
 
   /// Fixed per-message processing delay added at the receiver (models
   /// stack traversal; part of the Fig. 10c "message delay" definition).

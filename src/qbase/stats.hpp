@@ -68,18 +68,44 @@ class SampleSet {
 };
 
 /// Counts events over a simulation horizon and reports a rate.
+///
+/// Events are kept time-sorted with a running prefix sum, so a window
+/// query is two binary searches (O(log n)) instead of a scan over the
+/// full history. With a retention bound set, events older than the bound
+/// are pruned as new ones arrive, keeping memory flat over long
+/// congestion runs; `count()` still reports the all-time total.
 class RateMeter {
  public:
   void record(TimePoint t, double amount = 1.0);
   void reset();
   double count() const { return total_; }
   /// Events per second between window_start and window_end; events outside
-  /// the window are excluded.
+  /// the window are excluded. Windows reaching before a prune cutoff see
+  /// only the retained events.
   double rate_per_second(TimePoint window_start, TimePoint window_end) const;
 
+  /// Bound the retained history: as events arrive, events older than
+  /// `keep` before the newest one are dropped (amortised, so up to 2x
+  /// the window may be resident at a time). Choose `keep` at least as
+  /// large as the oldest window you will still query.
+  void set_retention(Duration keep);
+  /// Drop all retained events before `cutoff` (the all-time total is
+  /// unaffected).
+  void prune_before(TimePoint cutoff);
+  /// Number of events currently held (for memory accounting in tests).
+  std::size_t events_retained() const { return events_.size(); }
+
  private:
-  std::vector<std::pair<TimePoint, double>> events_;
+  struct Entry {
+    TimePoint t;
+    double cum;  // cumulative amount since reset(), including pruned events
+  };
+  double cum_before(TimePoint x) const;
+
+  std::vector<Entry> events_;
   double total_ = 0.0;
+  double pruned_cum_ = 0.0;  // cumulative amount of pruned events
+  Duration retention_ = Duration::max();
 };
 
 /// Helper for Duration-valued samples (records milliseconds internally).

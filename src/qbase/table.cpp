@@ -53,10 +53,25 @@ void TablePrinter::print(std::ostream& os) const {
 }
 
 void TablePrinter::print_csv(std::ostream& os) const {
+  // RFC 4180: cells containing the separator, a quote or a line break are
+  // quoted, with embedded quotes doubled. Everything else passes through
+  // unchanged so numeric output stays byte-identical.
+  auto emit_cell = [&](const std::string& cell) {
+    if (cell.find_first_of(",\"\n\r") == std::string::npos) {
+      os << cell;
+      return;
+    }
+    os << '"';
+    for (const char ch : cell) {
+      if (ch == '"') os << '"';
+      os << ch;
+    }
+    os << '"';
+  };
   auto emit = [&](const std::vector<std::string>& row) {
     for (std::size_t c = 0; c < row.size(); ++c) {
       if (c) os << ',';
-      os << row[c];
+      emit_cell(row[c]);
     }
     os << '\n';
   };

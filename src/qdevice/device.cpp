@@ -28,7 +28,7 @@ PairRegistry::Binding QuantumDevice::require_binding(QubitId qubit) const {
 }
 
 void QuantumDevice::run_or_enqueue(Duration duration,
-                                   std::function<void()> body) {
+                                   des::UniqueFunction body) {
   if (serialized_) {
     op_queue_.push_back(PendingOp{duration, std::move(body)});
     if (!busy_) {
@@ -43,13 +43,21 @@ void QuantumDevice::run_or_enqueue(Duration duration,
 void QuantumDevice::op_finished() {
   if (op_queue_.empty()) {
     busy_ = false;
+    // Release the last body's captures now, not when the next op runs:
+    // an idle device must not retain circuit/qubit state.
+    inflight_body_.reset();
     return;
   }
   busy_ = true;
   PendingOp op = std::move(op_queue_.front());
   op_queue_.pop_front();
-  sim_.schedule(op.duration, [this, body = std::move(op.body)]() {
-    body();
+  // The in-flight body lives in a member so the scheduled closure only
+  // captures `this` and stays within the kernel's inline buffer. Safe
+  // because the device serialises: nothing reassigns inflight_body_
+  // until the continuation below has returned from it.
+  inflight_body_ = std::move(op.body);
+  sim_.schedule(op.duration, [this] {
+    inflight_body_();
     op_finished();
   });
 }

@@ -86,7 +86,7 @@ class QuantumDevice {
 
  private:
   PairRegistry::Binding require_binding(QubitId qubit) const;
-  void run_or_enqueue(Duration duration, std::function<void()> body);
+  void run_or_enqueue(Duration duration, des::UniqueFunction body);
   void op_finished();
 
   des::Simulator& sim_;
@@ -99,11 +99,14 @@ class QuantumDevice {
 
   bool serialized_ = false;
   bool busy_ = false;
+  // Instruction bodies ride the simulator's small-buffer callable: no
+  // per-instruction allocation, and move-only captures are allowed.
   struct PendingOp {
     Duration duration;
-    std::function<void()> body;
+    des::UniqueFunction body;
   };
   std::deque<PendingOp> op_queue_;
+  des::UniqueFunction inflight_body_;  // body of the op currently executing
 };
 
 }  // namespace qnetp::qdevice

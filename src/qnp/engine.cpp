@@ -690,6 +690,9 @@ void QnpEngine::enqueue_intermediate_pair(CircuitState& cs,
   if (config_.decoherence == DecoherencePolicy::cutoff) {
     const CircuitId cid = cs.id;
     const PairCorrelator corr = correlator;
+    // Most cutoff timers are cancelled by a swap long before expiry; the
+    // kernel destroys the closure at cancel time, so the captures below
+    // never outlive the pair they guard.
     q.cutoff = des::ScopedTimer(sim_, cs.cutoff, [this, cid, corr,
                                                   from_upstream] {
       auto* c = find_circuit(cid);

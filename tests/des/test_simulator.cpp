@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <functional>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "qbase/rng.hpp"
@@ -57,6 +59,11 @@ TEST(Simulator, ZeroDelayRunsAtCurrentTime) {
   });
   sim.run();
   EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, SchedulingEmptyCallableAsserts) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule(1_ms, std::function<void()>{}), AssertionError);
 }
 
 TEST(Simulator, SchedulingIntoThePastAsserts) {
@@ -195,6 +202,192 @@ TEST(ScopedTimer, MoveTransfersOwnership) {
   c = std::move(b);
   sim.run();
   EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, CancelDestroysClosureEagerly) {
+  Simulator sim;
+  auto sentinel = std::make_shared<int>(42);
+  std::weak_ptr<int> watch = sentinel;
+  const EventHandle h =
+      sim.schedule(1_ms, [s = std::move(sentinel)] { (void)s; });
+  EXPECT_FALSE(watch.expired());
+  EXPECT_TRUE(sim.cancel(h));
+  // The closure (and the sentinel it captured) is gone before cancel
+  // returned — it does not linger in the heap until drained.
+  EXPECT_TRUE(watch.expired());
+  EXPECT_EQ(sim.events_pending(), 0u);
+}
+
+TEST(Simulator, CancelDestroysHeapAllocatedClosureEagerly) {
+  // Closures larger than the inline buffer take the heap fallback; eager
+  // destruction must hold for them too.
+  Simulator sim;
+  auto sentinel = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = sentinel;
+  struct Big {
+    std::shared_ptr<int> s;
+    char pad[128];
+  };
+  const EventHandle h =
+      sim.schedule(1_ms, [big = Big{std::move(sentinel), {}}] { (void)big; });
+  EXPECT_TRUE(sim.cancel(h));
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(Simulator, ExecutedEventClosureDestroyedAfterRun) {
+  Simulator sim;
+  auto sentinel = std::make_shared<int>(7);
+  std::weak_ptr<int> watch = sentinel;
+  sim.schedule(1_ms, [s = std::move(sentinel)] { EXPECT_EQ(*s, 7); });
+  sim.run();
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(Simulator, EventsPendingMatchesHeapOccupancy) {
+  Simulator sim;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 100; ++i) {
+    handles.push_back(sim.schedule(Duration::us(i + 1), [] {}));
+  }
+  EXPECT_EQ(sim.events_pending(), 100u);
+  // Cancel every other event: the count drops immediately, not lazily at
+  // dispatch time.
+  for (std::size_t i = 0; i < handles.size(); i += 2) {
+    EXPECT_TRUE(sim.cancel(handles[i]));
+  }
+  EXPECT_EQ(sim.events_pending(), 50u);
+  std::uint64_t ran = sim.run();
+  EXPECT_EQ(ran, 50u);
+  EXPECT_EQ(sim.events_pending(), 0u);
+}
+
+TEST(Simulator, StaleHandleAfterSlotReuseIsInert) {
+  Simulator sim;
+  bool new_ran = false;
+  const EventHandle old_h = sim.schedule(1_ms, [] { FAIL(); });
+  EXPECT_TRUE(sim.cancel(old_h));
+  // The next schedule reuses the freed slot; the stale handle must not
+  // alias the new event.
+  const EventHandle new_h = sim.schedule(2_ms, [&] { new_ran = true; });
+  EXPECT_FALSE(sim.pending(old_h));
+  EXPECT_FALSE(sim.cancel(old_h));
+  EXPECT_TRUE(sim.pending(new_h));
+  sim.run();
+  EXPECT_TRUE(new_ran);
+}
+
+TEST(Simulator, DeterministicUnderInterleavedScheduleCancel) {
+  // Two identical runs of a random schedule/cancel interleaving must
+  // execute the same events in the same order at the same instants.
+  auto trace = [] {
+    Simulator sim;
+    Rng rng(1234);
+    std::vector<std::pair<std::int64_t, int>> log;
+    std::vector<EventHandle> handles;
+    for (int i = 0; i < 2000; ++i) {
+      const auto delay =
+          Duration::ps(static_cast<std::int64_t>(rng.uniform_int(500000)));
+      handles.push_back(sim.schedule(delay, [&log, i, &sim] {
+        log.emplace_back(sim.now().count_ps(), i);
+      }));
+      if (i % 3 == 0) {
+        const auto victim = rng.uniform_int(handles.size());
+        sim.cancel(handles[victim]);
+      }
+    }
+    sim.run();
+    return log;
+  };
+  const auto a = trace();
+  const auto b = trace();
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Simulator, FifoTieBreakSurvivesCancellationChurn) {
+  // Cancellations reshuffle the heap internally; same-instant events must
+  // still run in scheduling order.
+  Simulator sim;
+  std::vector<int> order;
+  std::vector<EventHandle> cancelled;
+  for (int i = 0; i < 50; ++i) {
+    cancelled.push_back(sim.schedule(1_ms, [] { FAIL(); }));
+    sim.schedule(2_ms, [&order, i] { order.push_back(i); });
+  }
+  for (const auto& h : cancelled) EXPECT_TRUE(sim.cancel(h));
+  sim.run();
+  ASSERT_EQ(order.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Simulator, CancelOwnHandleFromCallbackIsNoop) {
+  Simulator sim;
+  EventHandle h;
+  int runs = 0;
+  h = sim.schedule(1_ms, [&] {
+    ++runs;
+    // The executing event is no longer pending from inside its own body.
+    EXPECT_FALSE(sim.pending(h));
+    EXPECT_FALSE(sim.cancel(h));
+  });
+  sim.run();
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(ScopedTimer, MovedFromTimerCannotFireLate) {
+  Simulator sim;
+  int fired = 0;
+  ScopedTimer outer;
+  {
+    ScopedTimer inner(sim, 1_ms, [&] { ++fired; });
+    outer = std::move(inner);
+    // inner's destructor runs here; it must not cancel the moved timer.
+  }
+  sim.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, CancelledClosureDestructorMayScheduleReentrantly) {
+  // A cancelled closure's captures are destroyed inside cancel(); if a
+  // captured RAII object schedules from its destructor (growing the slot
+  // slab), the kernel's bookkeeping must survive it.
+  Simulator sim;
+  bool fired = false;
+  struct Rescheduler {
+    Simulator* sim;
+    bool* fired;
+    bool armed = true;
+    Rescheduler(Simulator* s, bool* f) : sim(s), fired(f) {}
+    Rescheduler(Rescheduler&& o) noexcept
+        : sim(o.sim), fired(o.fired), armed(o.armed) {
+      o.armed = false;
+    }
+    Rescheduler(const Rescheduler&) = delete;
+    ~Rescheduler() {
+      if (!armed) return;
+      // Two events: the first reuses the slot being released, the second
+      // forces the slab to grow (reallocating slots_).
+      sim->schedule(Duration::ms(1), [f = fired] { *f = true; });
+      sim->schedule(Duration::ms(1), [] {});
+    }
+  };
+  const EventHandle h =
+      sim.schedule(1_ms, [r = Rescheduler(&sim, &fired)] { (void)r; });
+  EXPECT_TRUE(sim.cancel(h));
+  EXPECT_FALSE(sim.pending(h));  // generation bump survived the reentry
+  sim.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(ScopedTimer, CancelReleasesCapturedState) {
+  Simulator sim;
+  auto sentinel = std::make_shared<std::string>("qubit");
+  std::weak_ptr<std::string> watch = sentinel;
+  ScopedTimer t(sim, 1_ms, [s = std::move(sentinel)] { (void)s; });
+  t.cancel();
+  // A cutoff timer's captured qubit state is released at cancel time.
+  EXPECT_TRUE(watch.expired());
+  sim.run();
 }
 
 TEST(Simulator, ManyEventsStress) {

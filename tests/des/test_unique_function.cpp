@@ -1,0 +1,116 @@
+#include "des/unique_function.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <utility>
+
+namespace qnetp::des {
+namespace {
+
+TEST(UniqueFunction, DefaultIsEmpty) {
+  UniqueFunction f;
+  EXPECT_FALSE(static_cast<bool>(f));
+}
+
+TEST(UniqueFunction, EmptyStdFunctionStaysEmpty) {
+  // An empty std::function must not masquerade as a valid callable; the
+  // scheduler's assert relies on this to fail at the call site.
+  const std::function<void()> none;
+  UniqueFunction f(none);
+  EXPECT_FALSE(static_cast<bool>(f));
+  UniqueFunction g(static_cast<void (*)()>(nullptr));
+  EXPECT_FALSE(static_cast<bool>(g));
+}
+
+TEST(UniqueFunction, NonEmptyStdFunctionWorks) {
+  int calls = 0;
+  const std::function<void()> fn = [&calls] { ++calls; };
+  UniqueFunction f(fn);
+  ASSERT_TRUE(static_cast<bool>(f));
+  f();
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(UniqueFunction, InvokesInlineClosure) {
+  int calls = 0;
+  UniqueFunction f([&] { ++calls; });
+  ASSERT_TRUE(static_cast<bool>(f));
+  f();
+  f();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(UniqueFunction, AcceptsMoveOnlyCapture) {
+  auto p = std::make_unique<int>(5);
+  int seen = 0;
+  UniqueFunction f([p = std::move(p), &seen] { seen = *p; });
+  f();
+  EXPECT_EQ(seen, 5);
+}
+
+TEST(UniqueFunction, MoveTransfersOwnership) {
+  int calls = 0;
+  UniqueFunction a([&] { ++calls; });
+  UniqueFunction b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(UniqueFunction, MoveAssignDestroysPreviousTarget) {
+  auto sentinel = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = sentinel;
+  UniqueFunction target([s = std::move(sentinel)] { (void)s; });
+  target = UniqueFunction([] {});
+  EXPECT_TRUE(watch.expired());
+  target();  // replacement is callable
+}
+
+TEST(UniqueFunction, ResetDestroysCapturesImmediately) {
+  auto sentinel = std::make_shared<int>(3);
+  std::weak_ptr<int> watch = sentinel;
+  UniqueFunction f([s = std::move(sentinel)] { (void)s; });
+  EXPECT_FALSE(watch.expired());
+  f.reset();
+  EXPECT_TRUE(watch.expired());
+  EXPECT_FALSE(static_cast<bool>(f));
+}
+
+TEST(UniqueFunction, HeapFallbackForLargeClosures) {
+  struct Big {
+    char pad[2 * UniqueFunction::kInlineSize] = {};
+    int value = 9;
+  };
+  int seen = 0;
+  UniqueFunction f([big = Big{}, &seen] { seen = big.value; });
+  UniqueFunction g = std::move(f);
+  g();
+  EXPECT_EQ(seen, 9);
+}
+
+TEST(UniqueFunction, HeapFallbackDestroysOnReset) {
+  auto sentinel = std::make_shared<int>(4);
+  std::weak_ptr<int> watch = sentinel;
+  struct Big {
+    std::shared_ptr<int> s;
+    char pad[2 * UniqueFunction::kInlineSize] = {};
+  };
+  UniqueFunction f([b = Big{std::move(sentinel), {}}] { (void)b; });
+  f.reset();
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(UniqueFunction, DestructorReleasesCaptures) {
+  auto sentinel = std::make_shared<int>(8);
+  std::weak_ptr<int> watch = sentinel;
+  {
+    UniqueFunction f([s = std::move(sentinel)] { (void)s; });
+  }
+  EXPECT_TRUE(watch.expired());
+}
+
+}  // namespace
+}  // namespace qnetp::des

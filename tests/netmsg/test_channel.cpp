@@ -112,6 +112,49 @@ TEST_F(ChannelTest, StatsCountBytesAndMessages) {
   EXPECT_GT(net_.bytes_carried(), 0u);
 }
 
+TEST_F(ChannelTest, HandlerRemovedMidFlightCountsDrop) {
+  // A node tearing down while messages are on the wire is a race, not a
+  // programming error: the in-flight message is dropped on arrival.
+  net_.send(NodeId{1}, NodeId{2}, expire(1));
+  net_.clear_handler(NodeId{2});
+  sim_.run();
+  EXPECT_TRUE(received_at_2_.empty());
+  EXPECT_EQ(net_.messages_dropped(), 1u);
+  EXPECT_EQ(net_.messages_delivered(), 0u);
+  // Reinstalling a handler resumes delivery.
+  net_.set_handler(NodeId{2}, [this](NodeId from, const Message& m) {
+    received_at_2_.emplace_back(from, m, sim_.now());
+  });
+  net_.send(NodeId{1}, NodeId{2}, expire(2));
+  sim_.run();
+  EXPECT_EQ(received_at_2_.size(), 1u);
+}
+
+TEST_F(ChannelTest, ReconnectPreservesFifoFloor) {
+  // First message in flight with 1 ms extra delay; then the link is
+  // re-connected with a shorter propagation and another message sent.
+  // The second must not overtake the first.
+  net_.set_extra_delay(1_ms);
+  net_.send(NodeId{1}, NodeId{2}, expire(1));
+  net_.set_extra_delay(Duration::zero());
+  net_.connect(NodeId{1}, NodeId{2}, 1_us);  // re-connect, faster link
+  net_.send(NodeId{1}, NodeId{2}, expire(2));
+  sim_.run();
+  ASSERT_EQ(received_at_2_.size(), 2u);
+  EXPECT_EQ(seq_of(std::get<1>(received_at_2_[0])), 1u);
+  EXPECT_EQ(seq_of(std::get<1>(received_at_2_[1])), 2u);
+  EXPECT_GE(std::get<2>(received_at_2_[1]), std::get<2>(received_at_2_[0]));
+}
+
+TEST_F(ChannelTest, ReconnectUpdatesPropagationAndRevivesLink) {
+  net_.set_link_up(NodeId{1}, NodeId{2}, false);
+  net_.connect(NodeId{1}, NodeId{2}, 20_us);  // re-connect brings it up
+  net_.send(NodeId{1}, NodeId{2}, expire(1));
+  sim_.run();
+  ASSERT_EQ(received_at_2_.size(), 1u);
+  EXPECT_EQ(std::get<2>(received_at_2_[0]), TimePoint::origin() + 20_us);
+}
+
 TEST_F(ChannelTest, ConnectivityQuery) {
   EXPECT_TRUE(net_.connected(NodeId{1}, NodeId{2}));
   EXPECT_TRUE(net_.connected(NodeId{2}, NodeId{1}));

@@ -32,6 +32,26 @@ TEST(TablePrinter, CsvOutput) {
   EXPECT_EQ(os.str(), "a,b\n1,2\n3,4\n");
 }
 
+TEST(TablePrinter, CsvEscapesSeparatorsQuotesAndNewlines) {
+  TablePrinter t({"plain", "with,comma"});
+  t.add_row({"say \"hi\"", "line1\nline2"});
+  t.add_row({"trailing\r", "clean"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(),
+            "plain,\"with,comma\"\n"
+            "\"say \"\"hi\"\"\",\"line1\nline2\"\n"
+            "\"trailing\r\",clean\n");
+}
+
+TEST(TablePrinter, CsvLeavesPlainCellsUntouched) {
+  TablePrinter t({"a", "b"});
+  t.add_row({"1.5e-3", "x y z"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1.5e-3,x y z\n");
+}
+
 TEST(TablePrinter, RowWidthMismatchAsserts) {
   TablePrinter t({"a", "b"});
   EXPECT_THROW(t.add_row({"only-one"}), AssertionError);
