@@ -5,78 +5,24 @@
 // between the same nodes. Aggregation needs K times less circuit state
 // and shares swap opportunities at repeaters; separate circuits partition
 // the link qubit pools and the bottleneck's time, so pairs wait longer
-// for a same-circuit partner.
+// for a same-circuit partner. Both variants run on the SAME per-trial
+// seeds (paired comparison).
 #include "bench/common.hpp"
 
 using namespace qnetp;
 using namespace qnetp::literals;
 using namespace qnetp::bench;
 
-namespace {
-
-struct Result {
-  double makespan_s = -1.0;  ///< all requests complete
-  std::uint64_t circuits = 0;
-};
-
-Result run_once(bool aggregate, std::size_t k_requests,
-                std::uint64_t pairs_each, std::uint64_t seed) {
-  netsim::NetworkConfig config;
-  config.seed = seed;
-  auto net = netsim::make_chain(3, config, qhw::simulation_preset(),
-                                qhw::FiberParams::lab(2.0));
-  ctrl::CircuitPlanOptions options;
-  options.cutoff_generation_quantile = 0.85;
-
-  const std::size_t n_circuits = aggregate ? 1 : k_requests;
-  std::vector<std::unique_ptr<netsim::DualProbe>> probes;
-  std::vector<CircuitId> circuits;
-  for (std::size_t c = 0; c < n_circuits; ++c) {
-    const EndpointId he{10 + c};
-    const EndpointId te{200 + c};
-    probes.push_back(std::make_unique<netsim::DualProbe>(
-        *net, NodeId{1}, he, NodeId{3}, te));
-    const auto plan = net->establish_circuit(NodeId{1}, NodeId{3}, he, te,
-                                             0.85, options);
-    if (!plan) return {};
-    circuits.push_back(plan->install.circuit_id);
-  }
-
-  const TimePoint start = net->sim().now();
-  for (std::size_t r = 0; r < k_requests; ++r) {
-    const std::size_t c = aggregate ? 0 : r;
-    const EndpointId he{10 + c};
-    const EndpointId te{200 + c};
-    if (!net->engine(NodeId{1}).submit_request(
-            circuits[c], keep_request(r + 1, pairs_each, he, te))) {
-      return {};
-    }
-  }
-  net->sim().run_until(start + 600_s);
-  net->sim().stop();
-
-  TimePoint last = start;
-  for (std::size_t r = 0; r < k_requests; ++r) {
-    const std::size_t c = aggregate ? 0 : r;
-    const auto done = probes[c]->head_completion(RequestId{r + 1});
-    if (!done.has_value()) return {};
-    last = std::max(last, *done);
-  }
-  Result res;
-  res.makespan_s = (last - start).as_seconds();
-  res.circuits = n_circuits;
-  return res;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   const BenchArgs args = BenchArgs::parse(argc, argv);
-  const std::size_t runs = args.runs > 0 ? args.runs : (args.quick ? 1 : 3);
+  const std::size_t default_runs = args.quick ? 1 : 3;
   const std::uint64_t pairs = args.quick ? 10 : 25;
   const std::vector<std::size_t> ks =
       args.quick ? std::vector<std::size_t>{2, 4}
                  : std::vector<std::size_t>{1, 2, 4, 6, 8};
+  note_quick_cut(args, default_runs,
+                 "10-pair requests, K in {2,4} (full: 25 pairs, K in "
+                 "{1,2,4,6,8}, 3 trials)");
 
   print_banner(std::cout,
                "Ablation — K requests on ONE aggregated circuit vs K "
@@ -84,16 +30,22 @@ int main(int argc, char** argv) {
   TablePrinter table({"K requests", "aggregated makespan [s]",
                       "separate makespan [s]", "circuit state ratio"});
   for (const std::size_t k : ks) {
-    RunningStats agg, sep;
-    for (std::size_t s = 0; s < runs; ++s) {
-      const Result a = run_once(true, k, pairs, 7000 + s * 13);
-      const Result b = run_once(false, k, pairs, 7000 + s * 13);
-      if (a.makespan_s >= 0.0) agg.add(a.makespan_s);
-      if (b.makespan_s >= 0.0) sep.add(b.makespan_s);
-    }
-    auto cell = [](const RunningStats& s) {
-      return s.empty() ? std::string(">horizon")
-                       : TablePrinter::num(s.mean(), 4);
+    auto sweep = [&](bool aggregate) {
+      exp::AggregationConfig cfg;
+      cfg.aggregate = aggregate;
+      cfg.k_requests = k;
+      cfg.pairs_each = pairs;
+      return run_trials(args, default_runs, /*default_seed=*/7000,
+                        [&](const exp::Trial& t) {
+                          return exp::aggregation_trial(cfg, t.seed);
+                        });
+    };
+    const auto agg = sweep(true);
+    const auto sep = sweep(false);
+    auto cell = [](const exp::SummaryAccumulator& s) {
+      return s.has_scalar("makespan_s")
+                 ? TablePrinter::num(s.scalar("makespan_s").mean(), 4)
+                 : std::string(">horizon");
     };
     table.add_row({std::to_string(k), cell(agg), cell(sep),
                    "1:" + std::to_string(k)});

@@ -12,73 +12,17 @@ using namespace qnetp;
 using namespace qnetp::literals;
 using namespace qnetp::bench;
 
-namespace {
-
-struct Result {
-  double tput = -1.0;
-  double fidelity = 0.0;
-  double discards_per_s = 0.0;
-};
-
-Result run_once(Duration cutoff, std::uint64_t seed, Duration horizon) {
-  netsim::NetworkConfig config;
-  config.seed = seed;
-  auto hw = qhw::simulation_preset();
-  hw.phys.electron_t2 = 2_s;
-  auto net = netsim::make_chain(3, config, hw, qhw::FiberParams::lab(2.0));
-
-  // Manual circuit with a FIXED link fidelity so the sweep varies only
-  // the cutoff (the automatic planner would re-derive the link fidelity
-  // from the cutoff and confound the ablation).
-  const double link_fidelity = 0.93;
-  netmsg::InstallMsg install;
-  install.circuit_id = CircuitId{1};
-  install.head_end_identifier = EndpointId{10};
-  install.tail_end_identifier = EndpointId{20};
-  install.end_to_end_fidelity = 0.85;
-  for (std::uint64_t i = 1; i <= 3; ++i) {
-    netmsg::HopState hop;
-    hop.node = NodeId{i};
-    hop.upstream = (i > 1) ? NodeId{i - 1} : NodeId{};
-    hop.downstream = (i < 3) ? NodeId{i + 1} : NodeId{};
-    hop.upstream_label = (i > 1) ? LinkLabel{i - 1} : LinkLabel{};
-    hop.downstream_label = (i < 3) ? LinkLabel{i} : LinkLabel{};
-    hop.downstream_min_fidelity = (i < 3) ? link_fidelity : 0.0;
-    hop.downstream_max_lpr = 100.0;
-    hop.circuit_max_eer = 50.0;
-    hop.cutoff = cutoff;
-    install.hops.push_back(hop);
-  }
-  net->install_manual_circuit(install);
-
-  netsim::DualProbe probe(*net, NodeId{1}, EndpointId{10}, NodeId{3},
-                          EndpointId{20});
-  net->engine(NodeId{1}).submit_request(
-      CircuitId{1},
-      keep_request(1, 1000000, EndpointId{10}, EndpointId{20}));
-  net->sim().run_until(TimePoint::origin() + horizon);
-  net->sim().stop();
-
-  Result r;
-  r.tput = static_cast<double>(probe.pair_count()) / horizon.as_seconds();
-  r.fidelity = probe.mean_fidelity();
-  r.discards_per_s =
-      static_cast<double>(
-          net->engine(NodeId{2}).counters().pairs_discarded_cutoff) /
-      horizon.as_seconds();
-  return r;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   const BenchArgs args = BenchArgs::parse(argc, argv);
-  const std::size_t runs = args.runs > 0 ? args.runs : (args.quick ? 1 : 3);
+  const std::size_t default_runs = args.quick ? 1 : 3;
   const Duration horizon = args.quick ? 5_s : 15_s;
   const std::vector<double> cutoffs_ms =
       args.quick ? std::vector<double>{5, 40, 320}
                  : std::vector<double>{2, 5, 10, 20, 40, 80, 160, 320, 640,
                                        1280};
+  note_quick_cut(args, default_runs,
+                 "3 of 10 cutoffs, 5 s horizon (full: 10 cutoffs, 15 s, "
+                 "3 trials)");
 
   print_banner(std::cout,
                "Ablation — cutoff sweep on a 3-node chain (F=0.85 target, "
@@ -86,19 +30,20 @@ int main(int argc, char** argv) {
   TablePrinter table({"cutoff [ms]", "throughput [pairs/s]",
                       "mean fidelity", "cutoff discards [1/s]"});
   for (const double c : cutoffs_ms) {
-    RunningStats tput, fid, disc;
-    for (std::size_t s = 0; s < runs; ++s) {
-      const Result r = run_once(Duration::ms(c), 5000 + s * 7, horizon);
-      if (r.tput < 0.0) continue;
-      tput.add(r.tput);
-      fid.add(r.fidelity);
-      disc.add(r.discards_per_s);
-    }
-    auto cell = [](const RunningStats& s) {
-      return s.empty() ? std::string("n/a") : TablePrinter::num(s.mean(), 4);
+    exp::CutoffSweepConfig cfg;
+    cfg.cutoff = Duration::ms(c);
+    cfg.horizon = horizon;
+    const auto summary = run_trials(
+        args, default_runs, /*default_seed=*/5000, [&](const exp::Trial& t) {
+          return exp::cutoff_sweep_trial(cfg, t.seed);
+        });
+    auto cell = [&](const char* metric) {
+      return summary.has_scalar(metric)
+                 ? TablePrinter::num(summary.scalar(metric).mean(), 4)
+                 : std::string("n/a");
     };
-    table.add_row(
-        {TablePrinter::num(c, 4), cell(tput), cell(fid), cell(disc)});
+    table.add_row({TablePrinter::num(c, 4), cell("tput"), cell("fidelity"),
+                   cell("discards_per_s")});
   }
   emit(table, args);
   std::cout << "\nExpected: throughput climbs to a plateau once the cutoff "

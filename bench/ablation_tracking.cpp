@@ -7,58 +7,22 @@
 // hop-by-hop bookkeeping alternative the paper rejects. As the classical
 // delay grows, the blocking variant's pairs idle longer before swapping
 // (latency up, fidelity down) while lazy tracking is barely affected
-// until delays reach the cutoff scale (Fig. 10c).
+// until delays reach the cutoff scale (Fig. 10c). Both variants run on
+// the SAME per-trial seeds (paired comparison).
 #include "bench/common.hpp"
 
 using namespace qnetp;
 using namespace qnetp::literals;
 using namespace qnetp::bench;
 
-namespace {
-
-struct Result {
-  double latency_s = -1.0;
-  double fidelity = 0.0;
-};
-
-Result run_once(bool lazy, Duration delay, std::uint64_t seed) {
-  netsim::NetworkConfig config;
-  config.seed = seed;
-  config.qnp.lazy_tracking = lazy;
-  auto hw = qhw::simulation_preset();
-  hw.phys.electron_t2 = 5_s;
-  auto net = netsim::make_chain(4, config, hw, qhw::FiberParams::lab(2.0));
-  net->classical().set_extra_delay(delay);
-
-  netsim::DualProbe probe(*net, NodeId{1}, EndpointId{10}, NodeId{4},
-                          EndpointId{20});
-  const auto plan =
-      net->establish_circuit(NodeId{1}, NodeId{4}, EndpointId{10},
-                             EndpointId{20}, 0.8, {}, nullptr, 10_s);
-  if (!plan) return {};
-  const TimePoint start = net->sim().now();
-  net->engine(NodeId{1}).submit_request(
-      plan->install.circuit_id,
-      keep_request(1, 30, EndpointId{10}, EndpointId{20}));
-  net->sim().run_until(start + 600_s);
-  net->sim().stop();
-
-  const auto done = probe.head_completion(RequestId{1});
-  if (!done.has_value()) return {};
-  Result r;
-  r.latency_s = (*done - start).as_seconds();
-  r.fidelity = probe.mean_fidelity();
-  return r;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   const BenchArgs args = BenchArgs::parse(argc, argv);
-  const std::size_t runs = args.runs > 0 ? args.runs : (args.quick ? 1 : 3);
+  const std::size_t default_runs = args.quick ? 1 : 3;
   const std::vector<double> delays_ms =
       args.quick ? std::vector<double>{0, 10} : std::vector<double>{0, 2, 5,
                                                                     10, 20};
+  note_quick_cut(args, default_runs,
+                 "2 of 5 delay values (full: 5 values, 3 trials)");
 
   print_banner(std::cout,
                "Ablation — lazy vs blocking entanglement tracking "
@@ -67,25 +31,25 @@ int main(int argc, char** argv) {
                       "blocking latency [s]", "lazy fidelity",
                       "blocking fidelity"});
   for (const double d : delays_ms) {
-    RunningStats ll, bl, lf, bf;
-    for (std::size_t s = 0; s < runs; ++s) {
-      const Result lazy = run_once(true, Duration::ms(d), 6000 + s * 3);
-      const Result blocking = run_once(false, Duration::ms(d), 6000 + s * 3);
-      if (lazy.latency_s >= 0.0) {
-        ll.add(lazy.latency_s);
-        lf.add(lazy.fidelity);
-      }
-      if (blocking.latency_s >= 0.0) {
-        bl.add(blocking.latency_s);
-        bf.add(blocking.fidelity);
-      }
-    }
-    auto cell = [](const RunningStats& s) {
-      return s.empty() ? std::string(">horizon")
-                       : TablePrinter::num(s.mean(), 4);
+    auto sweep = [&](bool lazy) {
+      exp::TrackingConfig cfg;
+      cfg.lazy = lazy;
+      cfg.extra_delay = Duration::ms(d);
+      return run_trials(args, default_runs, /*default_seed=*/6000,
+                        [&](const exp::Trial& t) {
+                          return exp::tracking_trial(cfg, t.seed);
+                        });
     };
-    table.add_row({TablePrinter::num(d, 4), cell(ll), cell(bl), cell(lf),
-                   cell(bf)});
+    const auto lazy = sweep(true);
+    const auto blocking = sweep(false);
+    auto cell = [](const exp::SummaryAccumulator& s, const char* metric) {
+      return s.has_scalar(metric)
+                 ? TablePrinter::num(s.scalar(metric).mean(), 4)
+                 : std::string(">horizon");
+    };
+    table.add_row({TablePrinter::num(d, 4), cell(lazy, "latency_s"),
+                   cell(blocking, "latency_s"), cell(lazy, "fidelity"),
+                   cell(blocking, "fidelity")});
   }
   emit(table, args);
   std::cout << "\nExpected: blocking tracking pays the classical round "

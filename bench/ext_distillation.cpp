@@ -5,63 +5,18 @@
 // noise into phase noise; the second round purifies it — fidelity rises
 // while the pair rate drops by the distillation overhead (2^rounds raw
 // pairs per output, times the success probability).
-#include "apps/distillation.hpp"
 #include "bench/common.hpp"
 
 using namespace qnetp;
 using namespace qnetp::literals;
 using namespace qnetp::bench;
 
-namespace {
-
-struct Result {
-  double raw_fidelity = 0.0;
-  double out_fidelity = 0.0;
-  std::size_t raw_pairs = 0;
-  std::size_t out_pairs = 0;
-  double success_ratio = 0.0;
-};
-
-Result run_once(std::size_t rounds, double target, std::uint64_t seed,
-                std::uint64_t raw_pairs) {
-  netsim::NetworkConfig config;
-  config.seed = seed;
-  config.comm_qubits_per_link = 8;  // distillation buffers pairs
-  auto net = netsim::make_chain(3, config, qhw::simulation_preset(),
-                                qhw::FiberParams::lab(2.0));
-
-  Result r;
-  apps::DistillationService distiller(
-      *net, NodeId{1}, EndpointId{10}, NodeId{3}, EndpointId{20},
-      [&](const apps::DistilledPair& p) {
-        r.raw_fidelity += p.fidelity_raw;
-        r.out_fidelity += p.fidelity_after;
-        ++r.out_pairs;
-        net->engine(NodeId{1}).release_app_qubit(p.head_qubit);
-        net->engine(NodeId{3}).release_app_qubit(p.tail_qubit);
-      },
-      rounds);
-  const auto plan = net->establish_circuit(
-      NodeId{1}, NodeId{3}, EndpointId{10}, EndpointId{20}, target);
-  if (!plan) return r;
-  distiller.start(plan->install.circuit_id, RequestId{1}, raw_pairs);
-  net->sim().run_until(TimePoint::origin() + 300_s);
-  net->sim().stop();
-
-  r.raw_pairs = raw_pairs;
-  r.success_ratio = distiller.success_ratio();
-  if (r.out_pairs > 0) {
-    r.raw_fidelity /= static_cast<double>(r.out_pairs);
-    r.out_fidelity /= static_cast<double>(r.out_pairs);
-  }
-  return r;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   const BenchArgs args = BenchArgs::parse(argc, argv);
+  const std::size_t default_runs = args.quick ? 1 : 2;
   const std::uint64_t raw = args.quick ? 40 : 160;
+  note_quick_cut(args, default_runs,
+                 "40 raw pairs (full: 160 raw pairs, 2 trials)");
 
   print_banner(std::cout,
                "Extension — layered DEJMPS distillation over a 3-node "
@@ -71,19 +26,29 @@ int main(int argc, char** argv) {
                       "round success"});
   for (const double target : {0.75, 0.8, 0.85}) {
     for (const std::size_t rounds : {1u, 2u}) {
-      const Result r = run_once(rounds, target, 8000, raw);
-      if (r.out_pairs == 0) {
+      exp::DistillationConfig cfg;
+      cfg.rounds = rounds;
+      cfg.target = target;
+      cfg.raw_pairs = raw;
+      const auto summary = run_trials(
+          args, default_runs, /*default_seed=*/8000,
+          [&](const exp::Trial& t) {
+            return exp::distillation_trial(cfg, t.seed);
+          });
+      if (!summary.has_scalar("out_fidelity") ||
+          summary.scalar("out_pairs").mean() <= 0.0) {
         table.add_row({TablePrinter::num(target, 3),
                        std::to_string(rounds), "n/a", "n/a", "0", "n/a"});
         continue;
       }
-      table.add_row({TablePrinter::num(target, 3), std::to_string(rounds),
-                     TablePrinter::num(r.raw_fidelity, 4),
-                     TablePrinter::num(r.out_fidelity, 4),
-                     TablePrinter::num(static_cast<double>(r.out_pairs) /
-                                           static_cast<double>(r.raw_pairs),
-                                       3),
-                     TablePrinter::num(r.success_ratio, 3)});
+      table.add_row(
+          {TablePrinter::num(target, 3), std::to_string(rounds),
+           TablePrinter::num(summary.scalar("raw_fidelity").mean(), 4),
+           TablePrinter::num(summary.scalar("out_fidelity").mean(), 4),
+           TablePrinter::num(summary.scalar("out_pairs").mean() /
+                                 static_cast<double>(raw),
+                             3),
+           TablePrinter::num(summary.scalar("success_ratio").mean(), 3)});
     }
   }
   emit(table, args);

@@ -2,83 +2,25 @@
 // A1-B1 at F=0.8) against the memory lifetime T2*, for the QNP's cutoff
 // strategy vs the "simpler protocol" baseline that has no cutoff and
 // instead discards end-to-end pairs below the fidelity threshold using a
-// simulation oracle.
-//
-// Expected shape (paper): throughput falls as T2* shrinks; the F=0.9
-// circuit suffers more (its link-pairs take longer, leaving a smaller
-// swapping window) but stays non-zero; the cutoff strategy beats the
-// oracle baseline across the sweep.
+// simulation oracle. The cutoff and oracle variants run on the SAME
+// per-trial seeds, so the comparison is paired.
 #include "bench/common.hpp"
 
 using namespace qnetp;
 using namespace qnetp::literals;
 using namespace qnetp::bench;
 
-namespace {
-
-struct Result {
-  double tput_high = -1.0;  ///< pairs/s on the F=0.9 circuit
-  double tput_low = -1.0;   ///< pairs/s on the F=0.8 circuit
-  double fid_high = 0.0;
-  double fid_low = 0.0;
-};
-
-Result run_once(double t2_seconds, bool use_cutoff, std::uint64_t seed,
-                Duration horizon) {
-  netsim::NetworkConfig config;
-  config.seed = seed;
-  if (!use_cutoff) {
-    config.qnp.decoherence = qnp::DecoherencePolicy::oracle_end_discard;
-  }
-  auto hw = qhw::simulation_preset();
-  hw.phys.electron_t2 = Duration::seconds(t2_seconds);
-  auto net = netsim::make_dumbbell(config, hw, qhw::FiberParams::lab(2.0));
-  const netsim::DumbbellIds ids;
-
-  netsim::DualProbe p_high(*net, ids.a0, EndpointId{10}, ids.b0,
-                           EndpointId{20});
-  netsim::DualProbe p_low(*net, ids.a1, EndpointId{11}, ids.b1,
-                          EndpointId{21});
-  const auto plan_high = net->establish_circuit(
-      ids.a0, ids.b0, EndpointId{10}, EndpointId{20}, 0.9);
-  const auto plan_low = net->establish_circuit(
-      ids.a1, ids.b1, EndpointId{11}, EndpointId{21}, 0.8);
-  if (!plan_high || !plan_low) return {};
-
-  // One long-running request per circuit (paper Sec. 5.2).
-  if (!net->engine(ids.a0).submit_request(
-          plan_high->install.circuit_id,
-          keep_request(1, 1000000, EndpointId{10}, EndpointId{20}))) {
-    return {};
-  }
-  if (!net->engine(ids.a1).submit_request(
-          plan_low->install.circuit_id,
-          keep_request(2, 1000000, EndpointId{11}, EndpointId{21}))) {
-    return {};
-  }
-  net->sim().run_until(TimePoint::origin() + horizon);
-  net->sim().stop();
-
-  Result r;
-  r.tput_high =
-      static_cast<double>(p_high.pair_count()) / horizon.as_seconds();
-  r.tput_low =
-      static_cast<double>(p_low.pair_count()) / horizon.as_seconds();
-  r.fid_high = p_high.mean_fidelity();
-  r.fid_low = p_low.mean_fidelity();
-  return r;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   const BenchArgs args = BenchArgs::parse(argc, argv);
-  const std::size_t runs = args.runs > 0 ? args.runs : (args.quick ? 1 : 3);
+  const std::size_t default_runs = args.quick ? 1 : 3;
   const Duration horizon = args.quick ? 5_s : 20_s;
   const std::vector<double> t2_sweep =
       args.quick ? std::vector<double>{0.4, 1.6, 12.8}
                  : std::vector<double>{0.2, 0.4, 0.8, 1.6, 3.2, 6.4, 12.8,
                                        25.6, 60.0};
+  note_quick_cut(args, default_runs,
+                 "3 of 9 T2* values, 5 s horizon (full: 9 values, 20 s, "
+                 "3 trials)");
 
   print_banner(std::cout,
                "Fig. 10(a,b) — throughput vs memory lifetime T2*: QNP "
@@ -88,26 +30,27 @@ int main(int argc, char** argv) {
                       "F=0.8 oracle [pairs/s]", "fid 0.9 ckt",
                       "fid 0.8 ckt"});
   for (const double t2 : t2_sweep) {
-    RunningStats ch, oh, cl, ol, fh, fl;
-    for (std::size_t s = 0; s < runs; ++s) {
-      const Result cutoff = run_once(t2, true, 3000 + s * 17, horizon);
-      const Result oracle = run_once(t2, false, 3000 + s * 17, horizon);
-      if (cutoff.tput_high >= 0.0) {
-        ch.add(cutoff.tput_high);
-        cl.add(cutoff.tput_low);
-        fh.add(cutoff.fid_high);
-        fl.add(cutoff.fid_low);
-      }
-      if (oracle.tput_high >= 0.0) {
-        oh.add(oracle.tput_high);
-        ol.add(oracle.tput_low);
-      }
-    }
-    auto cell = [](const RunningStats& s) {
-      return s.empty() ? std::string("n/a") : TablePrinter::num(s.mean(), 4);
+    auto sweep = [&](bool use_cutoff) {
+      exp::DecoherenceConfig cfg;
+      cfg.t2_seconds = t2;
+      cfg.use_cutoff = use_cutoff;
+      cfg.horizon = horizon;
+      return run_trials(args, default_runs, /*default_seed=*/3000,
+                        [&](const exp::Trial& t) {
+                          return exp::decoherence_trial(cfg, t.seed);
+                        });
     };
-    table.add_row({TablePrinter::num(t2, 4), cell(ch), cell(oh), cell(cl),
-                   cell(ol), cell(fh), cell(fl)});
+    const auto cutoff = sweep(true);
+    const auto oracle = sweep(false);
+    auto cell = [](const exp::SummaryAccumulator& s, const char* metric) {
+      return s.has_scalar(metric)
+                 ? TablePrinter::num(s.scalar(metric).mean(), 4)
+                 : std::string("n/a");
+    };
+    table.add_row({TablePrinter::num(t2, 4), cell(cutoff, "tput_high"),
+                   cell(oracle, "tput_high"), cell(cutoff, "tput_low"),
+                   cell(oracle, "tput_low"), cell(cutoff, "fid_high"),
+                   cell(cutoff, "fid_low")});
   }
   emit(table, args);
   std::cout << "\nPaper shape: throughput decays with shorter T2*; the "

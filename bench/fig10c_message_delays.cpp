@@ -12,74 +12,16 @@ using namespace qnetp;
 using namespace qnetp::literals;
 using namespace qnetp::bench;
 
-namespace {
-
-struct Result {
-  double tput_high = -1.0, good_high = -1.0;
-  double tput_low = -1.0, good_low = -1.0;
-  double cutoff_ms = 0.0;
-};
-
-Result run_once(Duration extra_delay, std::uint64_t seed,
-                Duration horizon) {
-  netsim::NetworkConfig config;
-  config.seed = seed;
-  auto hw = qhw::simulation_preset();
-  hw.phys.electron_t2 = 1.6_s;  // achievable lifetime (paper Sec. 5.2)
-  auto net = netsim::make_dumbbell(config, hw, qhw::FiberParams::lab(2.0));
-  net->classical().set_extra_delay(extra_delay);
-  const netsim::DumbbellIds ids;
-
-  netsim::DualProbe p_high(*net, ids.a0, EndpointId{10}, ids.b0,
-                           EndpointId{20});
-  netsim::DualProbe p_low(*net, ids.a1, EndpointId{11}, ids.b1,
-                          EndpointId{21});
-  const auto plan_high = net->establish_circuit(
-      ids.a0, ids.b0, EndpointId{10}, EndpointId{20}, 0.9, {}, nullptr,
-      10_s);
-  const auto plan_low = net->establish_circuit(
-      ids.a1, ids.b1, EndpointId{11}, EndpointId{21}, 0.8, {}, nullptr,
-      10_s);
-  if (!plan_high || !plan_low) return {};
-
-  net->engine(ids.a0).submit_request(
-      plan_high->install.circuit_id,
-      keep_request(1, 1000000, EndpointId{10}, EndpointId{20}));
-  net->engine(ids.a1).submit_request(
-      plan_low->install.circuit_id,
-      keep_request(2, 1000000, EndpointId{11}, EndpointId{21}));
-  const TimePoint start = net->sim().now();
-  net->sim().run_until(start + horizon);
-  net->sim().stop();
-
-  auto goodput = [&](const netsim::DualProbe& p, double threshold) {
-    double good = 0;
-    for (const auto& rec : p.pairs()) {
-      if (rec.fidelity >= threshold) good += 1.0;
-    }
-    return good / horizon.as_seconds();
-  };
-
-  Result r;
-  r.cutoff_ms = plan_high->cutoff.as_ms();
-  r.tput_high =
-      static_cast<double>(p_high.pair_count()) / horizon.as_seconds();
-  r.good_high = goodput(p_high, 0.9);
-  r.tput_low =
-      static_cast<double>(p_low.pair_count()) / horizon.as_seconds();
-  r.good_low = goodput(p_low, 0.8);
-  return r;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   const BenchArgs args = BenchArgs::parse(argc, argv);
-  const std::size_t runs = args.runs > 0 ? args.runs : (args.quick ? 1 : 3);
+  const std::size_t default_runs = args.quick ? 1 : 3;
   const Duration horizon = args.quick ? 5_s : 20_s;
   const std::vector<double> delays_ms =
       args.quick ? std::vector<double>{0, 10, 40}
                  : std::vector<double>{0, 2, 5, 10, 15, 20, 25, 30, 40, 50};
+  note_quick_cut(args, default_runs,
+                 "3 of 10 delay values, 5 s horizon (full: 10 values, "
+                 "20 s, 3 trials)");
 
   print_banner(std::cout,
                "Fig. 10(c) — throughput/goodput vs classical message "
@@ -88,22 +30,23 @@ int main(int argc, char** argv) {
                       "F=0.8 tput", "F=0.8 goodput"});
   double cutoff_ms = 0.0;
   for (const double delay : delays_ms) {
-    RunningStats th, gh, tl, gl;
-    for (std::size_t s = 0; s < runs; ++s) {
-      const Result r =
-          run_once(Duration::ms(delay), 4000 + s * 23, horizon);
-      if (r.tput_high < 0.0) continue;
-      cutoff_ms = r.cutoff_ms;
-      th.add(r.tput_high);
-      gh.add(r.good_high);
-      tl.add(r.tput_low);
-      gl.add(r.good_low);
+    exp::MessageDelayConfig cfg;
+    cfg.extra_delay = Duration::ms(delay);
+    cfg.horizon = horizon;
+    const auto summary = run_trials(
+        args, default_runs, /*default_seed=*/4000, [&](const exp::Trial& t) {
+          return exp::message_delay_trial(cfg, t.seed);
+        });
+    if (summary.has_scalar("cutoff_ms")) {
+      cutoff_ms = summary.scalar("cutoff_ms").max();
     }
-    auto cell = [](const RunningStats& s) {
-      return s.empty() ? std::string("n/a") : TablePrinter::num(s.mean(), 4);
+    auto cell = [&](const char* metric) {
+      return summary.has_scalar(metric)
+                 ? TablePrinter::num(summary.scalar(metric).mean(), 4)
+                 : std::string("n/a");
     };
-    table.add_row({TablePrinter::num(delay, 4), cell(th), cell(gh),
-                   cell(tl), cell(gl)});
+    table.add_row({TablePrinter::num(delay, 4), cell("tput_high"),
+                   cell("good_high"), cell("tput_low"), cell("good_low")});
   }
   emit(table, args);
   std::printf("\ncutoff timeout (the paper's dashed vertical line): "

@@ -3,10 +3,10 @@
 //
 // Paper's result: "on average we have to wait 10 ms and 95% of link-pairs
 // are generated within 30 ms." The bench runs the link layer end to end
-// (EGP + photonic model + qubit pools) with immediate consumption and
-// prints the measured CDF.
+// (EGP + photonic model + qubit pools) with immediate consumption across
+// --runs seeded trials (sharded over --jobs workers) and prints the
+// pooled CDF with a bootstrap CI on the mean.
 #include "bench/common.hpp"
-#include "linklayer/egp.hpp"
 
 using namespace qnetp;
 using namespace qnetp::literals;
@@ -14,43 +14,16 @@ using namespace qnetp::bench;
 
 int main(int argc, char** argv) {
   const BenchArgs args = BenchArgs::parse(argc, argv);
-  const std::size_t target_pairs = args.quick ? 500 : 5000;
+  const std::size_t default_runs = args.quick ? 2 : 4;
+  exp::LinkCdfConfig cfg;
+  cfg.target_pairs = args.quick ? 250 : 1250;
+  note_quick_cut(args, default_runs,
+                 "250 pairs per trial (full: 1250, 4 trials)");
 
-  des::Simulator sim;
-  Rng rng(12345);
-  qdevice::PairRegistry registry;
-  qdevice::QuantumDevice dev_a(sim, rng, registry, qhw::simulation_preset(),
-                               NodeId{1});
-  qdevice::QuantumDevice dev_b(sim, rng, registry, qhw::simulation_preset(),
-                               NodeId{2});
-  dev_a.memory().add_link_pool(LinkId{1}, 2);
-  dev_b.memory().add_link_pool(LinkId{1}, 2);
-  linklayer::EgpLink link(sim, rng, LinkId{1}, dev_a, dev_b,
-                          qhw::PhotonicLinkModel(qhw::simulation_preset(),
-                                                 qhw::FiberParams::lab(2.0)));
-
-  SampleSet gen_ms;
-  TimePoint last = TimePoint::origin();
-  link.set_delivery_handler(NodeId{1},
-                            [&](const linklayer::LinkPairDelivery& d) {
-                              gen_ms.add((sim.now() - last).as_ms());
-                              last = sim.now();
-                              dev_a.discard(d.local_qubit);
-                            });
-  link.set_delivery_handler(NodeId{2},
-                            [&](const linklayer::LinkPairDelivery& d) {
-                              dev_b.discard(d.local_qubit);
-                              link.poke();
-                            });
-
-  linklayer::LinkRequest req;
-  req.label = LinkLabel{1};
-  req.min_fidelity = 0.95;
-  req.continuous = true;
-  link.submit(req);
-
-  while (gen_ms.count() < target_pairs && sim.step()) {
-  }
+  const auto summary = run_trials(
+      args, default_runs, /*default_seed=*/12345,
+      [&](const exp::Trial& t) { return exp::link_cdf_trial(cfg, t.seed); });
+  const SampleSet& gen_ms = summary.pooled("gen_ms");
 
   print_banner(std::cout, "Fig. 5 — link-pair generation time CDF "
                           "(F=0.95, 2 m fibre)");
@@ -62,12 +35,18 @@ int main(int argc, char** argv) {
   }
   emit(cdf, args);
 
-  TablePrinter summary({"metric", "paper", "measured [ms]"});
-  summary.add_row({"mean", "~10 ms", TablePrinter::num(gen_ms.mean(), 4)});
-  summary.add_row(
-      {"95th percentile", "~30 ms", TablePrinter::num(gen_ms.quantile(0.95), 4)});
-  summary.add_row({"pairs sampled", "-",
-                   TablePrinter::num(static_cast<double>(gen_ms.count()), 6)});
-  emit(summary, args);
+  const auto ci = summary.bootstrap_ci("mean_ms");
+  TablePrinter summary_table({"metric", "paper", "measured [ms]"});
+  summary_table.add_row(
+      {"mean", "~10 ms", TablePrinter::num(gen_ms.mean(), 4)});
+  summary_table.add_row({"mean 95% CI", "-",
+                         TablePrinter::num(ci.lo, 4) + " - " +
+                             TablePrinter::num(ci.hi, 4)});
+  summary_table.add_row({"95th percentile", "~30 ms",
+                         TablePrinter::num(gen_ms.quantile(0.95), 4)});
+  summary_table.add_row(
+      {"pairs sampled", "-",
+       TablePrinter::num(static_cast<double>(gen_ms.count()), 6)});
+  emit(summary_table, args);
   return 0;
 }

@@ -15,77 +15,9 @@ using namespace qnetp;
 using namespace qnetp::literals;
 using namespace qnetp::bench;
 
-namespace {
-
-struct CircuitSpec {
-  NodeId head, tail;
-  EndpointId head_ep, tail_ep;
-};
-
-double run_once(std::size_t n_circuits, double fidelity, bool short_cutoff,
-                std::size_t n_requests, std::uint64_t pairs_per_request,
-                std::uint64_t seed) {
-  netsim::NetworkConfig config;
-  config.seed = seed;
-  auto net = netsim::make_dumbbell(config, qhw::simulation_preset(),
-                                   qhw::FiberParams::lab(2.0));
-  const netsim::DumbbellIds ids;
-  const CircuitSpec specs[4] = {
-      {ids.a0, ids.b0, EndpointId{10}, EndpointId{20}},
-      {ids.a1, ids.b1, EndpointId{11}, EndpointId{21}},
-      {ids.a0, ids.b1, EndpointId{12}, EndpointId{22}},
-      {ids.a1, ids.b0, EndpointId{13}, EndpointId{23}},
-  };
-
-  ctrl::CircuitPlanOptions options;
-  if (short_cutoff) options.cutoff_generation_quantile = 0.85;
-
-  std::vector<std::unique_ptr<netsim::DualProbe>> probes;
-  std::vector<CircuitId> circuits;
-  for (std::size_t c = 0; c < n_circuits; ++c) {
-    probes.push_back(std::make_unique<netsim::DualProbe>(
-        *net, specs[c].head, specs[c].head_ep, specs[c].tail,
-        specs[c].tail_ep));
-    const auto plan =
-        net->establish_circuit(specs[c].head, specs[c].tail,
-                               specs[c].head_ep, specs[c].tail_ep, fidelity,
-                               options);
-    if (!plan) return -1.0;
-    circuits.push_back(plan->install.circuit_id);
-  }
-
-  // Round-robin request placement (Sec. 5.1), all issued simultaneously.
-  const TimePoint issue_at = net->sim().now();
-  std::vector<std::size_t> request_circuit(n_requests);
-  for (std::size_t r = 0; r < n_requests; ++r) {
-    const std::size_t c = r % n_circuits;
-    request_circuit[r] = c;
-    auto req = keep_request(r + 1, pairs_per_request, specs[c].head_ep,
-                            specs[c].tail_ep);
-    if (!net->engine(specs[c].head).submit_request(circuits[c], req)) {
-      return -1.0;
-    }
-  }
-
-  net->sim().run_until(issue_at + 900_s);
-
-  // Average latency of the requests on circuit 0 (A0-B0).
-  RunningStats latency;
-  for (std::size_t r = 0; r < n_requests; ++r) {
-    if (request_circuit[r] != 0) continue;
-    const auto done = probes[0]->head_completion(RequestId{r + 1});
-    if (!done.has_value()) return -2.0;  // did not finish in the horizon
-    latency.add((*done - issue_at).as_seconds());
-  }
-  net->sim().stop();
-  return latency.mean();
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   const BenchArgs args = BenchArgs::parse(argc, argv);
-  const std::size_t runs = args.runs > 0 ? args.runs : (args.quick ? 1 : 3);
+  const std::size_t default_runs = args.quick ? 1 : 3;
   const std::uint64_t pairs = args.quick ? 25 : 100;
   const std::vector<std::size_t> request_counts =
       args.quick ? std::vector<std::size_t>{1, 4, 8}
@@ -93,6 +25,9 @@ int main(int argc, char** argv) {
   const std::vector<double> fidelities =
       args.quick ? std::vector<double>{0.85}
                  : std::vector<double>{0.8, 0.85, 0.9};
+  note_quick_cut(args, default_runs,
+                 "25-pair requests, 3 of 8 request counts, F=0.85 only "
+                 "(full: 100 pairs, 8 counts, 3 fidelities, 3 trials)");
 
   for (const bool short_cutoff : {false, true}) {
     for (const std::size_t n_circuits : {1u, 2u, 4u}) {
@@ -118,22 +53,24 @@ int main(int argc, char** argv) {
       for (const std::size_t n_req : request_counts) {
         std::vector<std::string> row{std::to_string(n_req)};
         for (double f : fidelities) {
-          RunningStats avg;
-          bool timeout = false;
-          for (std::size_t s = 0; s < runs; ++s) {
-            const double v = run_once(n_circuits, f, short_cutoff, n_req,
-                                      pairs, 1000 + s * 77 + n_req);
-            if (v == -2.0) {
-              timeout = true;
-            } else if (v >= 0.0) {
-              avg.add(v);
-            }
-          }
-          if (avg.empty()) {
+          exp::SharingConfig cfg;
+          cfg.n_circuits = n_circuits;
+          cfg.fidelity = f;
+          cfg.short_cutoff = short_cutoff;
+          cfg.n_requests = n_req;
+          cfg.pairs_per_request = pairs;
+          const auto summary = run_trials(
+              args, default_runs, /*default_seed=*/1000 + n_req,
+              [&](const exp::Trial& t) {
+                return exp::sharing_trial(cfg, t.seed);
+              });
+          const bool timeout = summary.scalar("timeout").max() > 0.0;
+          if (!summary.has_scalar("latency_s")) {
             row.push_back(timeout ? ">horizon" : "n/a");
           } else {
-            row.push_back(TablePrinter::num(avg.mean(), 4) +
-                          (timeout ? "*" : ""));
+            row.push_back(
+                TablePrinter::num(summary.scalar("latency_s").mean(), 4) +
+                (timeout ? "*" : ""));
           }
         }
         table.add_row(row);

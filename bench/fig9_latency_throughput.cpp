@@ -12,104 +12,15 @@ using namespace qnetp;
 using namespace qnetp::literals;
 using namespace qnetp::bench;
 
-namespace {
-
-struct Point {
-  double throughput = 0.0;  ///< pairs per second in the measured window
-  double latency_mean = 0.0;
-  double latency_p5 = 0.0;
-  double latency_p95 = 0.0;
-  bool ok = false;
-};
-
-Point run_once(Duration request_interval, bool congested,
-               std::uint64_t seed) {
-  netsim::NetworkConfig config;
-  config.seed = seed;
-  auto net = netsim::make_dumbbell(config, qhw::simulation_preset(),
-                                   qhw::FiberParams::lab(2.0));
-  const netsim::DumbbellIds ids;
-
-  ctrl::CircuitPlanOptions options;
-  options.cutoff_generation_quantile = 0.85;  // the short cutoff
-
-  netsim::DualProbe probe(*net, ids.a0, EndpointId{10}, ids.b0,
-                          EndpointId{20});
-  const auto plan = net->establish_circuit(ids.a0, ids.b0, EndpointId{10},
-                                           EndpointId{20}, 0.85, options);
-  if (!plan) return {};
-
-  std::unique_ptr<netsim::DualProbe> bg_probe;
-  if (congested) {
-    bg_probe = std::make_unique<netsim::DualProbe>(
-        *net, ids.a1, EndpointId{11}, ids.b1, EndpointId{21});
-    const auto bg_plan = net->establish_circuit(
-        ids.a1, ids.b1, EndpointId{11}, EndpointId{21}, 0.85, options);
-    if (!bg_plan) return {};
-    // Long-running flow: one huge request.
-    auto bg = keep_request(9999, 1000000, EndpointId{11}, EndpointId{21});
-    if (!net->engine(ids.a1).submit_request(bg_plan->install.circuit_id,
-                                            bg)) {
-      return {};
-    }
-  }
-
-  // Issue 3-pair requests at fixed intervals for 50 simulated seconds.
-  std::map<RequestId, TimePoint> issued;
-  std::uint64_t next_id = 1;
-  std::function<void()> pump = [&] {
-    auto req = keep_request(next_id, 3, EndpointId{10}, EndpointId{20});
-    issued[req.id] = net->sim().now();
-    // Unadmittable requests (policing) just count as saturation pressure.
-    net->engine(ids.a0).submit_request(plan->install.circuit_id, req);
-    ++next_id;
-    if (net->sim().now() < TimePoint::origin() + 50_s) {
-      net->sim().schedule(request_interval, pump);
-    }
-  };
-  net->sim().schedule(Duration::zero(), pump);
-  net->sim().run_until(TimePoint::origin() + 55_s);
-
-  // Measure over the saturated-equilibrium window (requests issued after
-  // 40 s, as in the paper).
-  const TimePoint window_start = TimePoint::origin() + 40_s;
-  const TimePoint window_end = TimePoint::origin() + 50_s;
-  SampleSet latency_s;
-  for (const auto& [id, t_issue] : issued) {
-    if (t_issue < window_start || t_issue >= window_end) continue;
-    const auto done = probe.head_completion(id);
-    if (!done.has_value()) continue;  // still queued: saturated
-    latency_s.add((*done - t_issue).as_seconds());
-  }
-  // Throughput: delivered pairs in the window.
-  double delivered = 0;
-  for (const auto& p : probe.pairs()) {
-    if (p.completed_at >= window_start && p.completed_at < window_end) {
-      delivered += 1.0;
-    }
-  }
-  net->sim().stop();
-
-  Point point;
-  point.ok = !latency_s.empty();
-  point.throughput = delivered / (window_end - window_start).as_seconds();
-  if (point.ok) {
-    point.latency_mean = latency_s.mean();
-    point.latency_p5 = latency_s.quantile(0.05);
-    point.latency_p95 = latency_s.quantile(0.95);
-  }
-  return point;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   const BenchArgs args = BenchArgs::parse(argc, argv);
-  const std::size_t runs = args.runs > 0 ? args.runs : (args.quick ? 1 : 3);
+  const std::size_t default_runs = args.quick ? 1 : 3;
   const std::vector<double> intervals_ms =
       args.quick ? std::vector<double>{500, 150, 60}
                  : std::vector<double>{1000, 500, 300, 200, 150, 100, 80,
                                        60, 45};
+  note_quick_cut(args, default_runs,
+                 "3 of 9 request intervals (full: 9 intervals, 3 trials)");
 
   for (const bool congested : {false, true}) {
     print_banner(std::cout,
@@ -119,24 +30,30 @@ int main(int argc, char** argv) {
                         "latency mean [s]", "latency p5 [s]",
                         "latency p95 [s]"});
     for (const double interval : intervals_ms) {
-      RunningStats tput, lat, p5, p95;
-      for (std::size_t s = 0; s < runs; ++s) {
-        const Point p = run_once(Duration::ms(interval), congested,
-                                 2000 + s * 131);
-        tput.add(p.throughput);  // throughput is measured even when no
-                                 // window request completes (saturation)
-        if (!p.ok) continue;
-        lat.add(p.latency_mean);
-        p5.add(p.latency_p5);
-        p95.add(p.latency_p95);
-      }
-      auto cell = [](const RunningStats& s) {
-        return s.empty() ? std::string("saturated")
-                         : TablePrinter::num(s.mean(), 4);
+      exp::LatencyThroughputConfig cfg;
+      cfg.request_interval = Duration::ms(interval);
+      cfg.congested = congested;
+      const auto summary =
+          run_trials(args, default_runs, /*default_seed=*/2000,
+                     [&](const exp::Trial& t) {
+                       return exp::latency_throughput_trial(cfg, t.seed);
+                     });
+      // Throughput is measured even when no window request completes
+      // (saturation); latency only over trials with completions.
+      auto cell = [&](const char* metric) {
+        return summary.has_scalar(metric)
+                   ? TablePrinter::num(summary.scalar(metric).mean(), 4)
+                   : std::string("saturated");
       };
+      // "throughput" is absent only when every trial failed circuit
+      // set-up (ok=0 before the measurement window even starts).
       table.add_row({TablePrinter::num(interval, 4),
-                     TablePrinter::num(tput.mean(), 4), cell(lat),
-                     cell(p5), cell(p95)});
+                     summary.has_scalar("throughput")
+                         ? TablePrinter::num(
+                               summary.scalar("throughput").mean(), 4)
+                         : std::string("n/a"),
+                     cell("latency_mean"), cell("latency_p5"),
+                     cell("latency_p95")});
     }
     emit(table, args);
   }

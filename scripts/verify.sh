@@ -1,6 +1,11 @@
 #!/usr/bin/env bash
-# Tier-1 verify: configure, build everything, run the full test suite.
-# Usage: scripts/verify.sh [build-dir]   (default: build)
+# Verify: configure, build everything, run the test suite.
+#
+# Usage: scripts/verify.sh [build-dir]        (default: build)
+#   QNETP_TIER=tier1 scripts/verify.sh        # tier-1 only (PR CI)
+#   QNETP_TIER=tier2 scripts/verify.sh        # tier-2 regression only
+# Default (no QNETP_TIER) runs everything: tier-1 unit/integration tests
+# plus the tier-2 statistical regression suite.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -8,4 +13,8 @@ BUILD_DIR="${1:-build}"
 
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j "$(nproc)"
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+if [ -n "${QNETP_TIER:-}" ]; then
+  ctest --test-dir "$BUILD_DIR" -L "$QNETP_TIER" --output-on-failure -j "$(nproc)"
+else
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+fi

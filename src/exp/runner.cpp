@@ -1,0 +1,77 @@
+#include "exp/runner.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "qbase/assert.hpp"
+
+namespace qnetp::exp {
+
+TrialRunner::TrialRunner(RunnerOptions options) : options_(options) {
+  QNETP_ASSERT_MSG(options_.jobs >= 1, "jobs must be >= 1");
+}
+
+std::vector<TrialResult> TrialRunner::run(std::size_t n_trials,
+                                          const TrialFn& fn) const {
+  QNETP_ASSERT(fn != nullptr);
+  std::vector<TrialResult> results(n_trials);
+  if (n_trials == 0) return results;
+
+  auto run_one = [&](std::size_t i) {
+    results[i] = fn(Trial{i, trial_seed(options_.base_seed, i)});
+  };
+
+  const std::size_t workers = std::min(options_.jobs, n_trials);
+  if (workers <= 1) {
+    // Same exception semantics as the pool below: run everything, then
+    // rethrow the lowest-indexed failure.
+    std::exception_ptr error;
+    for (std::size_t i = 0; i < n_trials; ++i) {
+      try {
+        run_one(i);
+      } catch (...) {
+        if (!error) error = std::current_exception();
+      }
+    }
+    if (error) std::rethrow_exception(error);
+    return results;
+  }
+
+  // Work-stealing counter: each worker claims the next unclaimed index.
+  // The claim order affects only scheduling, never results[i]. On
+  // exception the remaining trials still run — every trial executes no
+  // matter the scheduling, so the lowest-index exception rethrown below
+  // is as deterministic as the results themselves.
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  std::size_t first_error_index = 0;
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n_trials) return;
+      try {
+        run_one(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error || i < first_error_index) {
+          first_error = std::current_exception();
+          first_error_index = i;
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+}  // namespace qnetp::exp

@@ -1,0 +1,44 @@
+// TrialRunner: executes N independent seeded trials across a worker pool.
+//
+// Determinism contract: trial i receives seed trial_seed(base_seed, i)
+// and must derive ALL its randomness from it. The runner stores results
+// indexed by trial, so downstream aggregation sees them in trial order no
+// matter which worker finished first — results are bit-identical for any
+// jobs value (measured by SummaryAccumulator::digest()).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "exp/trial.hpp"
+
+namespace qnetp::exp {
+
+struct RunnerOptions {
+  /// Worker threads; 1 = run inline on the calling thread.
+  std::size_t jobs = 1;
+  /// Base seed all trial seeds are derived from.
+  std::uint64_t base_seed = 1;
+};
+
+class TrialRunner {
+ public:
+  using TrialFn = std::function<TrialResult(const Trial&)>;
+
+  explicit TrialRunner(RunnerOptions options = {});
+
+  const RunnerOptions& options() const { return options_; }
+
+  /// Run `n_trials` trials of `fn`, at most `jobs` concurrently. Returns
+  /// results in trial-index order. If trials throw, every trial still
+  /// executes and the lowest-indexed trial's exception is rethrown at
+  /// the end — which error surfaces is scheduling-invariant, like the
+  /// results themselves.
+  std::vector<TrialResult> run(std::size_t n_trials, const TrialFn& fn) const;
+
+ private:
+  RunnerOptions options_;
+};
+
+}  // namespace qnetp::exp

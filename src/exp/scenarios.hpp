@@ -1,0 +1,159 @@
+// Scenario library: the paper's evaluation set-ups as seeded trial
+// functions.
+//
+// Each function builds a fresh world (netsim::Network or a raw link rig)
+// from the trial seed, runs it, and returns a TrialResult — the shared
+// core behind the figure/ablation bench binaries (bench/*.cpp) and the
+// tier-2 statistical regression suite (tests/regression/). Every result
+// carries an "events" scalar (DES events executed) so replay guards can
+// digest the full execution, not just the headline metrics.
+#pragma once
+
+#include <cstdint>
+
+#include "exp/trial.hpp"
+#include "qbase/units.hpp"
+#include "qnp/request.hpp"
+
+namespace qnetp::exp {
+
+/// A standard KEEP request between two endpoints.
+qnp::AppRequest keep_request(std::uint64_t id, std::uint64_t pairs,
+                             EndpointId head, EndpointId tail);
+
+// ---------------------------------------------------------------------------
+// Fig. 5 — single-link pair generation time CDF (EGP + photonic model).
+// ---------------------------------------------------------------------------
+struct LinkCdfConfig {
+  std::size_t target_pairs = 1250;  ///< pairs to generate in this trial
+  double min_fidelity = 0.95;
+  double fiber_m = 2.0;
+};
+/// samples: gen_ms. scalars: pairs, mean_ms, p95_ms, events.
+TrialResult link_cdf_trial(const LinkCdfConfig& cfg, std::uint64_t seed);
+
+// ---------------------------------------------------------------------------
+// Fig. 9 — dumbbell A0-B0 latency vs offered load, optionally with a
+// competing long-running A1-B1 flow. Also the dumbbell replay-guard and
+// runner-scaling workload.
+// ---------------------------------------------------------------------------
+struct LatencyThroughputConfig {
+  Duration request_interval = Duration::ms(150);
+  bool congested = false;
+  Duration issue_window = Duration::seconds(50);  ///< issue requests until
+  Duration horizon = Duration::seconds(55);       ///< run until
+  Duration measure_from = Duration::seconds(40);
+  Duration measure_until = Duration::seconds(50);
+};
+/// scalars: ok, throughput, latency_mean, latency_p5, latency_p95,
+/// events. samples: latency_s (completed window requests).
+TrialResult latency_throughput_trial(const LatencyThroughputConfig& cfg,
+                                     std::uint64_t seed);
+
+// ---------------------------------------------------------------------------
+// Fig. 8 — 1-8 simultaneous multi-pair requests over 1/2/4 circuits
+// sharing the dumbbell bottleneck.
+// ---------------------------------------------------------------------------
+struct SharingConfig {
+  std::size_t n_circuits = 1;
+  double fidelity = 0.85;
+  bool short_cutoff = false;
+  std::size_t n_requests = 1;
+  std::uint64_t pairs_per_request = 100;
+  Duration horizon = Duration::seconds(900);
+};
+/// scalars: ok, timeout, latency_s (mean over circuit-0 requests), events.
+TrialResult sharing_trial(const SharingConfig& cfg, std::uint64_t seed);
+
+// ---------------------------------------------------------------------------
+// Fig. 10(a,b) — two competing circuits vs memory lifetime T2*, cutoff
+// strategy vs oracle-discard baseline.
+// ---------------------------------------------------------------------------
+struct DecoherenceConfig {
+  double t2_seconds = 12.8;
+  bool use_cutoff = true;
+  Duration horizon = Duration::seconds(20);
+};
+/// scalars: ok, tput_high, tput_low, fid_high, fid_low, events.
+TrialResult decoherence_trial(const DecoherenceConfig& cfg,
+                              std::uint64_t seed);
+
+// ---------------------------------------------------------------------------
+// Fig. 10(c) — throughput/goodput vs artificial classical message delay.
+// ---------------------------------------------------------------------------
+struct MessageDelayConfig {
+  Duration extra_delay = Duration::zero();
+  Duration horizon = Duration::seconds(20);
+};
+/// scalars: ok, tput_high, good_high, tput_low, good_low, cutoff_ms,
+/// events.
+TrialResult message_delay_trial(const MessageDelayConfig& cfg,
+                                std::uint64_t seed);
+
+// ---------------------------------------------------------------------------
+// Fig. 11 — near-term hardware chain with a manually installed circuit.
+// ---------------------------------------------------------------------------
+struct NearTermConfig {
+  std::uint64_t pairs = 10;
+  Duration horizon = Duration::seconds(600);
+  std::size_t storage_qubits = 2;
+  Duration cutoff = Duration::ms(1500);  // hand-tuned (Sec. 5.3)
+};
+/// scalars: ok, delivered, mean_fidelity, swaps, cutoff_discards,
+/// link_fidelity, max_fidelity, events. samples: arrival_s,
+/// pair_fidelity.
+TrialResult near_term_trial(const NearTermConfig& cfg, std::uint64_t seed);
+
+// ---------------------------------------------------------------------------
+// Ablation — K requests on one aggregated circuit vs K parallel circuits.
+// ---------------------------------------------------------------------------
+struct AggregationConfig {
+  bool aggregate = true;
+  std::size_t k_requests = 2;
+  std::uint64_t pairs_each = 25;
+  Duration horizon = Duration::seconds(600);
+};
+/// scalars: ok, makespan_s, circuits, events.
+TrialResult aggregation_trial(const AggregationConfig& cfg,
+                              std::uint64_t seed);
+
+// ---------------------------------------------------------------------------
+// Ablation — cutoff sweep on a 3-node chain with a fixed link fidelity.
+// ---------------------------------------------------------------------------
+struct CutoffSweepConfig {
+  Duration cutoff = Duration::ms(40);
+  Duration horizon = Duration::seconds(15);
+  double link_fidelity = 0.93;
+  double t2_seconds = 2.0;
+};
+/// scalars: ok, tput, fidelity, discards_per_s, events.
+TrialResult cutoff_sweep_trial(const CutoffSweepConfig& cfg,
+                               std::uint64_t seed);
+
+// ---------------------------------------------------------------------------
+// Ablation — lazy vs blocking entanglement tracking.
+// ---------------------------------------------------------------------------
+struct TrackingConfig {
+  bool lazy = true;
+  Duration extra_delay = Duration::zero();
+  std::uint64_t pairs = 30;
+  Duration horizon = Duration::seconds(600);
+};
+/// scalars: ok, latency_s, fidelity, events.
+TrialResult tracking_trial(const TrackingConfig& cfg, std::uint64_t seed);
+
+// ---------------------------------------------------------------------------
+// Extension — layered DEJMPS distillation over a 3-node circuit.
+// ---------------------------------------------------------------------------
+struct DistillationConfig {
+  std::size_t rounds = 1;
+  double target = 0.85;
+  std::uint64_t raw_pairs = 160;
+  Duration horizon = Duration::seconds(300);
+};
+/// scalars: ok, raw_fidelity, out_fidelity, out_pairs, raw_pairs,
+/// success_ratio, events.
+TrialResult distillation_trial(const DistillationConfig& cfg,
+                               std::uint64_t seed);
+
+}  // namespace qnetp::exp

@@ -1,0 +1,97 @@
+#include "exp/summary.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "qbase/assert.hpp"
+
+namespace qnetp::exp {
+
+namespace {
+void fnv_bytes(std::uint64_t& h, const void* data, std::size_t len) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001B3ull;
+  }
+}
+
+void fnv_double(std::uint64_t& h, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  fnv_bytes(h, &bits, sizeof bits);
+}
+
+void fnv_set(std::uint64_t& h, const std::string& name,
+             const SampleSet& set) {
+  fnv_bytes(h, name.data(), name.size());
+  const std::size_t n = set.count();
+  fnv_bytes(h, &n, sizeof n);
+  // SampleSet sorts lazily on quantile queries, so hash a sorted copy:
+  // the digest must not depend on which statistics were queried first.
+  std::vector<double> sorted(set.samples());
+  std::sort(sorted.begin(), sorted.end());
+  for (double v : sorted) fnv_double(h, v);
+}
+}  // namespace
+
+void SummaryAccumulator::add(const TrialResult& r) {
+  ++trials_;
+  for (const auto& [name, v] : r.scalars) scalars_[name].add(v);
+  for (const auto& [name, vs] : r.samples) {
+    auto& pool = pooled_[name];
+    for (double v : vs) pool.add(v);
+  }
+}
+
+std::vector<std::string> SummaryAccumulator::scalar_names() const {
+  std::vector<std::string> names;
+  names.reserve(scalars_.size());
+  for (const auto& [name, set] : scalars_) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> SummaryAccumulator::sample_names() const {
+  std::vector<std::string> names;
+  names.reserve(pooled_.size());
+  for (const auto& [name, set] : pooled_) names.push_back(name);
+  return names;
+}
+
+const SampleSet& SummaryAccumulator::scalar(const std::string& name) const {
+  const auto it = scalars_.find(name);
+  QNETP_ASSERT_MSG(it != scalars_.end(), "unknown scalar metric");
+  return it->second;
+}
+
+const SampleSet& SummaryAccumulator::pooled(const std::string& name) const {
+  const auto it = pooled_.find(name);
+  QNETP_ASSERT_MSG(it != pooled_.end(), "unknown sample metric");
+  return it->second;
+}
+
+ConfidenceInterval SummaryAccumulator::bootstrap_ci(const std::string& name,
+                                                    std::size_t resamples,
+                                                    double alpha,
+                                                    std::uint64_t seed) const {
+  // Stable name hash (std::hash is implementation-defined) and sorted
+  // samples (SampleSet sorts lazily on quantile queries): the CI must be
+  // identical for the same data and seed regardless of platform or which
+  // statistics were queried first.
+  std::uint64_t name_hash = 0xCBF29CE484222325ull;
+  fnv_bytes(name_hash, name.data(), name.size());
+  Rng rng(derive_stream_seed(seed, name_hash));
+  std::vector<double> sorted(scalar(name).samples());
+  std::sort(sorted.begin(), sorted.end());
+  return bootstrap_mean_ci(sorted, resamples, alpha, rng);
+}
+
+std::uint64_t SummaryAccumulator::digest() const {
+  std::uint64_t h = 0xCBF29CE484222325ull;  // FNV-1a offset basis
+  fnv_bytes(h, &trials_, sizeof trials_);
+  for (const auto& [name, set] : scalars_) fnv_set(h, name, set);
+  for (const auto& [name, set] : pooled_) fnv_set(h, name, set);
+  return h;
+}
+
+}  // namespace qnetp::exp

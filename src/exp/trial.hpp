@@ -1,0 +1,52 @@
+// Trial primitives for the parallel experiment runner.
+//
+// A trial is one independent simulation run: it constructs its own world
+// (typically a netsim::Network) from a seed derived purely from
+// (base_seed, trial_index), executes, and returns a TrialResult of named
+// scalar metrics and named sample vectors. Because nothing about a trial
+// depends on which thread ran it or in what order, aggregates over a
+// fixed (base_seed, n_trials) are bit-identical at any --jobs value.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "qbase/rng.hpp"
+
+namespace qnetp::exp {
+
+/// The identity of one trial: its index in [0, n_trials) and the RNG seed
+/// derived from it. The seed is the ONLY randomness a trial may use.
+struct Trial {
+  std::size_t index = 0;
+  std::uint64_t seed = 0;
+};
+
+/// Seed for trial `index` under `base_seed` (counter-based, see
+/// qnetp::derive_stream_seed).
+inline std::uint64_t trial_seed(std::uint64_t base_seed, std::size_t index) {
+  return derive_stream_seed(base_seed, static_cast<std::uint64_t>(index));
+}
+
+/// The outcome of one trial: named scalars (throughput, mean latency,
+/// event counts...) and named sample vectors (per-pair latencies...).
+/// Ordered maps keep iteration — and therefore digests and aggregation —
+/// deterministic.
+struct TrialResult {
+  std::map<std::string, double> scalars;
+  std::map<std::string, std::vector<double>> samples;
+
+  void set(const std::string& name, double v) { scalars[name] = v; }
+  void add_sample(const std::string& name, double v) {
+    samples[name].push_back(v);
+  }
+  double scalar_or(const std::string& name, double fallback) const {
+    const auto it = scalars.find(name);
+    return it == scalars.end() ? fallback : it->second;
+  }
+  bool has(const std::string& name) const { return scalars.count(name) > 0; }
+};
+
+}  // namespace qnetp::exp

@@ -26,10 +26,10 @@ linklayer::EgpLink* Node::egp_to(NodeId neighbour) const {
 
 Network::Network(NetworkConfig config)
     : config_(config), rng_(config.seed), classical_(sim_) {
-  Log::set_clock([this] { return sim_.now(); });
+  Log::set_clock(this, [this] { return sim_.now(); });
 }
 
-Network::~Network() { Log::set_clock(nullptr); }
+Network::~Network() { Log::clear_clock(this); }
 
 Node& Network::add_node(NodeId id, const qhw::HardwareParams& hw) {
   QNETP_ASSERT_MSG(nodes_.count(id) == 0, "duplicate node id");

@@ -7,8 +7,11 @@ namespace qnetp {
 
 namespace {
 LogLevel g_level = LogLevel::warn;
-std::function<TimePoint()> g_clock;
-std::mutex g_mutex;
+// Thread-local: every worker thread of a parallel experiment runs its own
+// simulation, so the sim-time stamp must come from that thread's Network.
+thread_local std::function<TimePoint()> g_clock;
+thread_local const void* g_clock_owner = nullptr;
+std::mutex g_mutex;  // serialises output only
 
 const char* level_name(LogLevel lvl) {
   switch (lvl) {
@@ -25,8 +28,20 @@ const char* level_name(LogLevel lvl) {
 LogLevel Log::level() { return g_level; }
 void Log::set_level(LogLevel lvl) { g_level = lvl; }
 void Log::set_clock(std::function<TimePoint()> clock) {
-  std::lock_guard<std::mutex> lock(g_mutex);
   g_clock = std::move(clock);
+  g_clock_owner = nullptr;
+}
+
+void Log::set_clock(const void* owner, std::function<TimePoint()> clock) {
+  g_clock = std::move(clock);
+  g_clock_owner = owner;
+}
+
+void Log::clear_clock(const void* owner) {
+  if (g_clock_owner == owner) {
+    g_clock = nullptr;
+    g_clock_owner = nullptr;
+  }
 }
 
 void Log::write(LogLevel lvl, const std::string& component,

@@ -22,8 +22,17 @@ class Log {
   static void set_level(LogLevel lvl);
 
   /// Install a callback that supplies the current simulation time for log
-  /// stamping. Pass nullptr to remove.
+  /// stamping. Pass nullptr to remove. The clock is thread-local: each
+  /// worker thread of a parallel experiment stamps its log lines with its
+  /// own simulation's time, and clocks never dangle across threads.
   static void set_clock(std::function<TimePoint()> clock);
+
+  /// Owner-guarded variant: `clear_clock(owner)` removes the clock only if
+  /// `owner` installed the one currently active on this thread, so a
+  /// short-lived simulation being destroyed cannot clear a longer-lived
+  /// sibling's clock.
+  static void set_clock(const void* owner, std::function<TimePoint()> clock);
+  static void clear_clock(const void* owner);
 
   static bool enabled(LogLevel lvl) { return lvl >= level(); }
 

@@ -18,6 +18,18 @@ inline std::uint64_t rotl(std::uint64_t x, int k) {
 }
 }  // namespace
 
+std::uint64_t derive_stream_seed(std::uint64_t base_seed,
+                                 std::uint64_t stream) {
+  // Feed base and stream through the splitmix64 sequence in order; the
+  // second round decorrelates streams whose indices differ in few bits.
+  std::uint64_t x = base_seed ^ 0x6A09E667F3BCC909ull;  // sqrt(2) frac bits
+  std::uint64_t h = splitmix64(x);
+  x ^= stream * 0x9E3779B97F4A7C15ull;
+  h ^= splitmix64(x);
+  x = h;
+  return splitmix64(x);
+}
+
 Rng::Rng(std::uint64_t seed) {
   std::uint64_t sm = seed;
   for (auto& s : s_) s = splitmix64(sm);

@@ -14,6 +14,16 @@
 
 namespace qnetp {
 
+/// Derive the seed for an independent stream `stream` from a base seed.
+///
+/// Counter-based (two splitmix64 finalizer rounds over base and stream),
+/// so stream seeds can be computed in any order and from any thread:
+/// trial i's seed depends only on (base_seed, i), never on how many
+/// streams were derived before it. This is what makes multi-trial
+/// experiments bit-identical regardless of worker count or scheduling.
+std::uint64_t derive_stream_seed(std::uint64_t base_seed,
+                                 std::uint64_t stream);
+
 class Rng {
  public:
   using result_type = std::uint64_t;

@@ -5,6 +5,27 @@
 
 namespace qnetp {
 
+ConfidenceInterval bootstrap_mean_ci(const std::vector<double>& samples,
+                                     std::size_t resamples, double alpha,
+                                     Rng& rng) {
+  QNETP_ASSERT_MSG(!samples.empty(), "bootstrap needs samples");
+  QNETP_ASSERT_MSG(alpha > 0.0 && alpha < 1.0, "alpha out of range");
+  QNETP_ASSERT(resamples > 0);
+  const std::size_t n = samples.size();
+  SampleSet means;
+  for (std::size_t r = 0; r < resamples; ++r) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      sum += samples[rng.uniform_int(n)];
+    }
+    means.add(sum / static_cast<double>(n));
+  }
+  ConfidenceInterval ci;
+  ci.lo = means.quantile(alpha / 2.0);
+  ci.hi = means.quantile(1.0 - alpha / 2.0);
+  return ci;
+}
+
 void RunningStats::add(double x) {
   if (n_ == 0) {
     min_ = max_ = x;

@@ -12,9 +12,26 @@
 #include <vector>
 
 #include "qbase/assert.hpp"
+#include "qbase/rng.hpp"
 #include "qbase/units.hpp"
 
 namespace qnetp {
+
+/// A two-sided confidence interval.
+struct ConfidenceInterval {
+  double lo = 0.0;
+  double hi = 0.0;
+  bool contains(double x) const { return lo <= x && x <= hi; }
+  double width() const { return hi - lo; }
+};
+
+/// Percentile-bootstrap confidence interval for the mean: resample the
+/// sample set with replacement `resamples` times and take the alpha/2 and
+/// 1-alpha/2 quantiles of the resampled means. Deterministic given `rng`.
+/// Requires a non-empty sample set and alpha in (0, 1).
+ConfidenceInterval bootstrap_mean_ci(const std::vector<double>& samples,
+                                     std::size_t resamples, double alpha,
+                                     Rng& rng);
 
 /// Running mean / variance / extrema without keeping samples (Welford).
 class RunningStats {

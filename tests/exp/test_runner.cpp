@@ -1,0 +1,124 @@
+#include "exp/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "exp/summary.hpp"
+
+namespace qnetp::exp {
+namespace {
+
+/// A cheap stochastic trial: result depends only on the trial seed.
+TrialResult stochastic_trial(const Trial& t) {
+  Rng rng(t.seed);
+  TrialResult r;
+  r.set("index", static_cast<double>(t.index));
+  r.set("value", rng.normal(5.0, 1.0));
+  for (int i = 0; i < 10; ++i) r.add_sample("draws", rng.uniform());
+  return r;
+}
+
+TEST(TrialRunner, ResultsInTrialOrder) {
+  TrialRunner runner({1, 77});
+  const auto results = runner.run(5, stochastic_trial);
+  ASSERT_EQ(results.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(results[i].scalars.at("index"),
+                     static_cast<double>(i));
+  }
+}
+
+TEST(TrialRunner, SeedsMatchDerivation) {
+  TrialRunner runner({1, 123});
+  const auto results = runner.run(3, [](const Trial& t) {
+    TrialResult r;
+    r.set("seed_lo", static_cast<double>(t.seed & 0xFFFFFFFFull));
+    return r;
+  });
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(
+        results[i].scalars.at("seed_lo"),
+        static_cast<double>(trial_seed(123, i) & 0xFFFFFFFFull));
+  }
+}
+
+TEST(TrialRunner, BitIdenticalAcrossJobCounts) {
+  const auto serial =
+      SummaryAccumulator::aggregate(TrialRunner({1, 42}).run(
+          12, stochastic_trial));
+  for (const std::size_t jobs : {2u, 3u, 8u, 16u}) {
+    const auto parallel = SummaryAccumulator::aggregate(
+        TrialRunner({jobs, 42}).run(12, stochastic_trial));
+    EXPECT_EQ(parallel.digest(), serial.digest()) << "jobs=" << jobs;
+  }
+}
+
+TEST(TrialRunner, DifferentBaseSeedsDiffer) {
+  const auto a = SummaryAccumulator::aggregate(
+      TrialRunner({1, 42}).run(6, stochastic_trial));
+  const auto b = SummaryAccumulator::aggregate(
+      TrialRunner({1, 43}).run(6, stochastic_trial));
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(TrialRunner, ZeroTrials) {
+  TrialRunner runner({4, 1});
+  EXPECT_TRUE(runner.run(0, stochastic_trial).empty());
+}
+
+TEST(TrialRunner, MoreJobsThanTrials) {
+  TrialRunner runner({16, 9});
+  const auto results = runner.run(2, stochastic_trial);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_DOUBLE_EQ(results[1].scalars.at("index"), 1.0);
+}
+
+TEST(TrialRunner, TrialsActuallyRunConcurrently) {
+  // Two trials that can only finish if both are in flight at once:
+  // each spins until the other has started (with a timeout escape).
+  std::atomic<int> started{0};
+  TrialRunner runner({2, 1});
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto results = runner.run(2, [&](const Trial& t) {
+    started.fetch_add(1);
+    while (started.load() < 2 &&
+           std::chrono::steady_clock::now() - t0 <
+               std::chrono::seconds(5)) {
+      std::this_thread::yield();
+    }
+    TrialResult r;
+    r.set("both_started", started.load() >= 2 ? 1.0 : 0.0);
+    r.set("index", static_cast<double>(t.index));
+    return r;
+  });
+  EXPECT_DOUBLE_EQ(results[0].scalars.at("both_started"), 1.0);
+  EXPECT_DOUBLE_EQ(results[1].scalars.at("both_started"), 1.0);
+}
+
+TEST(TrialRunner, PropagatesTrialExceptions) {
+  TrialRunner runner({3, 1});
+  EXPECT_THROW(runner.run(8,
+                          [](const Trial& t) -> TrialResult {
+                            if (t.index == 4) {
+                              throw std::runtime_error("trial 4 failed");
+                            }
+                            return TrialResult{};
+                          }),
+               std::runtime_error);
+}
+
+TEST(TrialRunner, SerialExceptionPropagates) {
+  TrialRunner runner({1, 1});
+  EXPECT_THROW(runner.run(2,
+                          [](const Trial&) -> TrialResult {
+                            throw std::logic_error("boom");
+                          }),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace qnetp::exp

@@ -1,0 +1,88 @@
+#include "exp/summary.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qnetp::exp {
+namespace {
+
+TrialResult make_result(double scalar, std::initializer_list<double> samples) {
+  TrialResult r;
+  r.set("metric", scalar);
+  for (double v : samples) r.add_sample("obs", v);
+  return r;
+}
+
+TEST(SummaryAccumulator, AggregatesScalarsAndSamples) {
+  SummaryAccumulator acc;
+  acc.add(make_result(1.0, {10.0, 20.0}));
+  acc.add(make_result(3.0, {30.0}));
+  EXPECT_EQ(acc.trials(), 2u);
+  EXPECT_DOUBLE_EQ(acc.scalar("metric").mean(), 2.0);
+  EXPECT_EQ(acc.scalar("metric").count(), 2u);
+  EXPECT_EQ(acc.pooled("obs").count(), 3u);
+  EXPECT_DOUBLE_EQ(acc.pooled("obs").mean(), 20.0);
+  EXPECT_EQ(acc.scalar_names(), std::vector<std::string>{"metric"});
+  EXPECT_EQ(acc.sample_names(), std::vector<std::string>{"obs"});
+}
+
+TEST(SummaryAccumulator, MissingMetricsAreAbsent) {
+  SummaryAccumulator acc;
+  TrialResult partial;
+  partial.set("sometimes", 1.0);
+  acc.add(partial);
+  acc.add(TrialResult{});  // a failed trial contributes nothing
+  EXPECT_EQ(acc.trials(), 2u);
+  EXPECT_TRUE(acc.has_scalar("sometimes"));
+  EXPECT_FALSE(acc.has_scalar("never"));
+  EXPECT_EQ(acc.scalar("sometimes").count(), 1u);
+}
+
+TEST(SummaryAccumulator, DigestDetectsValueChange) {
+  SummaryAccumulator a, b, c;
+  a.add(make_result(1.0, {2.0}));
+  b.add(make_result(1.0, {2.0}));
+  c.add(make_result(1.0, {2.0000000001}));
+  EXPECT_EQ(a.digest(), b.digest());
+  EXPECT_NE(a.digest(), c.digest());
+}
+
+TEST(SummaryAccumulator, DigestDetectsMetricRename) {
+  SummaryAccumulator a, b;
+  TrialResult ra, rb;
+  ra.set("x", 1.0);
+  rb.set("y", 1.0);
+  a.add(ra);
+  b.add(rb);
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(SummaryAccumulator, DigestInvariantToQueryHistory) {
+  SummaryAccumulator a, b;
+  for (double v : {3.0, 1.0, 2.0}) {
+    a.add(make_result(v, {v, v * 2}));
+    b.add(make_result(v, {v, v * 2}));
+  }
+  // Quantile queries sort the sample buffers lazily; the digest must not
+  // depend on whether any were made.
+  (void)a.scalar("metric").quantile(0.5);
+  (void)a.pooled("obs").quantile(0.9);
+  EXPECT_EQ(a.digest(), b.digest());
+}
+
+TEST(SummaryAccumulator, BootstrapCiDeterministicAndSane) {
+  SummaryAccumulator acc;
+  Rng gen(7);
+  for (int i = 0; i < 30; ++i) {
+    acc.add(make_result(gen.normal(100.0, 5.0), {}));
+  }
+  const auto ci_a = acc.bootstrap_ci("metric");
+  const auto ci_b = acc.bootstrap_ci("metric");
+  EXPECT_DOUBLE_EQ(ci_a.lo, ci_b.lo);
+  EXPECT_DOUBLE_EQ(ci_a.hi, ci_b.hi);
+  EXPECT_TRUE(ci_a.contains(acc.scalar("metric").mean()));
+  EXPECT_GT(ci_a.lo, 90.0);
+  EXPECT_LT(ci_a.hi, 110.0);
+}
+
+}  // namespace
+}  // namespace qnetp::exp

@@ -3,9 +3,30 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <set>
+#include <vector>
 
 namespace qnetp {
 namespace {
+
+/// Pearson correlation of two equal-length series.
+double pearson(const std::vector<double>& a, const std::vector<double>& b) {
+  const std::size_t n = a.size();
+  double ma = 0.0, mb = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    ma += a[i];
+    mb += b[i];
+  }
+  ma /= static_cast<double>(n);
+  mb /= static_cast<double>(n);
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    cov += (a[i] - ma) * (b[i] - mb);
+    va += (a[i] - ma) * (a[i] - ma);
+    vb += (b[i] - mb) * (b[i] - mb);
+  }
+  return cov / std::sqrt(va * vb);
+}
 
 TEST(Rng, DeterministicForSeed) {
   Rng a(42), b(42), c(43);
@@ -134,6 +155,92 @@ TEST(Rng, ForkGivesIndependentStream) {
     if (a.next() != b.next()) differs = true;
   }
   EXPECT_TRUE(differs);
+}
+
+// Golden output vectors: guard against accidental changes to the
+// generator or seeding algorithm. A change here invalidates every
+// committed regression baseline — regenerate them all or revert.
+TEST(Rng, GoldenSequenceSeed42) {
+  const std::uint64_t expected[8] = {
+      0x15780b2e0c2ec716ull, 0x6104d9866d113a7eull, 0xae17533239e499a1ull,
+      0xecb8ad4703b360a1ull, 0xfde6dc7fe2ec5e64ull, 0xc50da53101795238ull,
+      0xb82154855a65ddb2ull, 0xd99a2743ebe60087ull,
+  };
+  Rng rng(42);
+  for (const std::uint64_t want : expected) EXPECT_EQ(rng.next(), want);
+}
+
+TEST(Rng, GoldenSequenceDefaultSeed) {
+  const std::uint64_t expected[4] = {
+      0x422ea740d0977210ull, 0xe062b061b42e2928ull, 0x5a071fc5930841b6ull,
+      0x01334ef8ed3cc2bdull,
+  };
+  Rng rng;
+  for (const std::uint64_t want : expected) EXPECT_EQ(rng.next(), want);
+}
+
+TEST(Rng, GoldenDerivedStreamSeeds) {
+  const std::uint64_t expected[4] = {
+      0xfe5b4c3f9ef6d5dfull, 0x568c16d91a1515c1ull, 0x571dd3fb57264235ull,
+      0x926ebd2b5f02c66eull,
+  };
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(derive_stream_seed(99, i), expected[i]);
+  }
+}
+
+TEST(Rng, DerivedStreamSeedsAreCounterBased) {
+  // Same (base, index) from any call order gives the same seed, and
+  // distinct indices/bases give distinct seeds.
+  EXPECT_EQ(derive_stream_seed(7, 123), derive_stream_seed(7, 123));
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    seen.insert(derive_stream_seed(7, i));
+  }
+  EXPECT_EQ(seen.size(), 1000u);
+  EXPECT_NE(derive_stream_seed(7, 0), derive_stream_seed(8, 0));
+}
+
+TEST(Rng, ForkedStreamsUncorrelated) {
+  Rng parent(2024);
+  Rng child = parent.fork();
+  const int n = 50000;
+  std::vector<double> a(n), b(n);
+  for (int i = 0; i < n; ++i) {
+    a[i] = parent.uniform();
+    b[i] = child.uniform();
+  }
+  // lag-0 and lag-1 cross-correlations are ~N(0, 1/sqrt(n)); 0.02 is
+  // ~4.5 sigma at n=50000.
+  EXPECT_LT(std::abs(pearson(a, b)), 0.02);
+  std::vector<double> a_lag(a.begin() + 1, a.end());
+  std::vector<double> b_cut(b.begin(), b.end() - 1);
+  EXPECT_LT(std::abs(pearson(a_lag, b_cut)), 0.02);
+}
+
+TEST(Rng, TrialDerivedStreamsUncorrelated) {
+  // Adjacent trial-index-derived streams (the TrialRunner seeding path)
+  // must not correlate: this is what makes per-trial physics independent.
+  Rng s0(derive_stream_seed(5000, 0));
+  Rng s1(derive_stream_seed(5000, 1));
+  const int n = 50000;
+  std::vector<double> a(n), b(n);
+  for (int i = 0; i < n; ++i) {
+    a[i] = s0.uniform();
+    b[i] = s1.uniform();
+  }
+  EXPECT_LT(std::abs(pearson(a, b)), 0.02);
+  std::vector<double> a_lag(a.begin() + 1, a.end());
+  std::vector<double> b_cut(b.begin(), b.end() - 1);
+  EXPECT_LT(std::abs(pearson(a_lag, b_cut)), 0.02);
+  // And their means both look uniform (no shared drift).
+  double ma = 0.0, mb = 0.0;
+  for (int i = 0; i < n; ++i) {
+    ma += a[i];
+    mb += b[i];
+  }
+  EXPECT_NEAR(ma / n, 0.5, 0.01);
+  EXPECT_NEAR(mb / n, 0.5, 0.01);
 }
 
 TEST(Rng, ExponentialDurationMean) {

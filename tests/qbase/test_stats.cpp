@@ -168,6 +168,45 @@ TEST(RateMeter, QueryIsConsistentBeforeAndAfterPrune) {
                                         TimePoint::origin() + 7_s));
 }
 
+TEST(BootstrapCi, ContainsMeanAndIsDeterministic) {
+  std::vector<double> samples;
+  Rng gen(404);
+  for (int i = 0; i < 40; ++i) samples.push_back(gen.normal(10.0, 2.0));
+  double mean = 0.0;
+  for (double x : samples) mean += x;
+  mean /= static_cast<double>(samples.size());
+
+  Rng rng_a(1), rng_b(1);
+  const auto ci_a = bootstrap_mean_ci(samples, 1000, 0.05, rng_a);
+  const auto ci_b = bootstrap_mean_ci(samples, 1000, 0.05, rng_b);
+  EXPECT_DOUBLE_EQ(ci_a.lo, ci_b.lo);  // deterministic given the rng
+  EXPECT_DOUBLE_EQ(ci_a.hi, ci_b.hi);
+  EXPECT_TRUE(ci_a.contains(mean));
+  EXPECT_GT(ci_a.width(), 0.0);
+  // The 95% CI of the mean of 40 N(10,2) samples is well inside +-2.
+  EXPECT_GT(ci_a.lo, 8.0);
+  EXPECT_LT(ci_a.hi, 12.0);
+}
+
+TEST(BootstrapCi, NarrowsWithMoreSamples) {
+  Rng gen(405);
+  std::vector<double> small, large;
+  for (int i = 0; i < 20; ++i) small.push_back(gen.normal(0.0, 1.0));
+  for (int i = 0; i < 2000; ++i) large.push_back(gen.normal(0.0, 1.0));
+  Rng rng_a(2), rng_b(2);
+  const auto wide = bootstrap_mean_ci(small, 500, 0.05, rng_a);
+  const auto narrow = bootstrap_mean_ci(large, 500, 0.05, rng_b);
+  EXPECT_LT(narrow.width(), wide.width());
+}
+
+TEST(BootstrapCi, DegenerateSampleSet) {
+  const std::vector<double> constant(10, 3.25);
+  Rng rng(3);
+  const auto ci = bootstrap_mean_ci(constant, 200, 0.05, rng);
+  EXPECT_DOUBLE_EQ(ci.lo, 3.25);
+  EXPECT_DOUBLE_EQ(ci.hi, 3.25);
+}
+
 TEST(DurationStats, RecordsMilliseconds) {
   DurationStats d;
   d.add(10_ms);

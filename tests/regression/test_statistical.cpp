@@ -1,0 +1,281 @@
+// Tier-2 statistical regression suite.
+//
+// Runs small multi-trial sweeps of the paper's chain and dumbbell
+// scenarios through the TrialRunner and asserts two kinds of
+// distributional invariants:
+//  * SHAPE: qualitative structure the paper predicts (Fig. 5 link-CDF
+//    shape, Fig. 9 latency knee under load, Fig. 10 fidelity-vs-cutoff
+//    monotonicity) — these hold for any healthy build;
+//  * BASELINE: measured means stay inside tolerance bands around golden
+//    values committed in tests/regression/golden/statistical.txt.
+//
+// Environment knobs:
+//  * QNETP_REGEN_GOLDEN=1  — rewrite the golden file from this build's
+//    measurements (run the full suite, inspect the diff, commit);
+//  * QNETP_REGRESSION_QUICK=1 — CI smoke mode: fewer trials per sweep
+//    and 2.5x tolerance bands (catches gross regressions fast).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "exp/runner.hpp"
+#include "exp/scenarios.hpp"
+#include "exp/summary.hpp"
+
+#ifndef QNETP_GOLDEN_DIR
+#error "QNETP_GOLDEN_DIR must point at tests/regression/golden"
+#endif
+
+namespace qnetp::exp {
+namespace {
+
+bool env_flag(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+bool quick_mode() { return env_flag("QNETP_REGRESSION_QUICK"); }
+
+std::size_t trials(std::size_t full) {
+  const std::size_t quick = full / 2;
+  return quick_mode() ? (quick > 0 ? quick : 1) : full;
+}
+
+/// Golden baseline store: `name value abs_tol` per line. In regen mode
+/// every check records instead of asserting, and the suite-level
+/// Environment rewrites the file at the end of the run.
+class GoldenStore {
+ public:
+  static GoldenStore& instance() {
+    static GoldenStore store;
+    return store;
+  }
+
+  /// Compare `measured` against the committed baseline (or record it
+  /// when regenerating; `tol` becomes the committed tolerance band).
+  void check(const std::string& name, double measured, double tol) {
+    if (regen_) {
+      recorded_[name] = {measured, tol};
+      return;
+    }
+    const auto it = golden_.find(name);
+    ASSERT_NE(it, golden_.end())
+        << "no golden baseline for '" << name
+        << "' — run with QNETP_REGEN_GOLDEN=1 and commit the result";
+    const double band =
+        it->second.second * (quick_mode() ? 2.5 : 1.0);
+    EXPECT_NEAR(measured, it->second.first, band)
+        << "metric '" << name << "' drifted from its golden baseline";
+  }
+
+  bool regen() const { return regen_; }
+
+  void flush() {
+    if (!regen_) return;
+    if (quick_mode()) {
+      ADD_FAILURE() << "refusing to regenerate golden baselines in quick "
+                       "mode: half-trial measurements would be committed "
+                       "as full-run baselines. Unset "
+                       "QNETP_REGRESSION_QUICK and re-run.";
+      return;
+    }
+    // Merge over the existing file so a filtered run (--gtest_filter)
+    // only updates the baselines it actually re-measured.
+    auto merged = golden_;
+    for (const auto& [name, vt] : recorded_) merged[name] = vt;
+    const std::string path = file_path();
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << "# Golden baselines for the tier-2 statistical regression "
+           "suite.\n"
+        << "# Regenerate: QNETP_REGEN_GOLDEN=1 ./qnetp_regression_test_"
+           "statistical\n"
+        << "# Format: <metric> <value> <abs_tolerance>\n";
+    for (const auto& [name, vt] : merged) {
+      char line[160];
+      std::snprintf(line, sizeof line, "%s %.10g %.10g\n", name.c_str(),
+                    vt.first, vt.second);
+      out << line;
+    }
+  }
+
+ private:
+  GoldenStore() : regen_(env_flag("QNETP_REGEN_GOLDEN")) {
+    std::ifstream in(file_path());
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      std::istringstream ls(line);
+      std::string name;
+      double value = 0.0, tol = 0.0;
+      if (ls >> name >> value >> tol) golden_[name] = {value, tol};
+    }
+  }
+
+  static std::string file_path() {
+    return std::string(QNETP_GOLDEN_DIR) + "/statistical.txt";
+  }
+
+  bool regen_;
+  std::map<std::string, std::pair<double, double>> golden_;
+  std::map<std::string, std::pair<double, double>> recorded_;
+};
+
+class GoldenFlusher : public ::testing::Environment {
+ public:
+  void TearDown() override { GoldenStore::instance().flush(); }
+};
+const auto* const kFlusher =
+    ::testing::AddGlobalTestEnvironment(new GoldenFlusher);
+
+// ---------------------------------------------------------------------------
+// Fig. 5 — link-pair generation time CDF shape.
+// ---------------------------------------------------------------------------
+TEST(StatisticalRegression, Fig5LinkCdfShape) {
+  LinkCdfConfig cfg;
+  cfg.target_pairs = 300;
+  const auto summary = SummaryAccumulator::aggregate(
+      TrialRunner({1, 91001}).run(trials(4), [&](const Trial& t) {
+        return link_cdf_trial(cfg, t.seed);
+      }));
+  const SampleSet& gen_ms = summary.pooled("gen_ms");
+
+  // SHAPE: generation times are positive, right-skewed (mean > median),
+  // and the CDF is strictly spread out (p95 well above the median) —
+  // the geometric-attempts structure behind the paper's Fig. 5.
+  EXPECT_GT(gen_ms.min(), 0.0);
+  EXPECT_GT(gen_ms.mean(), gen_ms.median());
+  EXPECT_GT(gen_ms.quantile(0.95), 2.0 * gen_ms.median());
+
+  // BASELINE: the paper's anchors — "on average we have to wait 10 ms
+  // and 95% of link-pairs are generated within 30 ms".
+  auto& golden = GoldenStore::instance();
+  golden.check("fig5.mean_ms", gen_ms.mean(), 1.5);
+  golden.check("fig5.p95_ms", gen_ms.quantile(0.95), 6.0);
+  golden.check("fig5.median_ms", gen_ms.median(), 1.5);
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 9 — latency knee: low offered load sits on the flat part of the
+// latency curve, near-saturation load sits past the knee.
+// ---------------------------------------------------------------------------
+TEST(StatisticalRegression, Fig9LatencyKnee) {
+  auto sweep = [&](double interval_ms) {
+    LatencyThroughputConfig cfg;
+    cfg.request_interval = Duration::ms(interval_ms);
+    cfg.congested = false;
+    cfg.issue_window = Duration::seconds(8);
+    cfg.horizon = Duration::seconds(10);
+    cfg.measure_from = Duration::seconds(3);
+    cfg.measure_until = Duration::seconds(8);
+    return SummaryAccumulator::aggregate(
+        TrialRunner({1, 92001}).run(trials(4), [&](const Trial& t) {
+          return latency_throughput_trial(cfg, t.seed);
+        }));
+  };
+  const auto low_load = sweep(400.0);   // ~7.5 pairs/s demand: flat part
+  const auto high_load = sweep(45.0);   // ~67 pairs/s demand: past knee
+
+  ASSERT_TRUE(low_load.has_scalar("latency_mean"));
+  ASSERT_TRUE(high_load.has_scalar("latency_mean"));
+  const double lat_low = low_load.scalar("latency_mean").mean();
+  const double lat_high = high_load.scalar("latency_mean").mean();
+  const double tput_low = low_load.scalar("throughput").mean();
+  const double tput_high = high_load.scalar("throughput").mean();
+
+  // SHAPE: past the knee latency blows up (request queueing) while
+  // throughput still scales with offered load (Fig. 9's
+  // flat-then-blow-up structure). The measured jump is ~25x; 3x is the
+  // regression floor.
+  EXPECT_GT(tput_high, 2.0 * tput_low);
+  EXPECT_GT(lat_high, 3.0 * lat_low);
+
+  auto& golden = GoldenStore::instance();
+  golden.check("fig9.tput_low", tput_low, 1.5);
+  golden.check("fig9.tput_high", tput_high, 6.0);
+  golden.check("fig9.latency_low_s", lat_low, 0.03);
+  golden.check("fig9.latency_high_s", lat_high, 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 10 — fidelity vs cutoff monotonicity on the 3-node chain.
+// ---------------------------------------------------------------------------
+TEST(StatisticalRegression, Fig10FidelityVsCutoffMonotonicity) {
+  auto sweep = [&](double cutoff_ms) {
+    CutoffSweepConfig cfg;
+    cfg.cutoff = Duration::ms(cutoff_ms);
+    cfg.horizon = Duration::seconds(5);
+    return SummaryAccumulator::aggregate(
+        TrialRunner({1, 93001}).run(trials(4), [&](const Trial& t) {
+          return cutoff_sweep_trial(cfg, t.seed);
+        }));
+  };
+  const auto tight = sweep(2.0);  // below the ~9 ms link generation time
+  const auto mid = sweep(80.0);
+  const auto loose = sweep(640.0);
+
+  const double fid_tight = tight.scalar("fidelity").mean();
+  const double fid_mid = mid.scalar("fidelity").mean();
+  const double fid_loose = loose.scalar("fidelity").mean();
+  const double tput_tight = tight.scalar("tput").mean();
+  const double tput_mid = mid.scalar("tput").mean();
+
+  // SHAPE: tighter cutoffs never deliver WORSE pairs — fidelity is
+  // non-increasing in the cutoff (small statistical slack) — while
+  // throughput collapses when the cutoff starves swapping, and tight
+  // cutoffs generate the discard pressure.
+  EXPECT_GE(fid_tight, fid_mid - 0.005);
+  EXPECT_GE(fid_mid, fid_loose - 0.005);
+  EXPECT_GE(fid_tight, fid_loose);  // the full sweep is strictly ordered
+  EXPECT_GT(tput_mid, 2.0 * tput_tight);
+  EXPECT_GT(tight.scalar("discards_per_s").mean(),
+            5.0 * mid.scalar("discards_per_s").mean());
+
+  auto& golden = GoldenStore::instance();
+  golden.check("fig10.fid_tight", fid_tight, 0.01);
+  golden.check("fig10.fid_loose", fid_loose, 0.01);
+  golden.check("fig10.tput_tight", tput_tight, 6.0);
+  golden.check("fig10.tput_mid", tput_mid, 6.0);
+  golden.check("fig10.discards_tight", tight.scalar("discards_per_s").mean(),
+               30.0);
+}
+
+// ---------------------------------------------------------------------------
+// Dumbbell throughput sanity — the congested circuit keeps more than
+// half the empty-network capacity (the Fig. 9 sharing result).
+// ---------------------------------------------------------------------------
+TEST(StatisticalRegression, DumbbellSharingKeepsOverHalfCapacity) {
+  auto sweep = [&](bool congested) {
+    LatencyThroughputConfig cfg;
+    cfg.request_interval = Duration::ms(60);  // saturating offered load
+    cfg.congested = congested;
+    cfg.issue_window = Duration::seconds(8);
+    cfg.horizon = Duration::seconds(10);
+    cfg.measure_from = Duration::seconds(3);
+    cfg.measure_until = Duration::seconds(8);
+    return SummaryAccumulator::aggregate(
+        TrialRunner({1, 94001}).run(trials(4), [&](const Trial& t) {
+          return latency_throughput_trial(cfg, t.seed);
+        }));
+  };
+  const double empty = sweep(false).scalar("throughput").mean();
+  const double shared = sweep(true).scalar("throughput").mean();
+
+  EXPECT_GT(empty, 0.0);
+  // Paper: "the circuit saturates at MORE than half the empty capacity"
+  // because the slow bottleneck lets outer links pre-stage pairs.
+  EXPECT_GT(shared, 0.5 * empty);
+  EXPECT_LT(shared, empty);  // but sharing is not free
+
+  auto& golden = GoldenStore::instance();
+  golden.check("dumbbell.tput_empty", empty, 5.0);
+  golden.check("dumbbell.tput_shared", shared, 5.0);
+}
+
+}  // namespace
+}  // namespace qnetp::exp
