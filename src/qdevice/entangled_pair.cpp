@@ -1,5 +1,7 @@
 #include "qdevice/entangled_pair.hpp"
 
+#include <algorithm>
+
 #include "qbase/assert.hpp"
 #include "qstate/distill.hpp"
 
@@ -48,17 +50,20 @@ void EntangledPair::advance_to(TimePoint now) {
     auto& s = sides_[i];
     QNETP_ASSERT_MSG(now >= s.last_advance, "time went backwards");
     const Duration dt = now - s.last_advance;
-    if (!dt.is_zero()) {
-      state_.apply_channel(i, s.info.decay.for_interval(dt));
-      s.last_advance = now;
-    }
+    if (dt.is_zero()) continue;
+    s.last_advance = now;
+    // No-decay sides (T1 = T2 = infinity, e.g. frozen or ideal storage
+    // qubits) skip the decay pipeline entirely; everything else gets the
+    // closed-form allocation-free application — no Channel is built.
+    if (s.info.decay.trivial()) continue;
+    state_.apply_decay(i, s.info.decay.params_for(dt));
   }
 }
 
 void EntangledPair::apply_extra_dephasing(int side, double lambda) {
   QNETP_ASSERT(side == 0 || side == 1);
   if (lambda <= 0.0) return;
-  state_.apply_channel(side, Channel::dephasing(std::min(1.0, lambda)));
+  state_.apply_dephasing(side, std::min(1.0, lambda));
 }
 
 void EntangledPair::apply_channel(int side, const Channel& ch,
@@ -92,6 +97,13 @@ void EntangledPair::pauli_correct_to(int side, BellIndex target,
 void EntangledPair::break_side(int discarded_side, TimePoint now) {
   QNETP_ASSERT(discarded_side == 0 || discarded_side == 1);
   advance_to(now);
+  if (state_.is_bell_diagonal()) {
+    // Both reduced states of a Bell-diagonal mixture are maximally mixed,
+    // so the rebuilt uncorrelated state is I/4 with no partial trace.
+    state_ = TwoQubitState::maximally_mixed();
+    broken_ = true;
+    return;
+  }
   // Trace out the discarded qubit; rebuild the joint state as
   // (I/2) (x) reduced so later contractions involving the survivor remain
   // well-defined and correctly uncorrelated.

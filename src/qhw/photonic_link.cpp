@@ -113,6 +113,24 @@ TwoQubitState PhotonicLinkModel::produced_state(double alpha) const {
   const double w_dark = dark_fraction(alpha);
 
   const double c = coherence_;
+
+  if (w_bright <= 0.0) {
+    // Without the bright |11> admixture (double-click scheme, or a
+    // single-click link driven at alpha = 0) the heralded mixture is
+    // exactly Bell-diagonal: emit it on the fast-path representation so
+    // downstream decay/swap/distillation stays closed-form.
+    const double mixed = (1.0 - w_dark) * w_dexc + w_dark;
+    qstate::BellDiagonal coeffs{
+        mixed * 0.25,
+        (1.0 - w_dark) * w_good * (1.0 + c) / 2.0 + mixed * 0.25,
+        mixed * 0.25,
+        (1.0 - w_dark) * w_good * (1.0 - c) / 2.0 + mixed * 0.25,
+    };
+    TwoQubitState state = TwoQubitState::bell_diagonal(coeffs);
+    state.renormalize();
+    return state;
+  }
+
   Mat4 rho = Mat4::zero();
   // Good component: ((1+c)/2) Psi+ + ((1-c)/2) Psi-.
   rho += qstate::bell_projector(BellIndex::psi_plus()) *

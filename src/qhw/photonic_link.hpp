@@ -64,7 +64,10 @@ class PhotonicLinkModel {
     return qstate::BellIndex::psi_plus();
   }
 
-  /// The heralded pair state for the given alpha (exact density matrix).
+  /// The heralded pair state for the given alpha. Exact either way:
+  /// without a bright |11> admixture (double-click scheme, or alpha = 0)
+  /// the mixture is Bell-diagonal and is emitted on the fast-path
+  /// representation; otherwise it is an exact density matrix.
   qstate::TwoQubitState produced_state(double alpha) const;
 
   /// Fidelity of produced_state(alpha) to the announced Bell state.

@@ -1,0 +1,32 @@
+#include "qstate/bell_diag.hpp"
+
+#include <algorithm>
+
+#include "qbase/assert.hpp"
+
+namespace qnetp::qstate {
+
+void BellDiag::normalize() {
+  const double s = sum();
+  QNETP_ASSERT_MSG(s > 1e-12, "Bell-diagonal coefficients sum to zero");
+  for (double& x : c) x /= s;
+}
+
+void BellDiag::clamp_and_normalize() {
+  for (double& x : c) x = std::max(0.0, x);
+  normalize();
+}
+
+BellDiag swap_compose(const BellDiag& left, const BellDiag& right,
+                      BellIndex outcome) {
+  BellDiag out;
+  const std::uint8_t m = outcome.code();
+  for (std::uint8_t k = 0; k < 4; ++k) {
+    double acc = 0.0;
+    for (std::uint8_t j = 0; j < 4; ++j) acc += left.c[j] * right.c[j ^ k ^ m];
+    out.c[k] = acc;
+  }
+  return out;
+}
+
+}  // namespace qnetp::qstate

@@ -1,0 +1,109 @@
+// Bell-diagonal fast-path state representation.
+//
+// The states the protocol stack actually carries — Werner sources, link
+// pairs after twirling, swap and DEJMPS outputs — are Bell-diagonal: a
+// classical mixture of the four Bell states, fully described by four real
+// coefficients. Every Bell-diagonal-preserving operation (Pauli channels,
+// pure dephasing, frame corrections, swap composition, distillation,
+// Bell-basis fidelity readout) has a closed form here that costs a handful
+// of multiplies instead of kron-expanded 4x4 complex Kraus sums.
+//
+// Paulis act on Bell indices by XOR: applying the Pauli with bits (x, z)
+// to either qubit of |B_c> yields |B_{c ^ (x + 2z)}> up to global phase.
+// A Pauli mixture is therefore an XOR-convolution of the coefficient
+// vector, and the entanglement-swap output for Bell-diagonal inputs is
+// the XOR-convolution of the two input vectors shifted by the measured
+// outcome (Appendix C of the paper).
+#pragma once
+
+#include <array>
+
+#include "qstate/bell.hpp"
+
+namespace qnetp::qstate {
+
+/// Bell-diagonal coefficients: probabilities of (Phi+, Psi+, Phi-, Psi-)
+/// in BellIndex code order.
+using BellDiagonal = std::array<double, 4>;
+
+/// A Pauli mixture keyed by the Bell-index delta each Pauli induces:
+/// probs[d] is the weight of the Pauli with bits d = x + 2z, i.e.
+/// probs = {p_I, p_X, p_Z, p_Y}.
+using PauliDeltaProbs = std::array<double, 4>;
+
+struct BellDiag {
+  BellDiagonal c{};
+
+  static BellDiag bell(BellIndex idx) {
+    BellDiag d;
+    d.c[idx.code()] = 1.0;
+    return d;
+  }
+  static BellDiag werner(double fidelity, BellIndex idx) {
+    const double rest = (1.0 - fidelity) / 3.0;
+    BellDiag d;
+    d.c = {rest, rest, rest, rest};
+    d.c[idx.code()] = fidelity;
+    return d;
+  }
+  static BellDiag maximally_mixed() {
+    return BellDiag{{0.25, 0.25, 0.25, 0.25}};
+  }
+
+  double sum() const { return c[0] + c[1] + c[2] + c[3]; }
+
+  /// Divide by the sum (which must be positive).
+  void normalize();
+
+  /// Clamp tiny negative artifacts to zero, then normalize (the twirl
+  /// hygiene bell_diagonal_of applies).
+  void clamp_and_normalize();
+
+  /// Mixture of Paulis applied to ONE qubit (either side: the induced
+  /// index deltas are identical).
+  void apply_pauli_mix(const PauliDeltaProbs& q) {
+    const BellDiagonal o = c;
+    c[0] = q[0] * o[0] + q[1] * o[1] + q[2] * o[2] + q[3] * o[3];
+    c[1] = q[0] * o[1] + q[1] * o[0] + q[2] * o[3] + q[3] * o[2];
+    c[2] = q[0] * o[2] + q[1] * o[3] + q[2] * o[0] + q[3] * o[1];
+    c[3] = q[0] * o[3] + q[1] * o[2] + q[2] * o[1] + q[3] * o[0];
+  }
+
+  /// Pure dephasing on one qubit: off-diagonals shrink by (1 - lambda),
+  /// i.e. Z with probability lambda / 2.
+  void apply_dephasing(double lambda) {
+    const double p = lambda / 2.0;
+    const double q = 1.0 - p;
+    const double a = c[0], b = c[1], d2 = c[2], e = c[3];
+    c[0] = q * a + p * d2;
+    c[2] = q * d2 + p * a;
+    c[1] = q * b + p * e;
+    c[3] = q * e + p * b;
+  }
+
+  /// Depolarizing on one qubit: rho -> (1-p) rho + p I/2.
+  void apply_depolarizing(double p) {
+    apply_pauli_mix({1.0 - 0.75 * p, 0.25 * p, 0.25 * p, 0.25 * p});
+  }
+
+  /// An exact Pauli (frame correction): permutes the coefficients by the
+  /// index delta it induces.
+  void apply_frame_shift(BellIndex delta) {
+    const BellDiagonal o = c;
+    const std::uint8_t d = delta.code();
+    for (std::uint8_t i = 0; i < 4; ++i) c[i] = o[i ^ d];
+  }
+
+  double fidelity(BellIndex idx) const { return c[idx.code()]; }
+};
+
+/// Entanglement-swap output for Bell-diagonal inputs: measuring Bell
+/// outcome `m` on the inner qubits of pairs in mixtures `left` and
+/// `right` leaves the outer pair Bell-diagonal with
+///   out[k] = sum_j left[j] * right[j ^ k ^ m]
+/// (already normalised when the inputs are: each outcome has probability
+/// exactly 1/4).
+BellDiag swap_compose(const BellDiag& left, const BellDiag& right,
+                      BellIndex outcome);
+
+}  // namespace qnetp::qstate

@@ -5,28 +5,56 @@
 // covers the NV-centre noise processes the paper's evaluation exercises:
 // pure dephasing (T2*), amplitude damping (T1), depolarizing (gate errors)
 // and bit flips (readout misassignment is handled classically, see swap.hpp).
+//
+// A Channel is a fixed-size value type: its Kraus operators live in an
+// inline array (no heap allocation) and its one-sided real Pauli-transfer
+// matrix is precomputed at construction, so application is a cached
+// structured matvec instead of per-call kron + complex Kraus sums. Pauli
+// mixtures (identity / dephasing / depolarizing / bit-flip / pauli_channel)
+// additionally carry their Bell-delta probabilities so the Bell-diagonal
+// fast path of TwoQubitState can apply them in closed form.
 #pragma once
 
-#include <vector>
+#include <cstddef>
+#include <initializer_list>
+#include <span>
 
 #include "qbase/units.hpp"
+#include "qstate/bell_diag.hpp"
 #include "qstate/complex_mat.hpp"
+#include "qstate/ptm.hpp"
 
 namespace qnetp::qstate {
 
 /// A CPTP map given by its Kraus operators: rho -> sum_k K rho K^dagger.
 class Channel {
  public:
-  Channel() = default;
-  explicit Channel(std::vector<Mat2> kraus) : kraus_(std::move(kraus)) {}
+  /// Every channel the simulator uses (including the T1+T2 memory-decay
+  /// composition) needs at most four Kraus operators.
+  static constexpr std::size_t kMaxKraus = 4;
 
-  const std::vector<Mat2>& kraus() const { return kraus_; }
-  bool empty() const { return kraus_.empty(); }
+  Channel() = default;
+  Channel(std::initializer_list<Mat2> kraus);
+  explicit Channel(std::span<const Mat2> kraus);
+
+  std::span<const Mat2> kraus() const { return {kraus_.data(), n_}; }
+  bool empty() const { return n_ == 0; }
+
+  /// Cached Pauli-transfer matrix of the map.
+  const Ptm4& ptm() const { return ptm_; }
+
+  /// Whether the channel is a probabilistic mixture of Paulis (then
+  /// pauli_delta_probs() drives the Bell-diagonal closed form).
+  bool is_pauli_mix() const { return pauli_mix_; }
+  const PauliDeltaProbs& pauli_delta_probs() const { return pauli_probs_; }
 
   /// Verify sum_k K^dagger K == I within tol (trace preservation).
   bool is_trace_preserving(double tol = 1e-9) const;
 
-  /// Compose: this after other.
+  /// Compose: this after other. When the raw operator products overflow
+  /// the inline capacity the composition is recompressed through its
+  /// Choi matrix (every single-qubit channel admits a <= 4 operator
+  /// Kraus form), so the result is always exact.
   Channel after(const Channel& other) const;
 
   /// Apply to a single-qubit density matrix.
@@ -53,11 +81,29 @@ class Channel {
   static Channel unitary(const Mat2& u);
 
  private:
-  std::vector<Mat2> kraus_;
+  /// Tag a factory-built Pauli mixture with its Bell-delta probabilities.
+  Channel& tag_pauli_mix(const PauliDeltaProbs& probs);
+
+  std::array<Mat2, kMaxKraus> kraus_{};
+  std::size_t n_ = 0;
+  Ptm4 ptm_{};
+  bool pauli_mix_ = false;
+  PauliDeltaProbs pauli_probs_{};
+};
+
+/// Closed-form parameters of the memory-decay map over one idle interval:
+/// amplitude damping with probability `gamma` followed by pure dephasing
+/// with `lambda`. gamma == 0 means the map is pure dephasing (which the
+/// Bell-diagonal fast path applies in closed form).
+struct DecayParams {
+  double gamma = 0.0;
+  double lambda = 0.0;
+
+  bool is_identity() const { return gamma <= 0.0 && lambda <= 0.0; }
 };
 
 /// Time-dependent memory decoherence with relaxation time T1 and total
-/// transverse coherence time T2 (T2 <= 2*T1). Produces the channel for an
+/// transverse coherence time T2 (T2 <= 2*T1). Produces the map for an
 /// idle interval dt: amplitude damping with gamma = 1 - exp(-dt/T1)
 /// composed with pure dephasing so the total off-diagonal decay is
 /// exp(-dt/T2). T1/T2 of Duration::max() mean "no decay".
@@ -65,6 +111,17 @@ struct MemoryDecay {
   Duration t1 = Duration::max();
   Duration t2 = Duration::max();
 
+  /// True when the model never decays (both times infinite): the decay
+  /// pipeline skips such qubits entirely.
+  bool trivial() const {
+    return t1 == Duration::max() && t2 == Duration::max();
+  }
+
+  /// Closed-form decay parameters for an idle interval — the
+  /// allocation-free path the hot loop uses.
+  DecayParams params_for(Duration dt) const;
+
+  /// The same map as an explicit Kraus channel (tests and tooling).
   Channel for_interval(Duration dt) const;
 
   /// Off-diagonal (coherence) decay factor over dt: exp(-dt/T2).

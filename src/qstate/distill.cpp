@@ -8,23 +8,21 @@
 namespace qnetp::qstate {
 
 BellDiagonal bell_diagonal_of(const TwoQubitState& state) {
-  BellDiagonal d{};
-  double total = 0.0;
-  for (BellIndex b : all_bell_indices()) {
-    d[b.code()] = std::max(0.0, state.fidelity(b));
-    total += d[b.code()];
+  if (state.is_bell_diagonal()) {
+    BellDiag d{state.bell_coeffs()};
+    d.clamp_and_normalize();
+    return d.c;
   }
-  QNETP_ASSERT_MSG(total > 1e-12, "state has no Bell-diagonal support");
-  for (auto& x : d) x /= total;
-  return d;
+  BellDiag d;
+  for (BellIndex b : all_bell_indices()) {
+    d.c[b.code()] = state.fidelity(b);
+  }
+  d.clamp_and_normalize();
+  return d.c;
 }
 
 TwoQubitState from_bell_diagonal(const BellDiagonal& coeffs) {
-  Mat4 rho = Mat4::zero();
-  for (BellIndex b : all_bell_indices()) {
-    rho += bell_projector(b) * Cplx{coeffs[b.code()], 0};
-  }
-  return TwoQubitState(rho);
+  return TwoQubitState::bell_diagonal(coeffs);
 }
 
 double dejmps_map(const BellDiagonal& a, const BellDiagonal& b,
@@ -51,18 +49,36 @@ double dejmps_map(const BellDiagonal& a, const BellDiagonal& b,
 
 DistillResult dejmps(const TwoQubitState& a, const TwoQubitState& b,
                      double gate_depolarizing, Rng& rng) {
-  TwoQubitState na = a;
-  TwoQubitState nb = b;
-  if (gate_depolarizing > 0.0) {
-    const Channel depol = Channel::depolarizing(gate_depolarizing);
-    na.apply_channel(0, depol);
-    na.apply_channel(1, depol);
-    nb.apply_channel(0, depol);
-    nb.apply_channel(1, depol);
+  BellDiagonal da;
+  BellDiagonal db;
+  if (a.is_bell_diagonal() && b.is_bell_diagonal()) {
+    // Fast path: depolarizing preserves Bell-diagonality, so the whole
+    // round is closed-form on the coefficients.
+    BellDiag fa{a.bell_coeffs()};
+    BellDiag fb{b.bell_coeffs()};
+    if (gate_depolarizing > 0.0) {
+      fa.apply_depolarizing(gate_depolarizing);
+      fa.apply_depolarizing(gate_depolarizing);
+      fb.apply_depolarizing(gate_depolarizing);
+      fb.apply_depolarizing(gate_depolarizing);
+    }
+    fa.clamp_and_normalize();
+    fb.clamp_and_normalize();
+    da = fa.c;
+    db = fb.c;
+  } else {
+    TwoQubitState na = a;
+    TwoQubitState nb = b;
+    if (gate_depolarizing > 0.0) {
+      const Channel depol = Channel::depolarizing(gate_depolarizing);
+      na.apply_channel(0, depol);
+      na.apply_channel(1, depol);
+      nb.apply_channel(0, depol);
+      nb.apply_channel(1, depol);
+    }
+    da = bell_diagonal_of(na);
+    db = bell_diagonal_of(nb);
   }
-
-  const BellDiagonal da = bell_diagonal_of(na);
-  const BellDiagonal db = bell_diagonal_of(nb);
   BellDiagonal out{};
   const double p_succ = dejmps_map(da, db, &out);
 

@@ -12,13 +12,10 @@
 #include <array>
 
 #include "qbase/rng.hpp"
+#include "qstate/bell_diag.hpp"
 #include "qstate/two_qubit_state.hpp"
 
 namespace qnetp::qstate {
-
-/// Bell-diagonal representation: probabilities of (Phi+, Psi+, Phi-, Psi-)
-/// in BellIndex code order.
-using BellDiagonal = std::array<double, 4>;
 
 /// Project a state onto its Bell-diagonal part (twirl): keeps the four
 /// diagonal coefficients in the Bell basis and renormalises.

@@ -1,0 +1,137 @@
+#include "qstate/ptm.hpp"
+
+#include <cmath>
+
+#include "qbase/assert.hpp"
+#include "qstate/bell.hpp"
+
+namespace qnetp::qstate {
+
+namespace {
+
+/// Pauli coordinates p_j = Tr[sigma P_j] of a (not necessarily
+/// Hermitian) 2x2 operator, order (I, X, Y, Z).
+inline void to_pauli(const Cplx& s00, const Cplx& s01, const Cplx& s10,
+                     const Cplx& s11, Cplx p[4]) {
+  p[0] = s00 + s11;
+  p[1] = s01 + s10;
+  p[2] = Cplx{0, 1} * (s01 - s10);
+  p[3] = s00 - s11;
+}
+
+/// Inverse of to_pauli: sigma = (1/2) sum_j p_j P_j.
+inline void from_pauli(const Cplx p[4], Cplx& s00, Cplx& s01, Cplx& s10,
+                       Cplx& s11) {
+  s00 = 0.5 * (p[0] + p[3]);
+  s11 = 0.5 * (p[0] - p[3]);
+  const Cplx iy = Cplx{0, 1} * p[2];
+  s01 = 0.5 * (p[1] - iy);
+  s10 = 0.5 * (p[1] + iy);
+}
+
+/// q = T p with real T and complex p.
+inline void matvec(const Ptm4& t, const Cplx p[4], Cplx q[4]) {
+  for (std::size_t i = 0; i < 4; ++i) {
+    q[i] = t(i, 0) * p[0] + t(i, 1) * p[1] + t(i, 2) * p[2] + t(i, 3) * p[3];
+  }
+}
+
+}  // namespace
+
+Ptm4 Ptm4::identity() {
+  Ptm4 r;
+  for (std::size_t i = 0; i < 4; ++i) r(i, i) = 1.0;
+  return r;
+}
+
+Ptm4 Ptm4::dephasing(double lambda) {
+  Ptm4 r = identity();
+  r(1, 1) = 1.0 - lambda;
+  r(2, 2) = 1.0 - lambda;
+  return r;
+}
+
+Ptm4 Ptm4::decay(double gamma, double lambda) {
+  // Amplitude damping: I -> I + gamma Z, X -> s X, Y -> s Y,
+  // Z -> (1 - gamma) Z with s = sqrt(1 - gamma); then dephasing shrinks
+  // the X and Y rows by (1 - lambda).
+  QNETP_ASSERT(gamma >= 0.0 && gamma <= 1.0);
+  const double s = std::sqrt(1.0 - gamma) * (1.0 - lambda);
+  Ptm4 r;
+  r(0, 0) = 1.0;
+  r(1, 1) = s;
+  r(2, 2) = s;
+  r(3, 0) = gamma;
+  r(3, 3) = 1.0 - gamma;
+  return r;
+}
+
+Ptm4 Ptm4::from_kraus(const Mat2* ops, std::size_t n) {
+  const Mat2 paulis[4] = {pauli_i(), pauli_x(), pauli_y(), pauli_z()};
+  Ptm4 r;
+  for (std::size_t j = 0; j < 4; ++j) {
+    // E(P_j) = sum_k K P_j K^dag.
+    Mat2 image = Mat2::zero();
+    for (std::size_t k = 0; k < n; ++k) {
+      image = image + ops[k] * paulis[j] * ops[k].adjoint();
+    }
+    for (std::size_t i = 0; i < 4; ++i) {
+      r(i, j) = 0.5 * (paulis[i] * image).trace().real();
+    }
+  }
+  return r;
+}
+
+Ptm4 Ptm4::operator*(const Ptm4& o) const {
+  Ptm4 r;
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 4; ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < 4; ++k) acc += (*this)(i, k) * o(k, j);
+      r(i, j) = acc;
+    }
+  return r;
+}
+
+bool Ptm4::approx_equal(const Ptm4& o, double tol) const {
+  for (std::size_t i = 0; i < 16; ++i)
+    if (std::abs(t[i] - o.t[i]) > tol) return false;
+  return true;
+}
+
+void apply_ptm_to_side(Mat4& rho, const Ptm4& t, int side) {
+  QNETP_ASSERT(side == 0 || side == 1);
+  Cplx p[4];
+  Cplx q[4];
+  // The map acts on one tensor index pair; the other (spectator) index
+  // pair labels four independent 2x2 slices.
+  for (std::size_t u = 0; u < 2; ++u) {
+    for (std::size_t v = 0; v < 2; ++v) {
+      // Slice over the side's indices at spectator pair (u, v): for
+      // side 0 the slice rows/cols are (a*2 + u, a'*2 + v), for side 1
+      // they are (u*2 + b, v*2 + b').
+      const std::size_t stride = (side == 0) ? 2 : 1;
+      const std::size_t row0 = (side == 0) ? u : u * 2;
+      const std::size_t col0 = (side == 0) ? v : v * 2;
+      Cplx& s00 = rho(row0, col0);
+      Cplx& s01 = rho(row0, col0 + stride);
+      Cplx& s10 = rho(row0 + stride, col0);
+      Cplx& s11 = rho(row0 + stride, col0 + stride);
+      to_pauli(s00, s01, s10, s11, p);
+      matvec(t, p, q);
+      from_pauli(q, s00, s01, s10, s11);
+    }
+  }
+}
+
+Mat2 apply_ptm(const Mat2& sigma, const Ptm4& t) {
+  Cplx p[4];
+  Cplx q[4];
+  to_pauli(sigma(0, 0), sigma(0, 1), sigma(1, 0), sigma(1, 1), p);
+  matvec(t, p, q);
+  Mat2 out;
+  from_pauli(q, out(0, 0), out(0, 1), out(1, 0), out(1, 1));
+  return out;
+}
+
+}  // namespace qnetp::qstate

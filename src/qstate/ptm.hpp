@@ -1,0 +1,52 @@
+// One-sided real Pauli-transfer-matrix superoperators.
+//
+// A single-qubit CPTP map E is fully described by the real 4x4 matrix
+// T_ij = Tr[P_i E(P_j)] / 2 over the Pauli basis (I, X, Y, Z): if
+// sigma = (1/2) sum_j r_j P_j then E(sigma) = (1/2) sum_i (T r)_i P_i.
+// Applying E to one side of a two-qubit density matrix decomposes into
+// four independent 2x2 slices (one per pair of spectator indices), each a
+// Pauli-basis transform, a real 4x4 matvec, and the inverse transform —
+// ~128 real multiplies in place of per-Kraus kron expansion plus complex
+// 4x4 multiplications with heap-allocated operator vectors.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "qstate/complex_mat.hpp"
+
+namespace qnetp::qstate {
+
+/// Real 4x4 Pauli-transfer matrix, row-major over (I, X, Y, Z).
+struct Ptm4 {
+  std::array<double, 16> t{};
+
+  double& operator()(std::size_t r, std::size_t c) { return t[r * 4 + c]; }
+  double operator()(std::size_t r, std::size_t c) const { return t[r * 4 + c]; }
+
+  static Ptm4 identity();
+  /// Pure dephasing: X and Y components shrink by (1 - lambda).
+  static Ptm4 dephasing(double lambda);
+  /// Memory decay over an idle interval: amplitude damping with
+  /// probability gamma followed by pure dephasing with lambda (the
+  /// composition MemoryDecay uses, in the same order).
+  static Ptm4 decay(double gamma, double lambda);
+  /// From an explicit Kraus decomposition: E(rho) = sum_k K rho K^dag.
+  static Ptm4 from_kraus(const Mat2* ops, std::size_t n);
+
+  /// Composition: (this * o) is "this after o".
+  Ptm4 operator*(const Ptm4& o) const;
+
+  bool approx_equal(const Ptm4& o, double tol = 1e-9) const;
+};
+
+/// Apply the map to one side of a two-qubit density matrix in place
+/// (side 0 = left/first tensor factor, side 1 = right).
+void apply_ptm_to_side(Mat4& rho, const Ptm4& t, int side);
+
+/// Apply the map to a single-qubit operator (need not be Hermitian; the
+/// Pauli coordinates are then complex and the real PTM acts
+/// componentwise).
+Mat2 apply_ptm(const Mat2& sigma, const Ptm4& t);
+
+}  // namespace qnetp::qstate

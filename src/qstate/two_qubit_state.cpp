@@ -7,24 +7,44 @@
 
 namespace qnetp::qstate {
 
-TwoQubitState::TwoQubitState() : rho_(Mat4::identity() * Cplx{0.25, 0}) {}
+namespace {
 
-TwoQubitState::TwoQubitState(const Mat4& rho) : rho_(rho) {}
+/// rho = sum_i c_i |B_i><B_i| written out: the Phi states live on the
+/// {|00>, |11>} block, the Psi states on {|01>, |10>}.
+Mat4 materialize_bell_diag(const BellDiagonal& c) {
+  Mat4 rho = Mat4::zero();
+  rho(0, 0) = rho(3, 3) = 0.5 * (c[0] + c[2]);
+  rho(0, 3) = rho(3, 0) = 0.5 * (c[0] - c[2]);
+  rho(1, 1) = rho(2, 2) = 0.5 * (c[1] + c[3]);
+  rho(1, 2) = rho(2, 1) = 0.5 * (c[1] - c[3]);
+  return rho;
+}
+
+}  // namespace
+
+TwoQubitState::TwoQubitState() = default;
+
+TwoQubitState::TwoQubitState(const Mat4& rho)
+    : repr_(Repr::exact), rho_(rho) {}
+
+TwoQubitState::TwoQubitState(const BellDiag& bd)
+    : repr_(Repr::bell_diag), bd_(bd) {}
 
 TwoQubitState TwoQubitState::bell(BellIndex idx) {
-  return TwoQubitState(bell_projector(idx));
+  return TwoQubitState(BellDiag::bell(idx));
 }
 
 TwoQubitState TwoQubitState::werner(double fidelity, BellIndex idx) {
   QNETP_ASSERT(fidelity >= 0.0 && fidelity <= 1.0);
-  const Mat4 p = bell_projector(idx);
-  const Mat4 rest = Mat4::identity() - p;
-  return TwoQubitState(p * Cplx{fidelity, 0} +
-                       rest * Cplx{(1.0 - fidelity) / 3.0, 0});
+  return TwoQubitState(BellDiag::werner(fidelity, idx));
 }
 
 TwoQubitState TwoQubitState::maximally_mixed() {
-  return TwoQubitState(Mat4::identity() * Cplx{0.25, 0});
+  return TwoQubitState(BellDiag::maximally_mixed());
+}
+
+TwoQubitState TwoQubitState::bell_diagonal(const BellDiagonal& coeffs) {
+  return TwoQubitState(BellDiag{coeffs});
 }
 
 TwoQubitState TwoQubitState::computational(int b1, int b2) {
@@ -35,7 +55,22 @@ TwoQubitState TwoQubitState::computational(int b1, int b2) {
   return TwoQubitState(rho);
 }
 
+const Mat4& TwoQubitState::rho() const {
+  if (repr_ == Repr::bell_diag && !rho_cache_valid_) {
+    rho_ = materialize_bell_diag(bd_.c);
+    rho_cache_valid_ = true;
+  }
+  return rho_;
+}
+
+void TwoQubitState::demote() {
+  if (repr_ == Repr::exact) return;
+  rho();  // fill the cache
+  repr_ = Repr::exact;
+}
+
 double TwoQubitState::fidelity(BellIndex idx) const {
+  if (repr_ == Repr::bell_diag) return bd_.fidelity(idx);
   return expectation(rho_, bell_vector(idx));
 }
 
@@ -53,7 +88,14 @@ std::pair<BellIndex, double> TwoQubitState::best_bell() const {
 }
 
 void TwoQubitState::apply_channel(int side, const Channel& ch) {
-  rho_ = ch.apply_to_side(rho_, side);
+  QNETP_ASSERT(side == 0 || side == 1);
+  if (repr_ == Repr::bell_diag && ch.is_pauli_mix()) {
+    bd_.apply_pauli_mix(ch.pauli_delta_probs());
+    invalidate_cache();
+    return;
+  }
+  demote();
+  apply_ptm_to_side(rho_, ch.ptm(), side);
 }
 
 void TwoQubitState::apply_pauli(int side, const Mat2& pauli) {
@@ -61,7 +103,35 @@ void TwoQubitState::apply_pauli(int side, const Mat2& pauli) {
 }
 
 void TwoQubitState::apply_correction(int side, BellIndex from, BellIndex to) {
+  if (repr_ == Repr::bell_diag) {
+    bd_.apply_frame_shift(from ^ to);
+    invalidate_cache();
+    return;
+  }
   apply_pauli(side, pauli_correction(from, to));
+}
+
+void TwoQubitState::apply_decay(int side, const DecayParams& params) {
+  QNETP_ASSERT(side == 0 || side == 1);
+  if (params.is_identity()) return;
+  if (params.gamma <= 0.0) {
+    apply_dephasing(side, params.lambda);
+    return;
+  }
+  // Amplitude damping is not Bell-diagonal-preserving: loss-free fallback.
+  demote();
+  apply_ptm_to_side(rho_, Ptm4::decay(params.gamma, params.lambda), side);
+}
+
+void TwoQubitState::apply_dephasing(int side, double lambda) {
+  QNETP_ASSERT(side == 0 || side == 1);
+  if (lambda <= 0.0) return;
+  if (repr_ == Repr::bell_diag) {
+    bd_.apply_dephasing(lambda);
+    invalidate_cache();
+    return;
+  }
+  apply_ptm_to_side(rho_, Ptm4::dephasing(lambda), side);
 }
 
 BlochAxis BlochAxis::xz_plane(double theta_rad) {
@@ -109,6 +179,7 @@ Mat2 basis_projector(Basis basis, int outcome) {
 int TwoQubitState::measure_side(int side, Basis basis, Rng& rng,
                                 Mat2* partner) {
   QNETP_ASSERT(side == 0 || side == 1);
+  demote();  // projective collapse leaves the Bell-diagonal family
   const Mat2 id = Mat2::identity();
   const Mat2 p0 = basis_projector(basis, 0);
   const Mat4 big0 = (side == 0) ? kron(p0, id) : kron(id, p0);
@@ -146,6 +217,7 @@ int TwoQubitState::measure_side(int side, Basis basis, Rng& rng,
 
 std::pair<int, int> TwoQubitState::measure_both(Basis left, Basis right,
                                                 Rng& rng) {
+  demote();
   double probs[4];
   double total = 0.0;
   for (int a = 0; a < 2; ++a)
@@ -178,6 +250,7 @@ std::pair<int, int> TwoQubitState::measure_both(Basis left, Basis right,
 std::pair<int, int> TwoQubitState::measure_both_along(const BlochAxis& left,
                                                       const BlochAxis& right,
                                                       Rng& rng) {
+  demote();  // arbitrary-axis projection has no Bell-diagonal closed form
   double probs[4];
   double total = 0.0;
   for (int a = 0; a < 2; ++a)
@@ -207,7 +280,7 @@ std::pair<int, int> TwoQubitState::measure_both_along(const BlochAxis& left,
 
 double TwoQubitState::correlator_along(const BlochAxis& left,
                                        const BlochAxis& right) const {
-  return (kron(left.observable(), right.observable()) * rho_)
+  return (kron(left.observable(), right.observable()) * rho())
       .trace()
       .real();
 }
@@ -224,16 +297,31 @@ double TwoQubitState::chsh_value() const {
 }
 
 double TwoQubitState::correlator(Basis basis) const {
+  if (repr_ == Repr::bell_diag) {
+    // <PP> is +/-1 on each Bell state: Z agrees on the Phi block, X on
+    // the "+" states, Y on {Psi+, Phi-}.
+    const BellDiagonal& c = bd_.c;
+    switch (basis) {
+      case Basis::z: return c[0] - c[1] + c[2] - c[3];
+      case Basis::x: return c[0] + c[1] - c[2] - c[3];
+      case Basis::y: return -c[0] + c[1] + c[2] - c[3];
+    }
+  }
   Mat2 p;
   switch (basis) {
     case Basis::z: p = pauli_z(); break;
     case Basis::x: p = pauli_x(); break;
     case Basis::y: p = pauli_y(); break;
   }
-  return (kron(p, p) * rho_).trace().real();
+  return (kron(p, p) * rho()).trace().real();
 }
 
 void TwoQubitState::renormalize() {
+  if (repr_ == Repr::bell_diag) {
+    bd_.normalize();
+    invalidate_cache();
+    return;
+  }
   // Hermitize and rescale to unit trace.
   rho_ = (rho_ + rho_.adjoint()) * Cplx{0.5, 0};
   const double tr = rho_.trace().real();

@@ -1,15 +1,25 @@
 // TwoQubitState: the exact quantum state of one entangled pair.
 //
-// Wraps a 4x4 density matrix with the operations the protocol stack needs:
-// fidelity readout (the simulation oracle), channel application per side,
-// Pauli frame corrections, and projective measurements. Side 0 is by
-// convention the qubit at the "left"/upstream node of the pair.
+// Dual representation. States the protocol stack actually carries are
+// almost always Bell-diagonal (Werner sources, Pauli/dephasing noise,
+// swap and DEJMPS outputs), so the default fast path stores just the four
+// real Bell coefficients and applies Bell-diagonal-preserving operations
+// in closed form. Any operation that leaves the Bell-diagonal family —
+// amplitude damping (finite T1), arbitrary-axis or computational-basis
+// measurement, an arbitrary unitary — triggers an automatic, loss-free
+// fallback: the coefficients are materialised into the exact 4x4 density
+// matrix and evolution continues there via cached Pauli-transfer-matrix
+// superoperators. Both paths are exact; they agree to rounding error.
+//
+// Side 0 is by convention the qubit at the "left"/upstream node of the
+// pair.
 #pragma once
 
 #include <utility>
 
 #include "qbase/rng.hpp"
 #include "qstate/bell.hpp"
+#include "qstate/bell_diag.hpp"
 #include "qstate/channels.hpp"
 #include "qstate/complex_mat.hpp"
 
@@ -47,10 +57,21 @@ class TwoQubitState {
   /// Werner state: F * |B_idx><B_idx| + (1-F)/3 * (I - |B_idx><B_idx|).
   static TwoQubitState werner(double fidelity, BellIndex idx);
   static TwoQubitState maximally_mixed();
+  /// Bell-diagonal state with the given coefficients (not renormalised).
+  static TwoQubitState bell_diagonal(const BellDiagonal& coeffs);
   /// Product state |b1 b2><b1 b2| of computational basis kets.
   static TwoQubitState computational(int b1, int b2);
 
-  const Mat4& rho() const { return rho_; }
+  /// The density matrix (materialised and cached when the fast path is
+  /// active; reading it never changes the representation).
+  const Mat4& rho() const;
+
+  /// Whether the Bell-diagonal fast path is active. False after any
+  /// operation without a Bell-diagonal closed form (the loss-free
+  /// fallback to the exact density matrix).
+  bool is_bell_diagonal() const { return repr_ == Repr::bell_diag; }
+  /// Fast-path coefficients; only valid while is_bell_diagonal().
+  const BellDiagonal& bell_coeffs() const { return bd_.c; }
 
   /// <B_idx| rho |B_idx> — the simulation oracle for pair quality.
   double fidelity(BellIndex idx) const;
@@ -62,6 +83,13 @@ class TwoQubitState {
   /// Rotate the pair from Bell frame `from` to Bell frame `to` by applying
   /// the appropriate Pauli to `side`.
   void apply_correction(int side, BellIndex from, BellIndex to);
+
+  /// Closed-form memory decay over one idle interval (amplitude damping
+  /// gamma then dephasing lambda) — the allocation-free hot path; no
+  /// Channel object is built.
+  void apply_decay(int side, const DecayParams& params);
+  /// Pure dephasing with off-diagonal factor (1 - lambda).
+  void apply_dephasing(int side, double lambda);
 
   /// Projectively measure one qubit in the given basis. Returns the
   /// outcome (0: +1 eigenstate, 1: -1 eigenstate) and leaves `partner`
@@ -94,11 +122,25 @@ class TwoQubitState {
   void renormalize();
 
   bool valid_density(double tol = 1e-7) const {
-    return rho_.is_density_matrix(tol);
+    return rho().is_density_matrix(tol);
   }
 
  private:
-  Mat4 rho_;
+  enum class Repr : std::uint8_t { bell_diag, exact };
+
+  explicit TwoQubitState(const BellDiag& bd);
+
+  /// Loss-free fallback: materialise the coefficients into rho_ and
+  /// switch to the exact representation.
+  void demote();
+  void invalidate_cache() { rho_cache_valid_ = false; }
+
+  Repr repr_ = Repr::bell_diag;
+  BellDiag bd_ = BellDiag::maximally_mixed();
+  // Exact density matrix when repr_ == exact; otherwise a lazily
+  // materialised cache for const readers (rho(), correlators, teleport).
+  mutable Mat4 rho_;
+  mutable bool rho_cache_valid_ = false;
 };
 
 /// Basis eigenvectors as bra projectors: returns the projector onto the

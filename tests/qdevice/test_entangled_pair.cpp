@@ -134,6 +134,43 @@ TEST(EntangledPair, BreakSideLeavesUncorrelatedReducedState) {
   EXPECT_NEAR(zeros / 400.0, 0.5, 0.08);
 }
 
+TEST(EntangledPair, NoDecaySidesStayOnFastPathAndLoseNothing) {
+  // Both sides T1 = T2 = infinity: advance must be a pure bookkeeping
+  // update — no channel application, no representation change.
+  EntangledPair p(PairId{1}, TwoQubitState::werner(0.9, BellIndex::psi_plus()),
+                  BellIndex::psi_plus(), side(1, 10), side(2, 20),
+                  TimePoint::origin());
+  for (int i = 1; i <= 50; ++i) {
+    p.advance_to(TimePoint::origin() + Duration::seconds(i));
+  }
+  EXPECT_TRUE(p.state_at(TimePoint::origin() + 51_s).is_bell_diagonal());
+  EXPECT_NEAR(p.oracle_fidelity(TimePoint::origin() + 60_s), 0.9, 1e-12);
+}
+
+TEST(EntangledPair, FiniteT1AdvanceMatchesLegacyChannelPipeline) {
+  // The allocation-free decay application must agree with building the
+  // explicit Kraus channel for the same interval (the pre-fast-path
+  // pipeline), including the Bell-diagonal fallback.
+  const MemoryDecay electron{3600_s, 60_s};
+  const MemoryDecay carbon{360_s, 60_s};
+  EntangledPair p(PairId{1}, TwoQubitState::werner(0.93, BellIndex::phi_plus()),
+                  BellIndex::phi_plus(), side(1, 10, electron),
+                  side(2, 20, carbon), TimePoint::origin());
+  TwoQubitState reference(
+      TwoQubitState::werner(0.93, BellIndex::phi_plus()).rho());
+  TimePoint t = TimePoint::origin();
+  for (int i = 0; i < 20; ++i) {
+    const Duration dt = Duration::ms(37 * (i + 1));
+    t += dt;
+    reference.apply_channel(0, electron.for_interval(dt));
+    reference.apply_channel(1, carbon.for_interval(dt));
+    const double f = p.oracle_fidelity(t);
+    EXPECT_NEAR(f, reference.fidelity(BellIndex::phi_plus()), 1e-9)
+        << "step " << i;
+  }
+  EXPECT_FALSE(p.state_at(t).is_bell_diagonal());  // fallback triggered
+}
+
 TEST(EntangledPair, ExtraDephasingReducesCoherence) {
   EntangledPair p(PairId{1}, TwoQubitState::bell(BellIndex::phi_plus()),
                   BellIndex::phi_plus(), side(1, 10), side(2, 20),

@@ -1,0 +1,150 @@
+// Bell-diagonal closed forms vs the exact density-matrix algebra: every
+// fast-path operation must agree with applying the corresponding channel
+// to the materialised 4x4 state.
+#include "qstate/bell_diag.hpp"
+
+#include <gtest/gtest.h>
+
+#include "qbase/assert.hpp"
+#include "qbase/rng.hpp"
+#include "qstate/channels.hpp"
+#include "qstate/swap.hpp"
+#include "qstate/two_qubit_state.hpp"
+
+namespace qnetp::qstate {
+namespace {
+
+BellDiag random_diag(Rng& rng) {
+  BellDiag d;
+  double total = 0.0;
+  for (double& c : d.c) {
+    c = rng.uniform();
+    total += c;
+  }
+  for (double& c : d.c) c /= total;
+  return d;
+}
+
+/// Exact-path twin of a Bell-diagonal mixture (forced onto the Mat4
+/// representation through the density-matrix constructor).
+TwoQubitState exact_twin(const BellDiag& d) {
+  return TwoQubitState(TwoQubitState::bell_diagonal(d.c).rho());
+}
+
+void expect_same_mixture(const BellDiag& fast, const TwoQubitState& exact,
+                         double tol = 1e-12) {
+  for (BellIndex b : all_bell_indices()) {
+    EXPECT_NEAR(fast.fidelity(b), exact.fidelity(b), tol)
+        << "component " << b.to_string();
+  }
+}
+
+TEST(BellDiag, ConstructorsMatchExactFidelities) {
+  for (BellIndex b : all_bell_indices()) {
+    expect_same_mixture(BellDiag::bell(b), exact_twin(BellDiag::bell(b)));
+    const BellDiag w = BellDiag::werner(0.83, b);
+    expect_same_mixture(w, exact_twin(w));
+  }
+  expect_same_mixture(BellDiag::maximally_mixed(),
+                      exact_twin(BellDiag::maximally_mixed()));
+}
+
+TEST(BellDiag, PauliMixMatchesExactChannelOnEitherSide) {
+  Rng rng(31001);
+  for (int i = 0; i < 50; ++i) {
+    const BellDiag d = random_diag(rng);
+    double probs[4];
+    double total = 0.0;
+    for (double& p : probs) {
+      p = rng.uniform();
+      total += p;
+    }
+    for (double& p : probs) p /= total;
+    const Channel ch =
+        Channel::pauli_channel(probs[0], probs[1], probs[2], probs[3]);
+    for (int side : {0, 1}) {
+      BellDiag fast = d;
+      fast.apply_pauli_mix(ch.pauli_delta_probs());
+      TwoQubitState exact = exact_twin(d);
+      exact.apply_channel(side, ch);
+      expect_same_mixture(fast, exact, 1e-9);
+    }
+  }
+}
+
+TEST(BellDiag, DephasingAndDepolarizingClosedForms) {
+  Rng rng(31002);
+  for (double p : {0.0, 0.05, 0.4, 0.9, 1.0}) {
+    const BellDiag d = random_diag(rng);
+
+    BellDiag deph = d;
+    deph.apply_dephasing(p);
+    TwoQubitState exact_deph = exact_twin(d);
+    exact_deph.apply_channel(0, Channel::dephasing(p));
+    expect_same_mixture(deph, exact_deph, 1e-9);
+
+    BellDiag depol = d;
+    depol.apply_depolarizing(p);
+    TwoQubitState exact_depol = exact_twin(d);
+    exact_depol.apply_channel(1, Channel::depolarizing(p));
+    expect_same_mixture(depol, exact_depol, 1e-9);
+  }
+}
+
+TEST(BellDiag, FrameShiftMatchesPauliCorrection) {
+  Rng rng(31003);
+  for (BellIndex from : all_bell_indices()) {
+    for (BellIndex to : all_bell_indices()) {
+      const BellDiag d = random_diag(rng);
+      BellDiag fast = d;
+      fast.apply_frame_shift(from ^ to);
+      TwoQubitState exact = exact_twin(d);
+      exact.apply_pauli(0, pauli_correction(from, to));
+      expect_same_mixture(fast, exact, 1e-9);
+    }
+  }
+}
+
+TEST(BellDiag, SwapComposeMatchesExactContraction) {
+  // For each fixed measurement outcome, the XOR-convolution must equal
+  // the exact tensor contraction. Drive the exact path by re-drawing
+  // until each outcome has been seen.
+  Rng rng(31004);
+  for (int i = 0; i < 40; ++i) {
+    const BellDiag l = random_diag(rng);
+    const BellDiag r = random_diag(rng);
+    Rng sample_fast(9000 + i);
+    Rng sample_exact(9000 + i);
+    const SwapOutcome fast = entanglement_swap(
+        TwoQubitState::bell_diagonal(l.c), TwoQubitState::bell_diagonal(r.c),
+        SwapNoise::ideal(), sample_fast);
+    const SwapOutcome exact = entanglement_swap(
+        exact_twin(l), exact_twin(r), SwapNoise::ideal(), sample_exact);
+    EXPECT_EQ(fast.true_outcome, exact.true_outcome) << "iteration " << i;
+    EXPECT_NEAR(fast.probability, exact.probability, 1e-9);
+    for (BellIndex b : all_bell_indices()) {
+      EXPECT_NEAR(fast.state.fidelity(b), exact.state.fidelity(b), 1e-9)
+          << "iteration " << i << " component " << b.to_string();
+    }
+  }
+}
+
+TEST(BellDiag, SwapComposeIsNormalisedForNormalisedInputs) {
+  Rng rng(31005);
+  for (int i = 0; i < 20; ++i) {
+    const BellDiag l = random_diag(rng);
+    const BellDiag r = random_diag(rng);
+    for (BellIndex m : all_bell_indices()) {
+      const BellDiag out = swap_compose(l, r, m);
+      EXPECT_NEAR(out.sum(), 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(BellDiag, NormalizeRejectsZeroMass) {
+  BellDiag zero{};
+  EXPECT_THROW(zero.normalize(), AssertionError);
+}
+
+}  // namespace
+}  // namespace qnetp::qstate

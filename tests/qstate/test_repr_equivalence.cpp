@@ -1,0 +1,206 @@
+// Representation-equivalence property suite.
+//
+// The dual representation promises that the Bell-diagonal fast path and
+// the exact Mat4 path are interchangeable: random sequences of decay,
+// Pauli-channel, correction, swap, distillation and measurement
+// operations applied to a fast-path state and to its exact twin (the
+// same mixture forced onto the density-matrix representation) must agree
+// within 1e-9 at every step, consuming identical RNG streams. The
+// fallback must trigger — and only trigger — on the operations without a
+// Bell-diagonal closed form: amplitude damping (finite T1) and
+// arbitrary-axis measurement.
+#include <gtest/gtest.h>
+
+#include "qbase/rng.hpp"
+#include "qstate/distill.hpp"
+#include "qstate/swap.hpp"
+#include "qstate/two_qubit_state.hpp"
+
+namespace qnetp::qstate {
+namespace {
+
+using namespace qnetp::literals;
+
+BellDiagonal random_coeffs(Rng& rng) {
+  BellDiagonal c;
+  double total = 0.0;
+  for (double& x : c) {
+    x = rng.uniform();
+    total += x;
+  }
+  for (double& x : c) x /= total;
+  return c;
+}
+
+struct Twin {
+  TwoQubitState fast;
+  TwoQubitState exact;
+
+  static Twin random(Rng& rng) {
+    const BellDiagonal c = random_coeffs(rng);
+    Twin t{TwoQubitState::bell_diagonal(c),
+           TwoQubitState(TwoQubitState::bell_diagonal(c).rho())};
+    EXPECT_TRUE(t.fast.is_bell_diagonal());
+    EXPECT_FALSE(t.exact.is_bell_diagonal());
+    return t;
+  }
+
+  void expect_agree(const char* what, int step) const {
+    for (BellIndex b : all_bell_indices()) {
+      ASSERT_NEAR(fast.fidelity(b), exact.fidelity(b), 1e-9)
+          << what << " diverged at step " << step << " on "
+          << b.to_string();
+    }
+    ASSERT_TRUE(fast.rho().approx_equal(exact.rho(), 1e-9))
+        << what << " density matrices diverged at step " << step;
+  }
+};
+
+TEST(ReprEquivalence, RandomOperationSequencesAgree) {
+  Rng seq_rng(42001);
+  for (int trial = 0; trial < 60; ++trial) {
+    Twin t = Twin::random(seq_rng);
+    for (int step = 0; step < 25; ++step) {
+      const int op = static_cast<int>(seq_rng.uniform_int(6));
+      const int side = static_cast<int>(seq_rng.uniform_int(2));
+      switch (op) {
+        case 0: {  // pure-dephasing memory decay (T1 = inf)
+          const MemoryDecay decay{Duration::max(),
+                                  Duration::seconds(seq_rng.uniform(0.5, 5))};
+          const Duration dt = Duration::ms(seq_rng.uniform(0.1, 400));
+          t.fast.apply_decay(side, decay.params_for(dt));
+          t.exact.apply_channel(side, decay.for_interval(dt));
+          t.expect_agree("dephasing decay", step);
+          break;
+        }
+        case 1: {  // random Pauli channel
+          double p[4];
+          double total = 0.0;
+          for (double& x : p) {
+            x = seq_rng.uniform();
+            total += x;
+          }
+          for (double& x : p) x /= total;
+          const Channel ch = Channel::pauli_channel(p[0], p[1], p[2], p[3]);
+          t.fast.apply_channel(side, ch);
+          t.exact.apply_channel(side, ch);
+          t.expect_agree("pauli channel", step);
+          break;
+        }
+        case 2: {  // frame correction
+          const BellIndex from{
+              static_cast<std::uint8_t>(seq_rng.uniform_int(4))};
+          const BellIndex to{static_cast<std::uint8_t>(seq_rng.uniform_int(4))};
+          t.fast.apply_correction(side, from, to);
+          t.exact.apply_correction(side, from, to);
+          t.expect_agree("correction", step);
+          break;
+        }
+        case 3: {  // entanglement swap with a fresh random pair
+          Twin other = Twin::random(seq_rng);
+          SwapNoise noise;
+          noise.gate_depolarizing = seq_rng.uniform(0.0, 0.1);
+          noise.readout_flip_prob = seq_rng.uniform(0.0, 0.05);
+          const std::uint64_t seed = seq_rng.next();
+          Rng rng_fast(seed);
+          Rng rng_exact(seed);
+          const SwapOutcome of =
+              entanglement_swap(t.fast, other.fast, noise, rng_fast);
+          const SwapOutcome oe =
+              entanglement_swap(t.exact, other.exact, noise, rng_exact);
+          ASSERT_EQ(of.true_outcome, oe.true_outcome) << "step " << step;
+          ASSERT_EQ(of.announced_outcome, oe.announced_outcome);
+          ASSERT_NEAR(of.probability, oe.probability, 1e-9);
+          t.fast = of.state;
+          // Re-twin the exact branch so it stays on the Mat4 path.
+          t.exact = TwoQubitState(oe.state.rho());
+          t.expect_agree("swap", step);
+          break;
+        }
+        case 4: {  // DEJMPS round with a fresh random pair
+          Twin other = Twin::random(seq_rng);
+          const double gate = seq_rng.uniform(0.0, 0.05);
+          const std::uint64_t seed = seq_rng.next();
+          Rng rng_fast(seed);
+          Rng rng_exact(seed);
+          const DistillResult rf = dejmps(t.fast, other.fast, gate, rng_fast);
+          const DistillResult re =
+              dejmps(t.exact, other.exact, gate, rng_exact);
+          ASSERT_EQ(rf.success, re.success) << "step " << step;
+          ASSERT_NEAR(rf.success_probability, re.success_probability, 1e-9);
+          if (rf.success) {
+            t.fast = rf.state;
+            t.exact = TwoQubitState(re.state.rho());
+            t.expect_agree("distill", step);
+          } else {
+            t = Twin::random(seq_rng);
+          }
+          break;
+        }
+        case 5: {  // Pauli-basis measurement of both qubits (terminal)
+          const Basis basis =
+              static_cast<Basis>(seq_rng.uniform_int(3));
+          const std::uint64_t seed = seq_rng.next();
+          Rng rng_fast(seed);
+          Rng rng_exact(seed);
+          const auto mf = t.fast.measure_both(basis, basis, rng_fast);
+          const auto me = t.exact.measure_both(basis, basis, rng_exact);
+          ASSERT_EQ(mf, me) << "step " << step;
+          t.expect_agree("measurement", step);
+          t = Twin::random(seq_rng);  // pair consumed; start fresh
+          break;
+        }
+      }
+    }
+  }
+}
+
+TEST(ReprEquivalence, DecayWithFiniteT1AgreesAndTriggersFallback) {
+  Rng rng(42002);
+  for (int trial = 0; trial < 40; ++trial) {
+    Twin t = Twin::random(rng);
+    const MemoryDecay decay{Duration::seconds(rng.uniform(1.0, 10.0)),
+                            Duration::seconds(rng.uniform(0.5, 1.5))};
+    const Duration dt = Duration::ms(rng.uniform(1.0, 2000.0));
+    const int side = static_cast<int>(rng.uniform_int(2));
+
+    ASSERT_TRUE(t.fast.is_bell_diagonal());
+    t.fast.apply_decay(side, decay.params_for(dt));
+    t.exact.apply_channel(side, decay.for_interval(dt));
+    // Amplitude damping has no Bell-diagonal closed form: the fast path
+    // must have fallen back to the exact representation, loss-free.
+    EXPECT_FALSE(t.fast.is_bell_diagonal());
+    t.expect_agree("finite-T1 decay", trial);
+  }
+}
+
+TEST(ReprEquivalence, ArbitraryAxisMeasurementTriggersFallback) {
+  Rng rng(42003);
+  TwoQubitState s = TwoQubitState::werner(0.9, BellIndex::phi_plus());
+  ASSERT_TRUE(s.is_bell_diagonal());
+  const BlochAxis tilted = BlochAxis::xz_plane(0.7);
+  s.measure_both_along(tilted, tilted, rng);
+  EXPECT_FALSE(s.is_bell_diagonal());
+}
+
+TEST(ReprEquivalence, BellDiagonalPreservingOpsStayOnFastPath) {
+  TwoQubitState s = TwoQubitState::werner(0.85, BellIndex::psi_plus());
+  s.apply_channel(0, Channel::depolarizing(0.1));
+  s.apply_channel(1, Channel::dephasing(0.2));
+  s.apply_channel(0, Channel::bit_flip(0.05));
+  s.apply_correction(1, BellIndex::psi_plus(), BellIndex::phi_plus());
+  s.apply_dephasing(0, 0.3);
+  const MemoryDecay pure_dephasing{Duration::max(), 2_s};
+  s.apply_decay(1, pure_dephasing.params_for(10_ms));
+  EXPECT_TRUE(s.is_bell_diagonal());
+  // Reading the density matrix must not change the representation.
+  EXPECT_NEAR(s.rho().trace().real(), 1.0, 1e-12);
+  EXPECT_TRUE(s.is_bell_diagonal());
+  // A non-Pauli unitary has no closed form and demotes.
+  s.apply_pauli(0, Mat2{Cplx{0.8, 0}, Cplx{-0.6, 0}, Cplx{0.6, 0},
+                        Cplx{0.8, 0}});
+  EXPECT_FALSE(s.is_bell_diagonal());
+}
+
+}  // namespace
+}  // namespace qnetp::qstate
