@@ -10,24 +10,26 @@ namespace qnetp::ctrl {
 
 using namespace qnetp::literals;
 
-Controller::Controller(const Topology& topology, qhw::HardwareParams hardware)
-    : topology_(topology), hardware_(std::move(hardware)) {
+Controller::Controller(const Topology& topology, qhw::HardwareParams hardware,
+                       ControllerConfig config)
+    : topology_(topology), hardware_(std::move(hardware)), config_(config) {
   hardware_.validate();
+  QNETP_ASSERT(config_.max_link_utilisation > 0.0 &&
+               config_.max_link_utilisation <= 1.0);
+  QNETP_ASSERT(config_.min_residual_fraction >= 0.0 &&
+               config_.min_residual_fraction < 1.0);
 }
 
-std::optional<CircuitPlan> Controller::plan_circuit(
-    NodeId head, NodeId tail, EndpointId head_endpoint,
-    EndpointId tail_endpoint, double end_to_end_fidelity,
-    const CircuitPlanOptions& options, std::string* reason) {
-  auto fail = [&](const std::string& why) -> std::optional<CircuitPlan> {
-    if (reason != nullptr) *reason = why;
-    return std::nullopt;
+bool Controller::plan_on_path(const std::vector<NodeId>& path,
+                              const PathPlanInput& input,
+                              const CircuitPlanOptions& options,
+                              CircuitPlan* plan,
+                              std::vector<PathGrant>* grants,
+                              std::string* why) {
+  auto fail = [&](const std::string& what) {
+    *why = what;
+    return false;
   };
-
-  const auto path_opt = topology_.shortest_path(head, tail);
-  if (!path_opt.has_value()) return fail("no path between end-nodes");
-  const std::vector<NodeId>& path = *path_opt;
-  if (path.size() < 2) return fail("head and tail are the same node");
   const std::size_t hops = path.size() - 1;
 
   // Collect the links along the path.
@@ -46,7 +48,8 @@ std::optional<CircuitPlan> Controller::plan_circuit(
   // The cutoff and the required link fidelity depend on each other;
   // resolve by fixed-point iteration (converges in a few rounds: the
   // coupling is weak).
-  double link_fidelity = std::min(0.95, end_to_end_fidelity + 0.04);
+  double link_fidelity =
+      std::min(0.95, input.end_to_end_fidelity + 0.04);
   Duration cutoff = options.cutoff_override;
   for (int round = 0; round < 12; ++round) {
     if (options.cutoff_override <= Duration::zero()) {
@@ -74,10 +77,10 @@ std::optional<CircuitPlan> Controller::plan_circuit(
       }
     }
 
-    FidelityModel model(
-        PathAssumptions{hops, cutoff, memory_t2, hardware_});
+    FidelityModel model(PathAssumptions{hops, cutoff, memory_t2, hardware_});
     double required = 0.0;
-    if (!model.required_link_fidelity(end_to_end_fidelity, &required)) {
+    if (!model.required_link_fidelity(input.end_to_end_fidelity,
+                                      &required)) {
       return fail("end-to-end fidelity unreachable over this path length");
     }
     if (std::abs(required - link_fidelity) < 1e-6) {
@@ -87,69 +90,193 @@ std::optional<CircuitPlan> Controller::plan_circuit(
     link_fidelity = required;
   }
 
-  // Feasibility and rate bounds on every link at the required fidelity.
+  // Feasibility, rate capacity and pairing probability per link at the
+  // required fidelity.
+  std::vector<double> link_capacity(hops, 0.0);
   double bottleneck_lpr = std::numeric_limits<double>::infinity();
   double worst_par_prob = 1.0;
-  for (const auto* l : links) {
+  for (std::size_t i = 0; i < hops; ++i) {
     double alpha = 0.0;
-    if (!l->model.solve_alpha(link_fidelity, &alpha)) {
+    if (!links[i]->model.solve_alpha(link_fidelity, &alpha)) {
       return fail("link cannot reach the required fidelity");
     }
-    const double mean_s = l->model.mean_generation_time(alpha).as_seconds();
-    bottleneck_lpr = std::min(bottleneck_lpr, 1.0 / mean_s);
+    const double mean_s =
+        links[i]->model.mean_generation_time(alpha).as_seconds();
+    link_capacity[i] = 1.0 / mean_s;
+    bottleneck_lpr = std::min(bottleneck_lpr, link_capacity[i]);
     // Probability this link produces a pair within the cutoff window
     // (geometric tail) — how well neighbouring links can be paired.
     const double p =
         1.0 - std::exp(-cutoff.as_seconds() / std::max(mean_s, 1e-12));
     worst_par_prob = std::min(worst_par_prob, p);
   }
-  // Admission bound for policing: the bottleneck link's pair rate scaled
-  // by the chance a matching pair exists within the cutoff window
-  // (heuristic; resource management proper is out of the paper's scope).
-  const double max_eer = bottleneck_lpr * 0.5 * worst_par_prob;
+  // The EER a link pair rate of `lpr` can sustain: the bottleneck link's
+  // pair rate scaled by the chance a matching pair exists within the
+  // cutoff window (heuristic; the paper's controller plans in isolation
+  // and leaves resource management out of scope).
+  const double solo_max_eer = bottleneck_lpr * 0.5 * worst_par_prob;
 
-  CircuitPlan plan;
-  plan.link_fidelity = link_fidelity;
-  plan.max_lpr = bottleneck_lpr;
-  plan.max_eer = max_eer;
-  plan.cutoff = cutoff;
-  plan.path = path;
+  // --- Admission against the commitments of installed circuits ----------
+  grants->clear();
+  grants->reserve(hops);
+  double admitted_bottleneck =
+      std::numeric_limits<double>::infinity();  // admitted LPR, bottleneck
+  const bool guaranteed = options.requested_eer > 0.0;
+  // The per-link LPR needed to sustain the guaranteed EER (inverse of the
+  // EER bound above).
+  const double lpr_need =
+      guaranteed
+          ? 2.0 * options.requested_eer / std::max(worst_par_prob, 1e-12)
+          : 0.0;
+  for (std::size_t i = 0; i < hops; ++i) {
+    const auto it = commits_.find(links[i]->id);
+    const double reserved =
+        it == commits_.end() ? 0.0 : it->second.guaranteed_lpr;
+    const std::size_t occupants = it == commits_.end() ? 0 : it->second.circuits;
+    if (config_.max_circuits_per_link > 0 &&
+        occupants >= config_.max_circuits_per_link) {
+      return fail("admission: no circuit slot left on " +
+                  links[i]->id.to_string());
+    }
+    const double usable = link_capacity[i] * config_.max_link_utilisation;
+    const double residual = usable - reserved;
+    if (guaranteed) {
+      if (lpr_need > usable + 1e-12) {
+        return fail("admission: guaranteed rate exceeds capacity of " +
+                    links[i]->id.to_string());
+      }
+      if (lpr_need > residual + 1e-12) {
+        return fail("admission: " + links[i]->id.to_string() +
+                    " saturated by installed circuits");
+      }
+      grants->push_back(PathGrant{links[i]->id, lpr_need, lpr_need});
+      admitted_bottleneck = std::min(admitted_bottleneck, lpr_need);
+    } else {
+      if (residual < config_.min_residual_fraction * link_capacity[i]) {
+        return fail("admission: " + links[i]->id.to_string() +
+                    " saturated by installed circuits");
+      }
+      grants->push_back(PathGrant{links[i]->id, residual, 0.0});
+      admitted_bottleneck = std::min(admitted_bottleneck, residual);
+    }
+  }
+  const double max_eer =
+      guaranteed ? options.requested_eer
+                 : admitted_bottleneck * 0.5 * worst_par_prob;
 
-  plan.install.circuit_id = CircuitId{next_circuit_++};
-  plan.install.head_end_identifier = head_endpoint;
-  plan.install.tail_end_identifier = tail_endpoint;
-  plan.install.end_to_end_fidelity = end_to_end_fidelity;
+  plan->link_fidelity = link_fidelity;
+  plan->max_lpr = bottleneck_lpr;
+  plan->max_eer = max_eer;
+  plan->cutoff = cutoff;
+  plan->path = path;
+  plan->links.clear();
+  for (const auto* l : links) plan->links.push_back(l->id);
+  plan->admitted_share =
+      solo_max_eer > 0.0 ? std::min(1.0, max_eer / solo_max_eer) : 0.0;
+  plan->requested_eer = options.requested_eer;
 
-  // One label per link of this circuit (MPLS-style).
-  std::vector<LinkLabel> labels;
-  labels.reserve(hops);
-  for (std::size_t i = 0; i < hops; ++i) labels.push_back(LinkLabel{next_label_++});
-
+  plan->install = netmsg::InstallMsg{};
+  plan->install.head_end_identifier = input.head_endpoint;
+  plan->install.tail_end_identifier = input.tail_endpoint;
+  plan->install.end_to_end_fidelity = input.end_to_end_fidelity;
   for (std::size_t i = 0; i < path.size(); ++i) {
     netmsg::HopState hop;
     hop.node = path[i];
     hop.upstream = (i > 0) ? path[i - 1] : NodeId{};
     hop.downstream = (i + 1 < path.size()) ? path[i + 1] : NodeId{};
-    hop.upstream_label = (i > 0) ? labels[i - 1] : LinkLabel{};
-    hop.downstream_label = (i + 1 < path.size()) ? labels[i] : LinkLabel{};
-    hop.downstream_min_fidelity =
-        (i + 1 < path.size()) ? link_fidelity : 0.0;
-    hop.downstream_max_lpr = (i + 1 < path.size())
-                                 ? 1.0 / links[i]
-                                       ->model
-                                       .mean_generation_time([&] {
-                                         double a = 0.0;
-                                         links[i]->model.solve_alpha(
-                                             link_fidelity, &a);
-                                         return a;
-                                       }())
-                                       .as_seconds()
-                                 : 0.0;
+    hop.downstream_min_fidelity = (i + 1 < path.size()) ? link_fidelity : 0.0;
+    // The WFQ scheduler weight: this circuit's admitted share of the
+    // link's pair rate, not the raw link capacity.
+    hop.downstream_max_lpr =
+        (i + 1 < path.size()) ? (*grants)[i].weight_lpr : 0.0;
     hop.circuit_max_eer = max_eer;
     hop.cutoff = cutoff;
-    plan.install.hops.push_back(hop);
+    plan->install.hops.push_back(hop);
   }
+  return true;
+}
+
+std::optional<CircuitPlan> Controller::plan_circuit(
+    NodeId head, NodeId tail, EndpointId head_endpoint,
+    EndpointId tail_endpoint, double end_to_end_fidelity,
+    const CircuitPlanOptions& options, std::string* reason) {
+  auto fail = [&](const std::string& why) -> std::optional<CircuitPlan> {
+    if (reason != nullptr) *reason = why;
+    return std::nullopt;
+  };
+
+  const auto shortest = topology_.shortest_path(head, tail);
+  if (!shortest.has_value()) return fail("no path between end-nodes");
+  if (shortest->size() < 2) return fail("head and tail are the same node");
+
+  const PathPlanInput input{head, tail, head_endpoint, tail_endpoint,
+                            end_to_end_fidelity};
+  CircuitPlan plan;
+  std::vector<PathGrant> grants;
+  std::string first_why;
+  bool planned = plan_on_path(*shortest, input, options, &plan, &grants,
+                              &first_why);
+
+  if (!planned && options.max_paths > 1) {
+    // k-shortest-path fallback: the shortest path is saturated or
+    // infeasible; a longer detour may still carry the circuit.
+    const auto alternatives =
+        topology_.k_shortest_paths(head, tail, options.max_paths);
+    for (std::size_t i = 1; i < alternatives.size() && !planned; ++i) {
+      std::string why;
+      planned = plan_on_path(alternatives[i], input, options, &plan,
+                             &grants, &why);
+    }
+  }
+  if (!planned) return fail(first_why);
+
+  // Allocate the circuit id and one label per link (MPLS-style), then
+  // commit the admitted capacity.
+  plan.install.circuit_id = CircuitId{next_circuit_++};
+  std::vector<LinkLabel> labels;
+  labels.reserve(plan.links.size());
+  for (std::size_t i = 0; i < plan.links.size(); ++i) {
+    labels.push_back(LinkLabel{next_label_++});
+  }
+  for (std::size_t i = 0; i < plan.install.hops.size(); ++i) {
+    auto& hop = plan.install.hops[i];
+    hop.upstream_label = (i > 0) ? labels[i - 1] : LinkLabel{};
+    hop.downstream_label =
+        (i + 1 < plan.install.hops.size()) ? labels[i] : LinkLabel{};
+  }
+  for (const auto& g : grants) {
+    auto& commit = commits_[g.link];
+    commit.guaranteed_lpr += g.reserved_lpr;
+    commit.circuits += 1;
+  }
+  planned_[plan.install.circuit_id] = grants;
   return plan;
+}
+
+void Controller::release_circuit(CircuitId id) {
+  const auto it = planned_.find(id);
+  if (it == planned_.end()) return;
+  for (const auto& g : it->second) {
+    const auto commit_it = commits_.find(g.link);
+    QNETP_ASSERT(commit_it != commits_.end());
+    auto& commit = commit_it->second;
+    commit.guaranteed_lpr =
+        std::max(0.0, commit.guaranteed_lpr - g.reserved_lpr);
+    QNETP_ASSERT(commit.circuits > 0);
+    commit.circuits -= 1;
+    if (commit.circuits == 0) commits_.erase(commit_it);
+  }
+  planned_.erase(it);
+}
+
+double Controller::committed_lpr(LinkId id) const {
+  const auto it = commits_.find(id);
+  return it == commits_.end() ? 0.0 : it->second.guaranteed_lpr;
+}
+
+std::size_t Controller::circuits_on(LinkId id) const {
+  const auto it = commits_.find(id);
+  return it == commits_.end() ? 0 : it->second.circuits;
 }
 
 }  // namespace qnetp::ctrl

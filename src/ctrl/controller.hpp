@@ -1,14 +1,29 @@
-// Central controller: routing + circuit computation (Sec. 5).
+// Central controller: routing + circuit computation (Sec. 5), extended
+// with concurrent-circuit admission control.
 //
 // Produces, for a requested (head, tail, end-to-end fidelity), the full
 // source-routed InstallMsg: path, per-link labels, per-link minimum
 // fidelities, maximum LPRs, circuit max-EER and the cutoff timeout. The
 // signalling role (actually installing the state hop by hop) is performed
 // by the QNP engines relaying the InstallMsg; see QnpEngine::begin_install.
+//
+// Beyond the paper (whose controller plans each circuit in isolation),
+// this controller tracks the link-pair-rate capacity every installed
+// circuit has claimed on every link it crosses. A plan with a guaranteed
+// rate demand (options.requested_eer) hard-reserves capacity; a
+// best-effort plan is granted the residual capacity left by the
+// guarantees. When the shortest path cannot admit the circuit the
+// controller falls back to the k-shortest alternatives (Yen) before
+// rejecting, and `release_circuit` returns the capacity on teardown. The
+// per-link admitted share is what the data plane uses as the WFQ
+// scheduler weight (HopState::downstream_max_lpr).
 #pragma once
 
 #include <optional>
 #include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "ctrl/fidelity_model.hpp"
 #include "ctrl/topology.hpp"
@@ -29,33 +44,99 @@ struct CircuitPlanOptions {
   /// Memory T2 assumed by the worst-case model (zero = take it from the
   /// hardware profile).
   Duration memory_t2_override = Duration::zero();
+  /// Guaranteed end-to-end rate demand (pairs/s). The controller
+  /// hard-reserves the link capacity needed to sustain it and rejects the
+  /// circuit when no candidate path has that much left. 0 = best-effort:
+  /// the circuit is granted whatever capacity the guarantees leave free.
+  double requested_eer = 0.0;
+  /// Candidate paths to try before rejecting (k of the k-shortest-path
+  /// fallback; 1 = shortest path only, the paper's behaviour).
+  std::size_t max_paths = 4;
 };
 
 struct CircuitPlan {
   netmsg::InstallMsg install;
   double link_fidelity = 0.0;  ///< required per-link fidelity
   double max_lpr = 0.0;        ///< per-link max pair rate at that fidelity
-  double max_eer = 0.0;        ///< end-to-end rate bound
+  double max_eer = 0.0;        ///< end-to-end rate bound (admitted)
   Duration cutoff;
   std::vector<NodeId> path;
+  std::vector<LinkId> links;    ///< links along the path, in hop order
+  double admitted_share = 1.0;  ///< admitted fraction of bottleneck capacity
+  double requested_eer = 0.0;   ///< the guarantee this plan reserved (0=BE)
+};
+
+/// Capacity-model knobs for admission control.
+struct ControllerConfig {
+  /// Fraction of each link's pair-rate capacity the controller may hand
+  /// out in total (headroom below 1.0 keeps links un-saturated).
+  double max_link_utilisation = 1.0;
+  /// Maximum concurrent circuits per link, modelling the communication
+  /// qubits a link can dedicate to distinct purposes (0 = unlimited).
+  std::size_t max_circuits_per_link = 0;
+  /// A best-effort circuit is refused when less than this fraction of a
+  /// link's capacity remains unreserved (it could not make progress).
+  double min_residual_fraction = 0.01;
 };
 
 class Controller {
  public:
-  Controller(const Topology& topology, qhw::HardwareParams hardware);
+  Controller(const Topology& topology, qhw::HardwareParams hardware,
+             ControllerConfig config = {});
 
-  /// Compute a circuit plan. Returns nullopt (with reason) when no path
-  /// exists or the fidelity target is unreachable on this hardware.
+  /// Compute a circuit plan and commit its capacity. Returns nullopt
+  /// (with reason) when no path exists, the fidelity target is
+  /// unreachable on this hardware, or every candidate path is saturated.
   std::optional<CircuitPlan> plan_circuit(
       NodeId head, NodeId tail, EndpointId head_endpoint,
       EndpointId tail_endpoint, double end_to_end_fidelity,
       const CircuitPlanOptions& options = {}, std::string* reason = nullptr);
 
+  /// Release the capacity a planned circuit had claimed (teardown, or an
+  /// installation that failed). Unknown ids are ignored.
+  void release_circuit(CircuitId id);
+
+  /// Guaranteed pairs/s currently reserved on a link.
+  double committed_lpr(LinkId id) const;
+  /// Installed circuits currently crossing a link.
+  std::size_t circuits_on(LinkId id) const;
+  /// Circuits whose capacity is currently committed.
+  std::size_t planned_circuits() const { return planned_.size(); }
+
  private:
+  struct LinkCommit {
+    double guaranteed_lpr = 0.0;
+    std::size_t circuits = 0;
+  };
+  struct PathPlanInput {
+    NodeId head, tail;
+    EndpointId head_endpoint, tail_endpoint;
+    double end_to_end_fidelity = 0.0;
+  };
+
+  /// One link's admission outcome on a candidate path.
+  struct PathGrant {
+    LinkId link;
+    double weight_lpr = 0.0;    ///< WFQ weight: the admitted LPR share
+    double reserved_lpr = 0.0;  ///< hard reservation (0 for best-effort)
+  };
+
+  /// Try to plan on one concrete path; fills `plan` and the per-link
+  /// grants on success, or explains why the path cannot carry the
+  /// circuit.
+  bool plan_on_path(const std::vector<NodeId>& path,
+                    const PathPlanInput& input,
+                    const CircuitPlanOptions& options, CircuitPlan* plan,
+                    std::vector<PathGrant>* grants, std::string* why);
+
   const Topology& topology_;
   qhw::HardwareParams hardware_;
+  ControllerConfig config_;
   std::uint64_t next_circuit_ = 1;
   std::uint64_t next_label_ = 1;
+  std::unordered_map<LinkId, LinkCommit> commits_;
+  /// Per planned circuit: what was committed on each link it crosses.
+  std::unordered_map<CircuitId, std::vector<PathGrant>> planned_;
 };
 
 }  // namespace qnetp::ctrl

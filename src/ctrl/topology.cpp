@@ -8,6 +8,12 @@
 
 namespace qnetp::ctrl {
 
+Topology::NodePairKey Topology::pair_key(NodeId a, NodeId b) {
+  NodePairKey key{a.value(), b.value()};
+  if (key.lo > key.hi) std::swap(key.lo, key.hi);
+  return key;
+}
+
 void Topology::add_node(NodeId node) {
   QNETP_ASSERT(node.valid());
   QNETP_ASSERT_MSG(!has_node(node), "duplicate node");
@@ -21,10 +27,14 @@ void Topology::add_link(const TopologyLink& link) {
   QNETP_ASSERT(link.a != link.b);
   QNETP_ASSERT_MSG(link_between(link.a, link.b) == nullptr,
                    "duplicate link between nodes");
+  QNETP_ASSERT_MSG(link_by_id_.count(link.id) == 0, "duplicate link id");
   QNETP_ASSERT(link.cost > 0.0);
   links_.push_back(link);
-  adjacency_[link.a].push_back(links_.size() - 1);
-  adjacency_[link.b].push_back(links_.size() - 1);
+  const std::size_t idx = links_.size() - 1;
+  adjacency_[link.a].push_back(idx);
+  adjacency_[link.b].push_back(idx);
+  link_by_pair_[pair_key(link.a, link.b)] = idx;
+  link_by_id_[link.id] = idx;
 }
 
 bool Topology::has_node(NodeId node) const {
@@ -32,17 +42,13 @@ bool Topology::has_node(NodeId node) const {
 }
 
 const TopologyLink* Topology::link_between(NodeId a, NodeId b) const {
-  for (const auto& l : links_) {
-    if ((l.a == a && l.b == b) || (l.a == b && l.b == a)) return &l;
-  }
-  return nullptr;
+  const auto it = link_by_pair_.find(pair_key(a, b));
+  return it == link_by_pair_.end() ? nullptr : &links_[it->second];
 }
 
 const TopologyLink* Topology::link(LinkId id) const {
-  for (const auto& l : links_) {
-    if (l.id == id) return &l;
-  }
-  return nullptr;
+  const auto it = link_by_id_.find(id);
+  return it == link_by_id_.end() ? nullptr : &links_[it->second];
 }
 
 std::vector<NodeId> Topology::neighbours(NodeId node) const {
@@ -58,8 +64,20 @@ std::vector<NodeId> Topology::neighbours(NodeId node) const {
 
 std::optional<std::vector<NodeId>> Topology::shortest_path(NodeId from,
                                                            NodeId to) const {
+  static const std::unordered_set<LinkId> no_links;
+  static const std::unordered_set<NodeId> no_nodes;
+  return shortest_path_excluding(from, to, no_links, no_nodes);
+}
+
+std::optional<std::vector<NodeId>> Topology::shortest_path_excluding(
+    NodeId from, NodeId to,
+    const std::unordered_set<LinkId>& excluded_links,
+    const std::unordered_set<NodeId>& excluded_nodes) const {
   QNETP_ASSERT(has_node(from) && has_node(to));
   if (from == to) return std::vector<NodeId>{from};
+  if (excluded_nodes.count(from) > 0 || excluded_nodes.count(to) > 0) {
+    return std::nullopt;
+  }
 
   std::unordered_map<NodeId, double> dist;
   std::unordered_map<NodeId, NodeId> prev;
@@ -76,7 +94,11 @@ std::optional<std::vector<NodeId>> Topology::shortest_path(NodeId from,
     if (u == to) break;
     for (const std::size_t idx : adjacency_.at(u)) {
       const auto& l = links_[idx];
+      if (!excluded_links.empty() && excluded_links.count(l.id) > 0) {
+        continue;
+      }
       const NodeId v = (l.a == u) ? l.b : l.a;
+      if (!excluded_nodes.empty() && excluded_nodes.count(v) > 0) continue;
       const double nd = d + l.cost;
       const auto it = dist.find(v);
       if (it == dist.end() || nd < it->second - 1e-12) {
@@ -95,6 +117,78 @@ std::optional<std::vector<NodeId>> Topology::shortest_path(NodeId from,
   }
   std::reverse(path.begin(), path.end());
   return path;
+}
+
+double Topology::path_cost(const std::vector<NodeId>& path) const {
+  double cost = 0.0;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const auto* l = link_between(path[i], path[i + 1]);
+    QNETP_ASSERT_MSG(l != nullptr, "path traverses a missing link");
+    cost += l->cost;
+  }
+  return cost;
+}
+
+std::vector<std::vector<NodeId>> Topology::k_shortest_paths(
+    NodeId from, NodeId to, std::size_t k) const {
+  std::vector<std::vector<NodeId>> accepted;
+  if (k == 0) return accepted;
+  const auto first = shortest_path(from, to);
+  if (!first.has_value()) return accepted;
+  accepted.push_back(*first);
+
+  // Deterministic candidate ordering: cost, then hop count, then the
+  // node sequence itself.
+  auto candidate_less = [this](const std::vector<NodeId>& x,
+                               const std::vector<NodeId>& y) {
+    const double cx = path_cost(x);
+    const double cy = path_cost(y);
+    if (std::abs(cx - cy) > 1e-12) return cx < cy;
+    if (x.size() != y.size()) return x.size() < y.size();
+    return x < y;
+  };
+  std::vector<std::vector<NodeId>> candidates;
+
+  while (accepted.size() < k) {
+    const std::vector<NodeId>& prev_path = accepted.back();
+    // Spur from every node of the last accepted path except the tail.
+    for (std::size_t i = 0; i + 1 < prev_path.size(); ++i) {
+      const NodeId spur = prev_path[i];
+      const std::vector<NodeId> root(prev_path.begin(),
+                                     prev_path.begin() + i + 1);
+
+      std::unordered_set<LinkId> banned_links;
+      for (const auto& p : accepted) {
+        if (p.size() > i + 1 &&
+            std::equal(root.begin(), root.end(), p.begin())) {
+          const auto* l = link_between(p[i], p[i + 1]);
+          if (l != nullptr) banned_links.insert(l->id);
+        }
+      }
+      std::unordered_set<NodeId> banned_nodes(root.begin(),
+                                              root.end() - 1);
+
+      const auto spur_path =
+          shortest_path_excluding(spur, to, banned_links, banned_nodes);
+      if (!spur_path.has_value()) continue;
+
+      std::vector<NodeId> total = root;
+      total.insert(total.end(), spur_path->begin() + 1, spur_path->end());
+      if (std::find(accepted.begin(), accepted.end(), total) !=
+              accepted.end() ||
+          std::find(candidates.begin(), candidates.end(), total) !=
+              candidates.end()) {
+        continue;
+      }
+      candidates.push_back(std::move(total));
+    }
+    if (candidates.empty()) break;
+    const auto best = std::min_element(candidates.begin(), candidates.end(),
+                                       candidate_less);
+    accepted.push_back(std::move(*best));
+    candidates.erase(best);
+  }
+  return accepted;
 }
 
 }  // namespace qnetp::ctrl

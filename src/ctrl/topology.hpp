@@ -2,11 +2,16 @@
 //
 // The controller of Sec. 5 "assumes all links and nodes are identical"
 // and computes shortest paths; we keep the graph general (per-link
-// photonic models) so heterogeneous networks work too.
+// photonic models) so heterogeneous networks work too. Link lookups are
+// backed by hash indexes (unordered pair-key and LinkId) so per-hop
+// queries during circuit planning are O(1) even on large topologies, and
+// k-shortest-path enumeration (Yen) supports admission re-routing around
+// saturated links.
 #pragma once
 
 #include <optional>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "qbase/ids.hpp"
@@ -39,10 +44,45 @@ class Topology {
   std::optional<std::vector<NodeId>> shortest_path(NodeId from,
                                                    NodeId to) const;
 
+  /// Dijkstra avoiding the given links and nodes (the spur searches of
+  /// Yen's algorithm, and saturated-link avoidance).
+  std::optional<std::vector<NodeId>> shortest_path_excluding(
+      NodeId from, NodeId to,
+      const std::unordered_set<LinkId>& excluded_links,
+      const std::unordered_set<NodeId>& excluded_nodes) const;
+
+  /// Up to k loopless paths in non-decreasing cost order (Yen's
+  /// algorithm; ties broken by length then node sequence for
+  /// determinism). paths[0] equals shortest_path(from, to). Empty when
+  /// disconnected.
+  std::vector<std::vector<NodeId>> k_shortest_paths(NodeId from, NodeId to,
+                                                    std::size_t k) const;
+
+  /// Sum of link costs along a node sequence (links must exist).
+  double path_cost(const std::vector<NodeId>& path) const;
+
  private:
+  /// Unordered node-pair key: (lo, hi) of the two endpoint ids.
+  struct NodePairKey {
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+    bool operator==(const NodePairKey&) const = default;
+  };
+  struct NodePairKeyHash {
+    std::size_t operator()(const NodePairKey& k) const noexcept {
+      std::uint64_t h = k.lo * 0x9E3779B97F4A7C15ull;
+      h ^= k.hi + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+      return static_cast<std::size_t>(h);
+    }
+  };
+  static NodePairKey pair_key(NodeId a, NodeId b);
+
   std::vector<NodeId> nodes_;
   std::vector<TopologyLink> links_;
   std::unordered_map<NodeId, std::vector<std::size_t>> adjacency_;
+  std::unordered_map<NodePairKey, std::size_t, NodePairKeyHash>
+      link_by_pair_;
+  std::unordered_map<LinkId, std::size_t> link_by_id_;
 };
 
 }  // namespace qnetp::ctrl

@@ -5,10 +5,14 @@
 #include <memory>
 #include <vector>
 
+#include <utility>
+
 #include "apps/distillation.hpp"
 #include "linklayer/egp.hpp"
 #include "netsim/network.hpp"
 #include "netsim/probe.hpp"
+#include "netsim/topology_spec.hpp"
+#include "qbase/assert.hpp"
 #include "qbase/stats.hpp"
 
 namespace qnetp::exp {
@@ -544,6 +548,185 @@ TrialResult tracking_trial(const TrackingConfig& cfg, std::uint64_t seed) {
   result.set("ok", 1.0);
   result.set("latency_s", (*done - start).as_seconds());
   result.set("fidelity", probe.mean_fidelity());
+  return result;
+}
+
+const char* to_string(TopologyFamily family) {
+  switch (family) {
+    case TopologyFamily::grid: return "grid";
+    case TopologyFamily::ring: return "ring";
+    case TopologyFamily::star: return "star";
+    case TopologyFamily::hetero_chain: return "hetero_chain";
+    case TopologyFamily::waxman: return "waxman";
+  }
+  return "?";
+}
+
+namespace {
+
+netsim::TopologySpec multiflow_spec(const MultiflowConfig& cfg,
+                                    std::uint64_t seed) {
+  const auto hw = qhw::simulation_preset();
+  const auto fiber = qhw::FiberParams::lab(2.0);
+  switch (cfg.family) {
+    case TopologyFamily::grid:
+      return netsim::TopologySpec::grid(cfg.size, cfg.size, hw, fiber);
+    case TopologyFamily::ring:
+      return netsim::TopologySpec::ring(cfg.size, hw, fiber);
+    case TopologyFamily::star:
+      return netsim::TopologySpec::star(cfg.size, hw, fiber);
+    case TopologyFamily::hetero_chain: {
+      auto spec = netsim::TopologySpec::chain(cfg.size, hw, fiber);
+      // Alternate short and long fibers so links differ in rate.
+      for (std::size_t i = 1; i + 1 <= cfg.size; i += 2) {
+        spec.with_link_fiber(NodeId{i}, NodeId{i + 1},
+                             qhw::FiberParams::lab(6.0));
+      }
+      return spec;
+    }
+    case TopologyFamily::waxman: {
+      netsim::WaxmanParams params;
+      params.nodes = cfg.size;
+      return netsim::TopologySpec::waxman(seed, params, hw);
+    }
+  }
+  QNETP_ASSERT_MSG(false, "unknown topology family");
+  return netsim::TopologySpec::chain(2, hw, fiber);
+}
+
+/// Deterministic flow endpoints per family: pairs spread across the
+/// topology so concurrent circuits share links and nodes.
+std::vector<std::pair<NodeId, NodeId>> multiflow_endpoints(
+    const MultiflowConfig& cfg) {
+  std::vector<std::pair<NodeId, NodeId>> flows;
+  const std::size_t n = cfg.size;
+  switch (cfg.family) {
+    case TopologyFamily::grid: {
+      const auto at = [n](std::size_t r, std::size_t c) {
+        return NodeId{r * n + c + 1};
+      };
+      // Diagonals first (cross at the centre), then row and column
+      // crossings.
+      flows.emplace_back(at(0, 0), at(n - 1, n - 1));
+      flows.emplace_back(at(0, n - 1), at(n - 1, 0));
+      for (std::size_t r = 0; flows.size() < cfg.n_circuits && r < n; ++r) {
+        flows.emplace_back(at(r, 0), at(r, n - 1));
+      }
+      for (std::size_t c = 0; flows.size() < cfg.n_circuits && c < n; ++c) {
+        flows.emplace_back(at(0, c), at(n - 1, c));
+      }
+      break;
+    }
+    case TopologyFamily::ring:
+      for (std::size_t i = 0; i < cfg.n_circuits; ++i) {
+        const std::size_t head = (2 * i) % n;
+        const std::size_t tail = (head + n / 2) % n;
+        flows.emplace_back(NodeId{head + 1}, NodeId{tail + 1});
+      }
+      break;
+    case TopologyFamily::star:
+      // Leaves are ids 2..n+1; every flow crosses the hub.
+      for (std::size_t i = 0; i < cfg.n_circuits; ++i) {
+        const std::size_t head = (2 * i) % n;
+        const std::size_t tail = (2 * i + 1) % n;
+        flows.emplace_back(NodeId{head + 2}, NodeId{tail + 2});
+      }
+      break;
+    case TopologyFamily::hetero_chain:
+    case TopologyFamily::waxman:
+      for (std::size_t i = 0; i < cfg.n_circuits; ++i) {
+        const std::size_t head = i % n;
+        const std::size_t tail = (head + n / 2) % n;
+        flows.emplace_back(NodeId{head + 1}, NodeId{tail + 1});
+      }
+      break;
+  }
+  flows.resize(std::min<std::size_t>(flows.size(), cfg.n_circuits));
+  // Drop degenerate pairs (possible for tiny sizes).
+  std::erase_if(flows, [](const auto& f) { return f.first == f.second; });
+  return flows;
+}
+
+}  // namespace
+
+TrialResult multiflow_trial(const MultiflowConfig& cfg, std::uint64_t seed) {
+  TrialResult result;
+  result.set("ok", 0.0);
+
+  netsim::NetworkConfig config;
+  config.seed = seed;
+  config.admission.max_circuits_per_link = cfg.max_circuits_per_link;
+  auto net = multiflow_spec(cfg, seed).build(config);
+
+  ctrl::CircuitPlanOptions options;
+  if (cfg.short_cutoff) options.cutoff_generation_quantile = 0.85;
+  options.requested_eer = cfg.requested_eer;
+
+  const auto flows = multiflow_endpoints(cfg);
+  struct Flow {
+    std::unique_ptr<netsim::DualProbe> probe;
+    CircuitId circuit;
+    EndpointId head_ep, tail_ep;
+    NodeId head;
+    RequestId request;
+  };
+  std::vector<Flow> admitted;
+  double rejected = 0.0;
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    const EndpointId head_ep{10 + i};
+    const EndpointId tail_ep{200 + i};
+    const auto plan =
+        net->establish_circuit(flows[i].first, flows[i].second, head_ep,
+                               tail_ep, cfg.fidelity, options);
+    if (!plan.has_value()) {
+      rejected += 1.0;
+      continue;
+    }
+    // Probe only after admission: a rejected flow must not leave
+    // endpoint handlers registered for a probe that no longer exists.
+    auto probe = std::make_unique<netsim::DualProbe>(
+        *net, flows[i].first, head_ep, flows[i].second, tail_ep);
+    admitted.push_back(Flow{std::move(probe), plan->install.circuit_id,
+                            head_ep, tail_ep, flows[i].first,
+                            RequestId{i + 1}});
+  }
+
+  const TimePoint start = net->sim().now();
+  for (const auto& flow : admitted) {
+    qnp::AppRequest req;
+    req.id = flow.request;
+    req.head_endpoint = flow.head_ep;
+    req.tail_endpoint = flow.tail_ep;
+    req.type = netmsg::RequestType::keep;
+    req.num_pairs = cfg.pairs_per_request;
+    net->engine(flow.head).submit_request(flow.circuit, req);
+  }
+  net->sim().run_until(start + cfg.horizon);
+  result.set("events", static_cast<double>(net->sim().events_executed()));
+
+  double delivered = 0.0;
+  double completed = 0.0;
+  double mismatches = 0.0;
+  RunningStats fidelity;
+  for (const auto& flow : admitted) {
+    delivered += static_cast<double>(flow.probe->pair_count());
+    mismatches += static_cast<double>(flow.probe->state_mismatches());
+    for (const auto& p : flow.probe->pairs()) fidelity.add(p.fidelity);
+    const auto done = flow.probe->head_completion(flow.request);
+    if (done.has_value()) {
+      completed += 1.0;
+      result.add_sample("flow_latency_s", (*done - start).as_seconds());
+    }
+  }
+  net->sim().stop();
+
+  result.set("ok", admitted.empty() ? 0.0 : 1.0);
+  result.set("admitted", static_cast<double>(admitted.size()));
+  result.set("rejected", rejected);
+  result.set("delivered", delivered);
+  result.set("completed", completed);
+  result.set("mean_fidelity", fidelity.count() > 0 ? fidelity.mean() : 0.0);
+  result.set("mismatches", mismatches);
   return result;
 }
 

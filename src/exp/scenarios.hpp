@@ -143,6 +143,38 @@ struct TrackingConfig {
 TrialResult tracking_trial(const TrackingConfig& cfg, std::uint64_t seed);
 
 // ---------------------------------------------------------------------------
+// Multi-flow workloads over arbitrary topologies (netsim::TopologySpec):
+// concurrent circuits competing for a shared fabric, with the
+// controller's admission/re-routing in the loop.
+// ---------------------------------------------------------------------------
+enum class TopologyFamily {
+  grid,          ///< size x size grid
+  ring,          ///< size-node ring
+  star,          ///< size leaves around one hub
+  hetero_chain,  ///< size-node chain with alternating fiber lengths
+  waxman,        ///< size-node seeded random graph (topology per trial seed)
+};
+const char* to_string(TopologyFamily family);
+
+struct MultiflowConfig {
+  TopologyFamily family = TopologyFamily::grid;
+  std::size_t size = 3;
+  std::size_t n_circuits = 2;
+  std::uint64_t pairs_per_request = 4;
+  double fidelity = 0.72;
+  bool short_cutoff = true;
+  /// Per-circuit guaranteed EER demand (0 = best effort, never rejected
+  /// by rate admission).
+  double requested_eer = 0.0;
+  /// Per-link concurrent-circuit cap (0 = unlimited).
+  std::size_t max_circuits_per_link = 0;
+  Duration horizon = Duration::seconds(300);
+};
+/// scalars: ok, admitted, rejected, delivered, completed, mean_fidelity,
+/// mismatches, events. samples: flow_latency_s (per completed flow).
+TrialResult multiflow_trial(const MultiflowConfig& cfg, std::uint64_t seed);
+
+// ---------------------------------------------------------------------------
 // Extension — layered DEJMPS distillation over a 3-node circuit.
 // ---------------------------------------------------------------------------
 struct DistillationConfig {

@@ -1,5 +1,6 @@
 #include "linklayer/scheduler.hpp"
 
+#include <algorithm>
 #include <limits>
 
 #include "qbase/assert.hpp"
@@ -17,7 +18,20 @@ void WfqScheduler::upsert(LinkLabel label, double weight) {
   QNETP_ASSERT_MSG(weight > 0.0, "scheduler weight must be positive");
   const auto it = entries_.find(label);
   if (it != entries_.end()) {
+    if (weight == it->second.weight) return;
+    // Re-weight: the vtime accumulated under the old weight would carry a
+    // stale advantage or penalty into the new regime. Rebase to the floor
+    // of the other active entries, exactly as if the purpose left and
+    // rejoined with the new weight.
+    double floor = 0.0;
+    bool first = true;
+    for (const auto& [other, e] : entries_) {
+      if (other == label) continue;
+      floor = first ? e.vtime : std::min(floor, e.vtime);
+      first = false;
+    }
     it->second.weight = weight;
+    it->second.vtime = floor;
     return;
   }
   Entry e;

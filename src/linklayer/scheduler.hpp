@@ -22,7 +22,11 @@ namespace qnetp::linklayer {
 class WfqScheduler {
  public:
   /// Add a purpose or update its weight (weight > 0, typically the
-  /// requested LPR in pairs/s).
+  /// requested LPR in pairs/s). A weight CHANGE rebases the entry's
+  /// virtual time to the floor of the other active entries — as if the
+  /// purpose left and rejoined — so credit/debt accumulated under the old
+  /// weight cannot leak into the new regime; re-submitting the same
+  /// weight leaves the virtual time untouched.
   void upsert(LinkLabel label, double weight);
   void remove(LinkLabel label);
   bool contains(LinkLabel label) const;

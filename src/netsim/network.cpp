@@ -1,5 +1,6 @@
 #include "netsim/network.hpp"
 
+#include "netsim/topology_spec.hpp"
 #include "qbase/assert.hpp"
 #include "qbase/log.hpp"
 
@@ -123,8 +124,8 @@ std::optional<ctrl::CircuitPlan> Network::establish_circuit(
   if (controller_ == nullptr) {
     // Controller assumes homogeneous hardware (the paper's setting); use
     // the head node's profile.
-    controller_ =
-        std::make_unique<ctrl::Controller>(topology_, hardware_.at(head));
+    controller_ = std::make_unique<ctrl::Controller>(
+        topology_, hardware_.at(head), config_.admission);
   }
   auto plan = controller_->plan_circuit(head, tail, head_endpoint,
                                         tail_endpoint, end_to_end_fidelity,
@@ -150,9 +151,31 @@ std::optional<ctrl::CircuitPlan> Network::establish_circuit(
     if (reason != nullptr) {
       *reason = up ? ("install rejected: " + ack_reason) : "install timeout";
     }
+    // The InstallMsg may have been relayed over a prefix of the path:
+    // those hops hold live circuit state (and possibly queued qubits).
+    // Tear the prefix down from the head — per-node channels are FIFO, so
+    // the TEARDOWN trails any still-relaying INSTALL — and give it a
+    // bounded window to propagate.
+    engine(head).teardown(plan->install.circuit_id,
+                          up ? "install rejected" : "install timeout");
+    const TimePoint drain = sim_.now() + timeout;
+    while (sim_.now() < drain) {
+      if (!sim_.step()) break;
+    }
+    controller_->release_circuit(plan->install.circuit_id);
     return std::nullopt;
   }
+  circuit_heads_[plan->install.circuit_id] = head;
   return plan;
+}
+
+void Network::teardown_circuit(CircuitId circuit, const std::string& reason) {
+  const auto it = circuit_heads_.find(circuit);
+  QNETP_ASSERT_MSG(it != circuit_heads_.end(),
+                   "teardown of a circuit establish_circuit did not set up");
+  engine(it->second).teardown(circuit, reason);
+  circuit_heads_.erase(it);
+  if (controller_ != nullptr) controller_->release_circuit(circuit);
 }
 
 void Network::install_manual_circuit(const netmsg::InstallMsg& install) {
@@ -171,30 +194,14 @@ bool Network::quiescent() const {
 std::unique_ptr<Network> make_dumbbell(const NetworkConfig& config,
                                        const qhw::HardwareParams& hw,
                                        const qhw::FiberParams& fiber) {
-  auto net = std::make_unique<Network>(config);
-  const DumbbellIds ids;
-  for (NodeId id : {ids.a0, ids.a1, ids.b0, ids.b1, ids.ma, ids.mb}) {
-    net->add_node(id, hw);
-  }
-  net->connect(ids.a0, ids.ma, fiber);
-  net->connect(ids.a1, ids.ma, fiber);
-  net->connect(ids.ma, ids.mb, fiber);
-  net->connect(ids.mb, ids.b0, fiber);
-  net->connect(ids.mb, ids.b1, fiber);
-  return net;
+  return TopologySpec::dumbbell(hw, fiber).build(config);
 }
 
 std::unique_ptr<Network> make_chain(std::size_t n,
                                     const NetworkConfig& config,
                                     const qhw::HardwareParams& hw,
                                     const qhw::FiberParams& fiber) {
-  QNETP_ASSERT(n >= 2);
-  auto net = std::make_unique<Network>(config);
-  for (std::size_t i = 1; i <= n; ++i) net->add_node(NodeId{i}, hw);
-  for (std::size_t i = 1; i < n; ++i) {
-    net->connect(NodeId{i}, NodeId{i + 1}, fiber);
-  }
-  return net;
+  return TopologySpec::chain(n, hw, fiber).build(config);
 }
 
 }  // namespace qnetp::netsim

@@ -51,6 +51,8 @@ struct NetworkConfig {
   std::size_t comm_qubits_per_link = 2;
   /// Storage qubits per node (near-term platform).
   std::size_t storage_qubits = 0;
+  /// Capacity model the central controller admits circuits against.
+  ctrl::ControllerConfig admission;
 };
 
 class Network {
@@ -82,14 +84,27 @@ class Network {
   qdevice::QuantumDevice& device(NodeId id) { return node(id).device(); }
   linklayer::EgpLink* egp(NodeId a, NodeId b);
 
-  /// Plan a circuit via the central controller and install it through the
-  /// signalling path. Runs the simulator until the install acknowledges
-  /// (bounded by `timeout`). Returns the plan, or nullopt with reason.
+  /// Plan a circuit via the central controller (admission included) and
+  /// install it through the signalling path. Runs the simulator until the
+  /// install acknowledges (bounded by `timeout`). Returns the plan, or
+  /// nullopt with reason. A failed installation (timeout or rejection)
+  /// tears the partially installed prefix back down with a TEARDOWN from
+  /// the head and releases the admitted capacity, so no per-hop state or
+  /// qubit survives the failure.
   std::optional<ctrl::CircuitPlan> establish_circuit(
       NodeId head, NodeId tail, EndpointId head_endpoint,
       EndpointId tail_endpoint, double end_to_end_fidelity,
       const ctrl::CircuitPlanOptions& options = {},
       std::string* reason = nullptr, Duration timeout = Duration::seconds(1));
+
+  /// Tear down an established circuit from its head-end and release the
+  /// capacity the controller had admitted for it. The TEARDOWN propagates
+  /// while the simulator runs.
+  void teardown_circuit(CircuitId circuit, const std::string& reason);
+
+  /// The central controller (created lazily by establish_circuit;
+  /// nullptr before the first call).
+  const ctrl::Controller* controller() const { return controller_.get(); }
 
   /// Install a manually constructed circuit (Sec. 5.3: "we manually
   /// populate the routing tables").
@@ -112,11 +127,14 @@ class Network {
   std::map<NodeId, qhw::HardwareParams> hardware_;
   std::vector<std::unique_ptr<linklayer::EgpLink>> links_;
   std::unique_ptr<ctrl::Controller> controller_;
+  std::map<CircuitId, NodeId> circuit_heads_;
   std::uint64_t next_link_ = 1;
 };
 
 /// The paper's Fig. 7 dumbbell: end-nodes A0(1), A1(2), B0(3), B1(4) and
-/// routers MA(5), MB(6); the MA-MB link is the bottleneck.
+/// routers MA(5), MB(6); the MA-MB link is the bottleneck. Both builders
+/// below are thin wrappers over the corresponding TopologySpec
+/// (topology_spec.hpp), the single network-construction path.
 struct DumbbellIds {
   NodeId a0{1}, a1{2}, b0{3}, b1{4}, ma{5}, mb{6};
 };

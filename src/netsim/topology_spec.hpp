@@ -1,0 +1,118 @@
+// Declarative topology specification: the single construction path for
+// every simulated network.
+//
+// The paper's evaluation uses exactly two fixed topologies (a linear
+// chain, Fig. 11, and the six-node dumbbell, Fig. 7). A TopologySpec
+// describes an arbitrary topology — regular families (chain, ring, star,
+// grid, dumbbell) and seeded random Waxman graphs — plus per-link fiber
+// and per-node hardware overrides, and assembles a fully wired
+// netsim::Network from it. make_chain/make_dumbbell are thin wrappers
+// over the corresponding specs, so every workload (tests, scenarios,
+// benches) builds networks through one audited path.
+//
+// Specs are plain data: they can be constructed, amended and validated
+// without touching a simulator, and building twice from the same spec and
+// NetworkConfig yields identical networks (node/link insertion order is
+// part of the spec).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netsim/network.hpp"
+#include "qhw/fiber.hpp"
+#include "qhw/params.hpp"
+
+namespace qnetp::netsim {
+
+struct NodeSpec {
+  NodeId id;
+  /// Hardware override; the spec default applies when unset.
+  std::optional<qhw::HardwareParams> hw;
+};
+
+struct LinkSpec {
+  NodeId a;
+  NodeId b;
+  /// Fiber override; the spec default applies when unset.
+  std::optional<qhw::FiberParams> fiber;
+};
+
+/// Parameters of the Waxman random-graph family (Waxman 1988): nodes are
+/// placed uniformly in a `field_m` x `field_m` square and each node pair
+/// is linked with probability alpha * exp(-d / (beta * L)), L the maximal
+/// node distance. Components are afterwards stitched together through
+/// their closest node pairs so the graph is always connected.
+struct WaxmanParams {
+  std::size_t nodes = 10;
+  double alpha = 0.85;        ///< overall link density
+  double beta = 0.45;         ///< long-link likelihood
+  double field_m = 40.0;      ///< side of the placement square
+  double min_length_m = 2.0;  ///< fiber length floor
+  /// Fiber attenuation applied to the generated links (lab-grade by
+  /// default; lengths come from node distances).
+  double attenuation_db_per_km = 5.0;
+};
+
+struct TopologySpec {
+  std::string name = "custom";
+  qhw::HardwareParams default_hw;
+  qhw::FiberParams default_fiber;
+  std::vector<NodeSpec> nodes;
+  std::vector<LinkSpec> links;
+
+  // --- Family builders -----------------------------------------------------
+
+  /// Linear chain node(1) - node(2) - ... - node(n).
+  static TopologySpec chain(std::size_t n, const qhw::HardwareParams& hw,
+                            const qhw::FiberParams& fiber);
+  /// Ring: the n-chain closed with a link node(n) - node(1).
+  static TopologySpec ring(std::size_t n, const qhw::HardwareParams& hw,
+                          const qhw::FiberParams& fiber);
+  /// Star: hub node(1) linked to leaves node(2) ... node(leaves + 1).
+  static TopologySpec star(std::size_t leaves,
+                           const qhw::HardwareParams& hw,
+                           const qhw::FiberParams& fiber);
+  /// rows x cols grid; node(r, c) = r * cols + c + 1, 4-neighbour links.
+  static TopologySpec grid(std::size_t rows, std::size_t cols,
+                           const qhw::HardwareParams& hw,
+                           const qhw::FiberParams& fiber);
+  /// The paper's Fig. 7 dumbbell (ids as in DumbbellIds).
+  static TopologySpec dumbbell(const qhw::HardwareParams& hw,
+                               const qhw::FiberParams& fiber);
+  /// Seeded Waxman random graph; identical seeds (and params) produce
+  /// identical specs. Node ids are 1..n; every link carries a fiber
+  /// override with its geometric length.
+  static TopologySpec waxman(std::uint64_t seed, const WaxmanParams& params,
+                             const qhw::HardwareParams& hw);
+
+  // --- Amendments ----------------------------------------------------------
+
+  /// Override the fiber of the (a, b) link; asserts the link exists.
+  TopologySpec& with_link_fiber(NodeId a, NodeId b,
+                                const qhw::FiberParams& fiber);
+  /// Override one node's hardware profile; asserts the node exists.
+  TopologySpec& with_node_hardware(NodeId node,
+                                   const qhw::HardwareParams& hw);
+
+  // --- Queries -------------------------------------------------------------
+
+  std::size_t node_count() const { return nodes.size(); }
+  std::size_t link_count() const { return links.size(); }
+  bool has_node(NodeId id) const;
+  const LinkSpec* link_between(NodeId a, NodeId b) const;
+  /// Every node reachable from every other (true for the empty spec).
+  bool connected() const;
+  /// Structural invariants: valid unique node ids, links between known
+  /// distinct nodes, no duplicate links. Asserts on violation.
+  void validate() const;
+
+  // --- Assembly ------------------------------------------------------------
+
+  /// Build and wire a Network: nodes in spec order with their effective
+  /// hardware, links in spec order with their effective fiber.
+  std::unique_ptr<Network> build(const NetworkConfig& config) const;
+};
+
+}  // namespace qnetp::netsim

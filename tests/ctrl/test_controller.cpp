@@ -128,6 +128,159 @@ TEST_F(ControllerTest, ShortCutoffOptionUsesGenerationQuantile) {
   EXPECT_LE(short_plan->link_fidelity, long_plan->link_fidelity);
 }
 
+// ---------------------------------------------------------------------------
+// Admission control across concurrent circuits.
+// ---------------------------------------------------------------------------
+
+/// Diamond with a cost-preferred route: 1-2-4 (cost 2.0) and the detour
+/// 1-3-4 (cost 2.2); identical link hardware so capacities match.
+class AdmissionTest : public ::testing::Test {
+ protected:
+  AdmissionTest() {
+    for (std::uint64_t i = 1; i <= 4; ++i) topo_.add_node(NodeId{i});
+    auto link = [&](std::uint64_t id, std::uint64_t a, std::uint64_t b,
+                    double cost) {
+      topo_.add_link(TopologyLink{
+          LinkId{id}, NodeId{a}, NodeId{b},
+          qhw::PhotonicLinkModel(qhw::simulation_preset(),
+                                 qhw::FiberParams::lab(2.0)),
+          cost});
+    };
+    link(1, 1, 2, 1.0);
+    link(2, 2, 4, 1.0);
+    link(3, 1, 3, 1.1);
+    link(4, 3, 4, 1.1);
+  }
+
+  /// Solo best-effort EER bound of the preferred route (throwaway
+  /// controller, so nothing stays committed).
+  double solo_capacity() {
+    Controller probe(topo_, qhw::simulation_preset());
+    const auto plan = probe.plan_circuit(NodeId{1}, NodeId{4},
+                                         EndpointId{10}, EndpointId{20},
+                                         0.85);
+    EXPECT_TRUE(plan.has_value());
+    return plan->max_eer;
+  }
+
+  Topology topo_;
+};
+
+TEST_F(AdmissionTest, BestEffortCircuitsAreNotRejected) {
+  Controller c(topo_, qhw::simulation_preset());
+  for (int i = 0; i < 4; ++i) {
+    const auto plan = c.plan_circuit(NodeId{1}, NodeId{4}, EndpointId{10},
+                                     EndpointId{20}, 0.85);
+    ASSERT_TRUE(plan.has_value()) << "best-effort circuit " << i;
+    EXPECT_DOUBLE_EQ(plan->requested_eer, 0.0);
+  }
+  EXPECT_EQ(c.planned_circuits(), 4u);
+  EXPECT_EQ(c.circuits_on(LinkId{1}), 4u);
+}
+
+TEST_F(AdmissionTest, GuaranteedDemandReservesAndDerivesWfqWeight) {
+  const double cap = solo_capacity();
+  Controller c(topo_, qhw::simulation_preset());
+  CircuitPlanOptions options;
+  options.requested_eer = 0.4 * cap;
+  const auto plan = c.plan_circuit(NodeId{1}, NodeId{4}, EndpointId{10},
+                                   EndpointId{20}, 0.85, options);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_DOUBLE_EQ(plan->max_eer, options.requested_eer);
+  EXPECT_NEAR(plan->admitted_share, 0.4, 0.01);
+  // The WFQ weight carried to the data plane is the admitted LPR share,
+  // well below the raw link capacity.
+  for (std::size_t i = 0; i + 1 < plan->install.hops.size(); ++i) {
+    EXPECT_LT(plan->install.hops[i].downstream_max_lpr,
+              0.5 * plan->max_lpr);
+    EXPECT_GT(plan->install.hops[i].downstream_max_lpr, 0.0);
+  }
+  for (const LinkId link : plan->links) {
+    EXPECT_GT(c.committed_lpr(link), 0.0);
+    EXPECT_EQ(c.circuits_on(link), 1u);
+  }
+}
+
+TEST_F(AdmissionTest, SaturatedShortestPathReroutesViaDetour) {
+  const double cap = solo_capacity();
+  Controller c(topo_, qhw::simulation_preset());
+  CircuitPlanOptions options;
+  options.requested_eer = 0.8 * cap;
+  const auto first = c.plan_circuit(NodeId{1}, NodeId{4}, EndpointId{10},
+                                    EndpointId{20}, 0.85, options);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->path[1], NodeId{2});  // preferred route
+
+  options.requested_eer = 0.5 * cap;  // does not fit next to 0.8
+  const auto second = c.plan_circuit(NodeId{1}, NodeId{4}, EndpointId{10},
+                                     EndpointId{20}, 0.85, options);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->path[1], NodeId{3});  // re-routed around saturation
+
+  // With the fallback disabled the same demand is rejected outright.
+  options.max_paths = 1;
+  std::string reason;
+  EXPECT_FALSE(c.plan_circuit(NodeId{1}, NodeId{4}, EndpointId{10},
+                              EndpointId{20}, 0.85, options, &reason)
+                   .has_value());
+  EXPECT_NE(reason.find("admission"), std::string::npos) << reason;
+}
+
+TEST_F(AdmissionTest, OverdemandRejectedEvenOnEmptyNetwork) {
+  const double cap = solo_capacity();
+  Controller c(topo_, qhw::simulation_preset());
+  CircuitPlanOptions options;
+  options.requested_eer = 2.0 * cap;
+  std::string reason;
+  EXPECT_FALSE(c.plan_circuit(NodeId{1}, NodeId{4}, EndpointId{10},
+                              EndpointId{20}, 0.85, options, &reason)
+                   .has_value());
+  EXPECT_NE(reason.find("admission"), std::string::npos) << reason;
+  EXPECT_EQ(c.planned_circuits(), 0u);
+}
+
+TEST_F(AdmissionTest, ReleaseRestoresCapacity) {
+  const double cap = solo_capacity();
+  Controller c(topo_, qhw::simulation_preset());
+  CircuitPlanOptions options;
+  options.requested_eer = 0.8 * cap;
+  const auto first = c.plan_circuit(NodeId{1}, NodeId{4}, EndpointId{10},
+                                    EndpointId{20}, 0.85, options);
+  ASSERT_TRUE(first.has_value());
+
+  c.release_circuit(first->install.circuit_id);
+  EXPECT_EQ(c.planned_circuits(), 0u);
+  EXPECT_DOUBLE_EQ(c.committed_lpr(LinkId{1}), 0.0);
+
+  // The same demand now fits on the preferred route again.
+  const auto again = c.plan_circuit(NodeId{1}, NodeId{4}, EndpointId{10},
+                                    EndpointId{20}, 0.85, options);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->path[1], NodeId{2});
+
+  // Releasing an unknown circuit is a no-op.
+  c.release_circuit(CircuitId{999});
+}
+
+TEST_F(AdmissionTest, CircuitSlotCapReroutesThenRejects) {
+  ControllerConfig config;
+  config.max_circuits_per_link = 1;
+  Controller c(topo_, qhw::simulation_preset(), config);
+  const auto first = c.plan_circuit(NodeId{1}, NodeId{4}, EndpointId{10},
+                                    EndpointId{20}, 0.85);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->path[1], NodeId{2});
+  const auto second = c.plan_circuit(NodeId{1}, NodeId{4}, EndpointId{10},
+                                     EndpointId{20}, 0.85);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->path[1], NodeId{3});  // slot cap forces the detour
+  std::string reason;
+  EXPECT_FALSE(c.plan_circuit(NodeId{1}, NodeId{4}, EndpointId{10},
+                              EndpointId{20}, 0.85, {}, &reason)
+                   .has_value());
+  EXPECT_NE(reason.find("admission"), std::string::npos) << reason;
+}
+
 TEST_F(ControllerTest, CutoffOverrideRespected) {
   Controller c(topo_, qhw::simulation_preset());
   CircuitPlanOptions options;

@@ -69,6 +69,9 @@ TEST_F(TopologyTest, PathToSelf) {
 TEST_F(TopologyTest, DisconnectedReturnsNullopt) {
   topo_.add_node(NodeId{10});
   EXPECT_FALSE(topo_.shortest_path(NodeId{1}, NodeId{10}).has_value());
+  // Both directions — including starting FROM the isolated node.
+  EXPECT_FALSE(topo_.shortest_path(NodeId{10}, NodeId{1}).has_value());
+  EXPECT_TRUE(topo_.k_shortest_paths(NodeId{10}, NodeId{1}, 3).empty());
 }
 
 TEST(Topology, CostsShiftPathChoice) {
@@ -81,6 +84,104 @@ TEST(Topology, CostsShiftPathChoice) {
   const auto path = t.shortest_path(NodeId{1}, NodeId{4});
   ASSERT_TRUE(path.has_value());
   EXPECT_EQ(path->size(), 3u);  // takes the detour
+}
+
+TEST(Topology, IndexedLookupsMatchOnLargeGraph) {
+  // The pair-key / LinkId indexes must agree with the link list on a
+  // graph large enough to make a linear-scan bug visible.
+  Topology t;
+  const std::uint64_t n = 40;
+  for (std::uint64_t i = 1; i <= n; ++i) t.add_node(NodeId{i});
+  std::uint64_t id = 1;
+  for (std::uint64_t i = 1; i <= n; ++i) {
+    for (std::uint64_t j = i + 1; j <= n; j += 7) {
+      t.add_link(make_link(id++, i, j));
+    }
+  }
+  for (std::uint64_t i = 1; i <= n; ++i) {
+    for (std::uint64_t j = 1; j <= n; ++j) {
+      if (i == j) continue;
+      const auto* l = t.link_between(NodeId{i}, NodeId{j});
+      const bool expected = (i < j && (j - i) % 7 == 1) ||
+                            (j < i && (i - j) % 7 == 1);
+      EXPECT_EQ(l != nullptr, expected) << i << "-" << j;
+      if (l != nullptr) {
+        EXPECT_EQ(t.link(l->id), l);  // id index agrees
+        EXPECT_TRUE((l->a == NodeId{i} && l->b == NodeId{j}) ||
+                    (l->a == NodeId{j} && l->b == NodeId{i}));
+      }
+    }
+  }
+  EXPECT_EQ(t.link(LinkId{id}), nullptr);
+}
+
+TEST(Topology, DuplicateLinkIdAsserts) {
+  Topology t;
+  for (std::uint64_t i = 1; i <= 3; ++i) t.add_node(NodeId{i});
+  t.add_link(make_link(7, 1, 2));
+  EXPECT_THROW(t.add_link(make_link(7, 2, 3)), AssertionError);
+}
+
+TEST(Topology, ShortestPathExcludingAvoidsLinksAndNodes) {
+  Topology t;
+  for (std::uint64_t i = 1; i <= 4; ++i) t.add_node(NodeId{i});
+  t.add_link(make_link(1, 1, 2));
+  t.add_link(make_link(2, 2, 4));
+  t.add_link(make_link(3, 1, 3));
+  t.add_link(make_link(4, 3, 4));
+  const std::unordered_set<LinkId> no_links;
+  const std::unordered_set<NodeId> no_nodes;
+
+  // Excluding the 1-2 link forces the 1-3-4 route.
+  const auto detour = t.shortest_path_excluding(
+      NodeId{1}, NodeId{4}, std::unordered_set<LinkId>{LinkId{1}},
+      no_nodes);
+  ASSERT_TRUE(detour.has_value());
+  EXPECT_EQ((*detour)[1], NodeId{3});
+
+  // Excluding node 2 does the same; excluding both transit nodes
+  // disconnects.
+  const auto via3 = t.shortest_path_excluding(
+      NodeId{1}, NodeId{4}, no_links,
+      std::unordered_set<NodeId>{NodeId{2}});
+  ASSERT_TRUE(via3.has_value());
+  EXPECT_EQ((*via3)[1], NodeId{3});
+  EXPECT_FALSE(t.shortest_path_excluding(
+                    NodeId{1}, NodeId{4}, no_links,
+                    std::unordered_set<NodeId>{NodeId{2}, NodeId{3}})
+                   .has_value());
+}
+
+TEST(Topology, KShortestPathsEnumeratesDistinctLooplessPaths) {
+  // Diamond with a long tail route: 1-2-4 (cost 2), 1-3-4 (cost 2.5),
+  // 1-5-6-4 (cost 3).
+  Topology t;
+  for (std::uint64_t i = 1; i <= 6; ++i) t.add_node(NodeId{i});
+  t.add_link(make_link(1, 1, 2, 1.0));
+  t.add_link(make_link(2, 2, 4, 1.0));
+  t.add_link(make_link(3, 1, 3, 1.0));
+  t.add_link(make_link(4, 3, 4, 1.5));
+  t.add_link(make_link(5, 1, 5, 1.0));
+  t.add_link(make_link(6, 5, 6, 1.0));
+  t.add_link(make_link(7, 6, 4, 1.0));
+
+  const auto paths = t.k_shortest_paths(NodeId{1}, NodeId{4}, 5);
+  ASSERT_EQ(paths.size(), 3u);  // only 3 loopless paths exist
+  EXPECT_EQ(paths[0],
+            (std::vector<NodeId>{NodeId{1}, NodeId{2}, NodeId{4}}));
+  EXPECT_EQ(paths[1],
+            (std::vector<NodeId>{NodeId{1}, NodeId{3}, NodeId{4}}));
+  EXPECT_EQ(paths[2], (std::vector<NodeId>{NodeId{1}, NodeId{5}, NodeId{6},
+                                           NodeId{4}}));
+  // Non-decreasing cost, and paths[0] is the Dijkstra path.
+  EXPECT_LE(t.path_cost(paths[0]), t.path_cost(paths[1]));
+  EXPECT_LE(t.path_cost(paths[1]), t.path_cost(paths[2]));
+  EXPECT_EQ(paths[0], *t.shortest_path(NodeId{1}, NodeId{4}));
+
+  // k=1 returns just the shortest; disconnected returns empty.
+  EXPECT_EQ(t.k_shortest_paths(NodeId{1}, NodeId{4}, 1).size(), 1u);
+  t.add_node(NodeId{9});
+  EXPECT_TRUE(t.k_shortest_paths(NodeId{1}, NodeId{9}, 3).empty());
 }
 
 TEST(Topology, DuplicateNodeOrLinkAsserts) {

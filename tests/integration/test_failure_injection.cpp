@@ -84,6 +84,45 @@ TEST(FailureInjection, LivenessLossTearsDownTheCircuit) {
   net->sim().stop();
 }
 
+TEST(FailureInjection, InstallTimeoutTearsDownThePartialPrefix) {
+  // Sever the classical 3-4 channel BEFORE establishing a circuit across
+  // it: the InstallMsg relays over 1-2-3 and is then dropped, so the
+  // install times out with circuit state alive on a prefix of the path.
+  // establish_circuit must tear that prefix back down (TEARDOWN from the
+  // head trails the INSTALL on the FIFO channels), release the admitted
+  // capacity, and leave the network quiescent.
+  NetworkConfig config;
+  config.seed = 95;
+  auto net = make_chain(4, config, qhw::simulation_preset(),
+                        qhw::FiberParams::lab(2.0));
+  net->classical().set_link_up(NodeId{3}, NodeId{4}, false);
+
+  std::string reason;
+  const auto plan = net->establish_circuit(
+      NodeId{1}, NodeId{4}, EndpointId{10}, EndpointId{20}, 0.8, {},
+      &reason, Duration::ms(500));
+  EXPECT_FALSE(plan.has_value());
+  EXPECT_EQ(reason, "install timeout");
+
+  // Give any straggling messages time to settle, then audit every hop.
+  net->sim().run_until(net->sim().now() + 1_s);
+  for (std::uint64_t i = 1; i <= 4; ++i) {
+    EXPECT_FALSE(net->engine(NodeId{i}).has_circuit(CircuitId{1}))
+        << "node " << i << " kept partially installed circuit state";
+  }
+  EXPECT_TRUE(net->quiescent());
+  // The admitted capacity was released: the same circuit succeeds once
+  // the channel heals.
+  net->classical().set_link_up(NodeId{3}, NodeId{4}, true);
+  ASSERT_TRUE(net->controller() != nullptr);
+  EXPECT_EQ(net->controller()->planned_circuits(), 0u);
+  const auto retry = net->establish_circuit(
+      NodeId{1}, NodeId{4}, EndpointId{10}, EndpointId{20}, 0.8, {},
+      &reason, Duration::seconds(2));
+  ASSERT_TRUE(retry.has_value()) << reason;
+  net->sim().stop();
+}
+
 TEST(FailureInjection, NearTermStorageExhaustionDegradesGracefully) {
   // Near-term platform with ZERO storage qubits: the repeater cannot park
   // pairs, every move fails, and no end-to-end pair can form — but the

@@ -127,6 +127,63 @@ TEST(WfqScheduler, UpsertUpdatesWeight) {
   EXPECT_DOUBLE_EQ(s.weight(LinkLabel{1}), 4.0);
 }
 
+TEST(WfqScheduler, ReweightRebasesVtimeToActiveFloor) {
+  // Regression: a re-weighted entry used to keep the vtime accumulated
+  // under its OLD weight. Label 1 is served alone for a while (vtime far
+  // ahead of the floor); bumping its weight must not leave it with that
+  // stale penalty once label 2 exists.
+  WfqScheduler s;
+  s.upsert(LinkLabel{1}, 1.0);
+  for (int i = 0; i < 100; ++i) s.charge(LinkLabel{1}, 10_ms);  // vtime 1.0
+  s.upsert(LinkLabel{2}, 1.0);
+  s.charge(LinkLabel{2}, 200_ms);  // label 2 floor: 1.2
+  s.charge(LinkLabel{1}, 800_ms);  // label 1: 1.8, well ahead
+
+  s.upsert(LinkLabel{1}, 4.0);  // weight CHANGE: rebase to floor (1.2)
+  EXPECT_DOUBLE_EQ(s.vtime(LinkLabel{1}), s.vtime(LinkLabel{2}));
+  // From the rebased floor, a 4x weight means ~4x the picks.
+  std::map<LinkLabel, int> counts;
+  for (int i = 0; i < 500; ++i) {
+    const auto p = s.pick();
+    ASSERT_TRUE(p);
+    counts[*p]++;
+    s.charge(*p, 10_ms);
+  }
+  EXPECT_NEAR(static_cast<double>(counts[LinkLabel{1}]) /
+                  counts[LinkLabel{2}],
+              4.0, 0.25);
+}
+
+TEST(WfqScheduler, ReweightForgivesStaleAdvantage) {
+  // The mirror case: an entry BEHIND the floor (advantage earned under
+  // the old weight) is pulled forward to the floor, so it cannot burst.
+  WfqScheduler s;
+  s.upsert(LinkLabel{1}, 1.0);
+  s.upsert(LinkLabel{2}, 1.0);
+  s.charge(LinkLabel{2}, 900_ms);  // label 1 is far behind (vtime 0)
+  s.upsert(LinkLabel{1}, 2.0);
+  EXPECT_DOUBLE_EQ(s.vtime(LinkLabel{1}), s.vtime(LinkLabel{2}));
+}
+
+TEST(WfqScheduler, SameWeightUpsertKeepsVtime) {
+  WfqScheduler s;
+  s.upsert(LinkLabel{1}, 2.0);
+  s.upsert(LinkLabel{2}, 1.0);
+  s.charge(LinkLabel{1}, 500_ms);
+  const double before = s.vtime(LinkLabel{1});
+  s.upsert(LinkLabel{1}, 2.0);  // refresh with the SAME weight: no-op
+  EXPECT_DOUBLE_EQ(s.vtime(LinkLabel{1}), before);
+}
+
+TEST(WfqScheduler, ReweightAloneRebasesToZero) {
+  WfqScheduler s;
+  s.upsert(LinkLabel{1}, 1.0);
+  s.charge(LinkLabel{1}, 700_ms);
+  s.upsert(LinkLabel{1}, 3.0);  // alone: leave-and-rejoin lands at 0
+  EXPECT_DOUBLE_EQ(s.vtime(LinkLabel{1}), 0.0);
+  EXPECT_DOUBLE_EQ(s.weight(LinkLabel{1}), 3.0);
+}
+
 TEST(WfqScheduler, InvalidInputsAssert) {
   WfqScheduler s;
   EXPECT_THROW(s.upsert(LinkLabel{}, 1.0), AssertionError);
