@@ -3,9 +3,8 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <vector>
-
 #include <utility>
+#include <vector>
 
 #include "apps/distillation.hpp"
 #include "linklayer/egp.hpp"
@@ -562,23 +561,22 @@ const char* to_string(TopologyFamily family) {
   return "?";
 }
 
-namespace {
-
-netsim::TopologySpec multiflow_spec(const MultiflowConfig& cfg,
-                                    std::uint64_t seed) {
+netsim::TopologySpec family_topology_spec(TopologyFamily family,
+                                          std::size_t size,
+                                          std::uint64_t seed) {
   const auto hw = qhw::simulation_preset();
   const auto fiber = qhw::FiberParams::lab(2.0);
-  switch (cfg.family) {
+  switch (family) {
     case TopologyFamily::grid:
-      return netsim::TopologySpec::grid(cfg.size, cfg.size, hw, fiber);
+      return netsim::TopologySpec::grid(size, size, hw, fiber);
     case TopologyFamily::ring:
-      return netsim::TopologySpec::ring(cfg.size, hw, fiber);
+      return netsim::TopologySpec::ring(size, hw, fiber);
     case TopologyFamily::star:
-      return netsim::TopologySpec::star(cfg.size, hw, fiber);
+      return netsim::TopologySpec::star(size, hw, fiber);
     case TopologyFamily::hetero_chain: {
-      auto spec = netsim::TopologySpec::chain(cfg.size, hw, fiber);
+      auto spec = netsim::TopologySpec::chain(size, hw, fiber);
       // Alternate short and long fibers so links differ in rate.
-      for (std::size_t i = 1; i + 1 <= cfg.size; i += 2) {
+      for (std::size_t i = 1; i + 1 <= size; i += 2) {
         spec.with_link_fiber(NodeId{i}, NodeId{i + 1},
                              qhw::FiberParams::lab(6.0));
       }
@@ -586,7 +584,7 @@ netsim::TopologySpec multiflow_spec(const MultiflowConfig& cfg,
     }
     case TopologyFamily::waxman: {
       netsim::WaxmanParams params;
-      params.nodes = cfg.size;
+      params.nodes = size;
       return netsim::TopologySpec::waxman(seed, params, hw);
     }
   }
@@ -594,13 +592,11 @@ netsim::TopologySpec multiflow_spec(const MultiflowConfig& cfg,
   return netsim::TopologySpec::chain(2, hw, fiber);
 }
 
-/// Deterministic flow endpoints per family: pairs spread across the
-/// topology so concurrent circuits share links and nodes.
-std::vector<std::pair<NodeId, NodeId>> multiflow_endpoints(
-    const MultiflowConfig& cfg) {
+std::vector<std::pair<NodeId, NodeId>> family_flow_endpoints(
+    TopologyFamily family, std::size_t size, std::size_t n_flows) {
   std::vector<std::pair<NodeId, NodeId>> flows;
-  const std::size_t n = cfg.size;
-  switch (cfg.family) {
+  const std::size_t n = size;
+  switch (family) {
     case TopologyFamily::grid: {
       const auto at = [n](std::size_t r, std::size_t c) {
         return NodeId{r * n + c + 1};
@@ -609,16 +605,16 @@ std::vector<std::pair<NodeId, NodeId>> multiflow_endpoints(
       // crossings.
       flows.emplace_back(at(0, 0), at(n - 1, n - 1));
       flows.emplace_back(at(0, n - 1), at(n - 1, 0));
-      for (std::size_t r = 0; flows.size() < cfg.n_circuits && r < n; ++r) {
+      for (std::size_t r = 0; flows.size() < n_flows && r < n; ++r) {
         flows.emplace_back(at(r, 0), at(r, n - 1));
       }
-      for (std::size_t c = 0; flows.size() < cfg.n_circuits && c < n; ++c) {
+      for (std::size_t c = 0; flows.size() < n_flows && c < n; ++c) {
         flows.emplace_back(at(0, c), at(n - 1, c));
       }
       break;
     }
     case TopologyFamily::ring:
-      for (std::size_t i = 0; i < cfg.n_circuits; ++i) {
+      for (std::size_t i = 0; i < n_flows; ++i) {
         const std::size_t head = (2 * i) % n;
         const std::size_t tail = (head + n / 2) % n;
         flows.emplace_back(NodeId{head + 1}, NodeId{tail + 1});
@@ -626,7 +622,7 @@ std::vector<std::pair<NodeId, NodeId>> multiflow_endpoints(
       break;
     case TopologyFamily::star:
       // Leaves are ids 2..n+1; every flow crosses the hub.
-      for (std::size_t i = 0; i < cfg.n_circuits; ++i) {
+      for (std::size_t i = 0; i < n_flows; ++i) {
         const std::size_t head = (2 * i) % n;
         const std::size_t tail = (2 * i + 1) % n;
         flows.emplace_back(NodeId{head + 2}, NodeId{tail + 2});
@@ -634,20 +630,18 @@ std::vector<std::pair<NodeId, NodeId>> multiflow_endpoints(
       break;
     case TopologyFamily::hetero_chain:
     case TopologyFamily::waxman:
-      for (std::size_t i = 0; i < cfg.n_circuits; ++i) {
+      for (std::size_t i = 0; i < n_flows; ++i) {
         const std::size_t head = i % n;
         const std::size_t tail = (head + n / 2) % n;
         flows.emplace_back(NodeId{head + 1}, NodeId{tail + 1});
       }
       break;
   }
-  flows.resize(std::min<std::size_t>(flows.size(), cfg.n_circuits));
+  flows.resize(std::min<std::size_t>(flows.size(), n_flows));
   // Drop degenerate pairs (possible for tiny sizes).
   std::erase_if(flows, [](const auto& f) { return f.first == f.second; });
   return flows;
 }
-
-}  // namespace
 
 TrialResult multiflow_trial(const MultiflowConfig& cfg, std::uint64_t seed) {
   TrialResult result;
@@ -656,13 +650,15 @@ TrialResult multiflow_trial(const MultiflowConfig& cfg, std::uint64_t seed) {
   netsim::NetworkConfig config;
   config.seed = seed;
   config.admission.max_circuits_per_link = cfg.max_circuits_per_link;
-  auto net = multiflow_spec(cfg, seed).build(config);
+  auto net =
+      family_topology_spec(cfg.family, cfg.size, seed).build(config);
 
   ctrl::CircuitPlanOptions options;
   if (cfg.short_cutoff) options.cutoff_generation_quantile = 0.85;
   options.requested_eer = cfg.requested_eer;
 
-  const auto flows = multiflow_endpoints(cfg);
+  const auto flows =
+      family_flow_endpoints(cfg.family, cfg.size, cfg.n_circuits);
   struct Flow {
     std::unique_ptr<netsim::DualProbe> probe;
     CircuitId circuit;

@@ -10,8 +10,11 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "exp/trial.hpp"
+#include "netsim/topology_spec.hpp"
 #include "qbase/units.hpp"
 #include "qnp/request.hpp"
 
@@ -155,6 +158,20 @@ enum class TopologyFamily {
   waxman,        ///< size-node seeded random graph (topology per trial seed)
 };
 const char* to_string(TopologyFamily family);
+
+/// TopologySpec for `family` at `size` with the evaluation hardware
+/// preset (waxman draws its random graph from `seed`). Shared by the
+/// multiflow and traffic scenarios so both stress identical fabrics.
+netsim::TopologySpec family_topology_spec(TopologyFamily family,
+                                          std::size_t size,
+                                          std::uint64_t seed);
+
+/// Deterministic per-family flow endpoints (head, tail): at most
+/// `n_flows` pairs spread across the topology so concurrent circuits
+/// share links and nodes. Degenerate pairs are dropped, so the result
+/// may be shorter than `n_flows` for tiny sizes.
+std::vector<std::pair<NodeId, NodeId>> family_flow_endpoints(
+    TopologyFamily family, std::size_t size, std::size_t n_flows);
 
 struct MultiflowConfig {
   TopologyFamily family = TopologyFamily::grid;

@@ -39,9 +39,39 @@ void SummaryAccumulator::add(const TrialResult& r) {
   ++trials_;
   for (const auto& [name, v] : r.scalars) scalars_[name].add(v);
   for (const auto& [name, vs] : r.samples) {
+    const auto res = reservoirs_.find(name);
+    if (res != reservoirs_.end()) {
+      for (double v : vs) res->second.add(v);
+      continue;
+    }
     auto& pool = pooled_[name];
     for (double v : vs) pool.add(v);
   }
+}
+
+void SummaryAccumulator::pool_as_reservoir(const std::string& name,
+                                           std::size_t capacity) {
+  QNETP_ASSERT_MSG(pooled_.count(name) == 0,
+                   "metric already pooled exactly; register the reservoir "
+                   "before the first add()");
+  if (reservoirs_.count(name) > 0) return;  // idempotent
+  std::uint64_t name_hash = 0xCBF29CE484222325ull;
+  fnv_bytes(name_hash, name.data(), name.size());
+  reservoirs_.emplace(name, ReservoirSampler(capacity, name_hash));
+}
+
+const ReservoirSampler& SummaryAccumulator::reservoir(
+    const std::string& name) const {
+  const auto it = reservoirs_.find(name);
+  QNETP_ASSERT_MSG(it != reservoirs_.end(), "unknown reservoir metric");
+  return it->second;
+}
+
+std::vector<std::string> SummaryAccumulator::reservoir_names() const {
+  std::vector<std::string> names;
+  names.reserve(reservoirs_.size());
+  for (const auto& [name, res] : reservoirs_) names.push_back(name);
+  return names;
 }
 
 std::vector<std::string> SummaryAccumulator::scalar_names() const {
@@ -91,6 +121,17 @@ std::uint64_t SummaryAccumulator::digest() const {
   fnv_bytes(h, &trials_, sizeof trials_);
   for (const auto& [name, set] : scalars_) fnv_set(h, name, set);
   for (const auto& [name, set] : pooled_) fnv_set(h, name, set);
+  for (const auto& [name, res] : reservoirs_) {
+    fnv_bytes(h, name.data(), name.size());
+    const std::size_t n = res.count();
+    fnv_bytes(h, &n, sizeof n);
+    if (!res.empty()) {
+      fnv_double(h, res.mean());
+      fnv_double(h, res.min());
+      fnv_double(h, res.max());
+    }
+    for (double v : res.sorted_reservoir()) fnv_double(h, v);
+  }
   return h;
 }
 

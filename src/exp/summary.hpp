@@ -41,6 +41,22 @@ class SummaryAccumulator {
   bool has_scalar(const std::string& name) const {
     return scalars_.count(name) > 0;
   }
+
+  /// Route a sample metric into a fixed-capacity streaming reservoir
+  /// instead of the exact pooled SampleSet. For open-loop soaks the
+  /// pooled set would grow with the request count; the reservoir keeps
+  /// exact count/mean/min/max plus estimated quantiles in O(capacity).
+  /// Must be called before the first add() that carries the metric. The
+  /// reservoir RNG is seeded from the metric name only, so a given
+  /// trial-ordered value stream always lands in the same reservoir state
+  /// (the `--jobs` invariance the digest checks).
+  void pool_as_reservoir(const std::string& name,
+                         std::size_t capacity = 4096);
+  bool has_reservoir(const std::string& name) const {
+    return reservoirs_.count(name) > 0;
+  }
+  const ReservoirSampler& reservoir(const std::string& name) const;
+  std::vector<std::string> reservoir_names() const;
   /// Cross-trial values of a scalar metric (one entry per trial that set
   /// it). Asserts if the metric was never set.
   const SampleSet& scalar(const std::string& name) const;
@@ -60,12 +76,16 @@ class SummaryAccumulator {
   /// same multiset of raw doubles — which-trial-produced-which-value is
   /// deliberately NOT captured, because every statistic this class
   /// exposes (means, quantiles, CIs) is permutation-invariant too.
+  /// Reservoir metrics contribute their exact moments and the sorted
+  /// retained subset; those are trial-order-dependent by construction,
+  /// which is fine because add() is always called in trial order.
   std::uint64_t digest() const;
 
  private:
   std::size_t trials_ = 0;
   std::map<std::string, SampleSet> scalars_;
   std::map<std::string, SampleSet> pooled_;
+  std::map<std::string, ReservoirSampler> reservoirs_;
 };
 
 }  // namespace qnetp::exp

@@ -106,6 +106,13 @@ Node& Network::node(NodeId id) {
   return *it->second;
 }
 
+std::vector<NodeId> Network::node_ids() const {
+  std::vector<NodeId> ids;
+  ids.reserve(nodes_.size());
+  for (const auto& [id, n] : nodes_) ids.push_back(id);
+  return ids;
+}
+
 linklayer::EgpLink* Network::egp(NodeId a, NodeId b) {
   return node(a).egp_to(b);
 }

@@ -11,6 +11,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "ctrl/controller.hpp"
 #include "ctrl/topology.hpp"
@@ -80,6 +81,9 @@ class Network {
                               const qhw::FiberParams& fiber);
 
   Node& node(NodeId id);
+  /// All node ids, ascending (for fabric-wide sweeps, e.g. occupancy
+  /// accounting across every engine).
+  std::vector<NodeId> node_ids() const;
   qnp::QnpEngine& engine(NodeId id) { return node(id).engine(); }
   qdevice::QuantumDevice& device(NodeId id) { return node(id).device(); }
   linklayer::EgpLink* egp(NodeId a, NodeId b);

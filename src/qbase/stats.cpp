@@ -147,6 +147,44 @@ std::vector<std::pair<double, double>> SampleSet::cdf_points(
   return pts;
 }
 
+ReservoirSampler::ReservoirSampler(std::size_t capacity, std::uint64_t seed)
+    : capacity_(capacity), rng_(seed) {
+  QNETP_ASSERT(capacity_ > 0);
+  reservoir_.reserve(capacity_);
+}
+
+void ReservoirSampler::add(double x) {
+  // Algorithm R: the i-th value (0-based) replaces a uniformly random
+  // slot with probability capacity/(i+1), keeping the reservoir a
+  // uniform sample of everything seen so far.
+  const std::size_t i = exact_.count();
+  exact_.add(x);
+  if (reservoir_.size() < capacity_) {
+    reservoir_.push_back(x);
+    return;
+  }
+  const std::uint64_t j = rng_.uniform_int(i + 1);
+  if (j < capacity_) reservoir_[j] = x;
+}
+
+double ReservoirSampler::quantile(double q) const {
+  QNETP_ASSERT(!reservoir_.empty());
+  QNETP_ASSERT(q >= 0.0 && q <= 1.0);
+  std::vector<double> sorted = sorted_reservoir();
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+std::vector<double> ReservoirSampler::sorted_reservoir() const {
+  std::vector<double> sorted = reservoir_;
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
+}
+
 void RateMeter::record(TimePoint t, double amount) {
   total_ += amount;
   if (events_.empty() || t >= events_.back().t) {

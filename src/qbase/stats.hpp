@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -82,6 +83,43 @@ class SampleSet {
   void ensure_sorted() const;
   std::vector<double> samples_;
   mutable bool sorted_ = true;
+};
+
+/// Fixed-capacity streaming quantile estimator (Vitter's Algorithm R).
+///
+/// SampleSet keeps every sample, which is exact but unbounded — an
+/// open-loop soak submitting millions of requests cannot afford that.
+/// The reservoir keeps a uniform random subset of fixed size instead:
+/// count/mean/min/max stay exact (tracked in a RunningStats alongside),
+/// quantiles are estimated from the reservoir. Fully deterministic for a
+/// given seed and insertion order, so aggregate digests survive `--jobs`
+/// as long as values are fed in trial order.
+class ReservoirSampler {
+ public:
+  explicit ReservoirSampler(std::size_t capacity = 4096,
+                            std::uint64_t seed = 0x5ee0a11ed5a3713eULL);
+
+  void add(double x);
+  std::size_t capacity() const { return capacity_; }
+  /// Exact number of values offered (not the retained count).
+  std::size_t count() const { return exact_.count(); }
+  bool empty() const { return exact_.empty(); }
+  double mean() const { return exact_.mean(); }
+  double min() const { return exact_.min(); }
+  double max() const { return exact_.max(); }
+
+  /// Quantile estimated from the retained subset, q in [0, 1].
+  double quantile(double q) const;
+
+  /// The retained values, sorted ascending (for digests and merging).
+  std::vector<double> sorted_reservoir() const;
+  std::size_t retained() const { return reservoir_.size(); }
+
+ private:
+  std::size_t capacity_;
+  Rng rng_;
+  RunningStats exact_;
+  std::vector<double> reservoir_;
 };
 
 /// Counts events over a simulation horizon and reports a rate.

@@ -1,6 +1,7 @@
 #include "qnp/engine.hpp"
 
 #include <algorithm>
+#include <sstream>
 
 #include "qbase/assert.hpp"
 #include "qbase/log.hpp"
@@ -24,7 +25,6 @@ using qstate::BellIndex;
 
 namespace {
 constexpr double kEerEpsilon = 1e-9;
-
 Basis random_basis(Rng& rng) {
   switch (rng.uniform_int(3)) {
     case 0: return Basis::z;
@@ -215,12 +215,21 @@ void QnpEngine::handle_teardown(NodeId from, const TeardownMsg& msg) {
     queue->clear();
   }
   // Release end-node qubits still held by the protocol.
-  for (auto& [corr, entry] : cs->in_transit) {
+  cs->in_transit.for_each([&](const PairCorrelator&, InTransit& entry) {
     if (entry.qubit.valid() && !entry.early_delivered && !entry.measured) {
       device_.discard(entry.qubit);
     }
-  }
+  });
   cs->in_transit.clear();
+
+  // Count requests the head accepted but will never complete.
+  if (cs->is_head()) {
+    for (const auto& [rid, state] : cs->requests) {
+      if (!state.completed) ++counters_.requests_aborted;
+    }
+  }
+  // The circuit's tables die with it; keep their cumulative expiry count.
+  retired_expired_wholesale_ += cs->expired_wholesale();
 
   // Notify applications of aborted requests.
   if (cs->is_head() || cs->is_tail()) {
@@ -439,16 +448,13 @@ void QnpEngine::tail_flush_request(CircuitState& cs, RequestId request) {
   // Surplus in-transit pairs assigned to a finished request can never be
   // delivered (the head's TRACKs for delivered pairs arrived before the
   // COMPLETE on the same FIFO channel). Release their qubits.
-  for (auto it = cs.in_transit.begin(); it != cs.in_transit.end();) {
-    if (it->second.request == request && !it->second.early_delivered) {
-      if (it->second.qubit.valid() && !it->second.measured) {
-        device_.discard(it->second.qubit);
-      }
-      it = cs.in_transit.erase(it);
-    } else {
-      ++it;
+  cs.in_transit.erase_if([&](const PairCorrelator&, InTransit& entry) {
+    if (entry.request != request || entry.early_delivered) return false;
+    if (entry.qubit.valid() && !entry.measured) {
+      device_.discard(entry.qubit);
     }
-  }
+    return true;
+  });
   poke_adjacent_egps(cs);
 }
 
@@ -464,6 +470,7 @@ void QnpEngine::on_link_pair(const LinkPairDelivery& d) {
     return;
   }
   ++counters_.link_pairs_received;
+  gc_records(*cs);
 
   if (cs->is_head()) {
     link_rule_head(*cs, d);
@@ -506,18 +513,17 @@ void QnpEngine::link_rule_head(CircuitState& cs, const LinkPairDelivery& d) {
     track.request_id = RequestId::invalid();
     TestRound round;
     round.basis = entry.test_basis;
-    round.created = sim_.now();
-    cs.tests[d.correlator] = round;
+    cs.tests.put(d.correlator, sim_.now(), round);
     // Measure our side immediately.
     const PairCorrelator corr = d.correlator;
     const CircuitId cid = cs.id;
     device_.measure(entry.qubit, entry.test_basis, [this, cid, corr](int o) {
       auto* c = find_circuit(cid);
       if (c == nullptr) return;
-      const auto it = c->tests.find(corr);
-      if (it == c->tests.end()) return;
-      it->second.head_outcome = o;
-      finish_test_round(*c, corr, it->second);
+      auto* round = c->tests.find(corr);
+      if (round == nullptr) return;
+      round->head_outcome = o;
+      finish_test_round(*c, corr, *round);
     });
     entry.qubit = QubitId::invalid();
     entry.measured = true;
@@ -547,10 +553,10 @@ void QnpEngine::link_rule_head(CircuitState& cs, const LinkPairDelivery& d) {
                       [this, cid, corr](int o) {
                         auto* c = find_circuit(cid);
                         if (c == nullptr) return;
-                        const auto it = c->in_transit.find(corr);
-                        if (it == c->in_transit.end()) return;
-                        it->second.measured = true;
-                        it->second.outcome = o;
+                        auto* e = c->in_transit.find(corr);
+                        if (e == nullptr) return;
+                        e->measured = true;
+                        e->outcome = o;
                         maybe_deliver(*c, corr);
                       });
       entry.qubit = QubitId::invalid();
@@ -575,7 +581,7 @@ void QnpEngine::link_rule_head(CircuitState& cs, const LinkPairDelivery& d) {
     }
   }
 
-  cs.in_transit.emplace(d.correlator, std::move(entry));
+  cs.in_transit.put(d.correlator, sim_.now(), std::move(entry));
   send(cs.downstream, track);
   ++counters_.tracks_originated;
 }
@@ -600,10 +606,10 @@ void QnpEngine::link_rule_tail(CircuitState& cs, const LinkPairDelivery& d) {
                         [this, cid, corr](int o) {
                           auto* c = find_circuit(cid);
                           if (c == nullptr) return;
-                          const auto e = c->in_transit.find(corr);
-                          if (e == c->in_transit.end()) return;
-                          e->second.measured = true;
-                          e->second.outcome = o;
+                          auto* e = c->in_transit.find(corr);
+                          if (e == nullptr) return;
+                          e->measured = true;
+                          e->outcome = o;
                           maybe_deliver(*c, corr);
                         });
         entry.qubit = QubitId::invalid();
@@ -638,7 +644,7 @@ void QnpEngine::link_rule_tail(CircuitState& cs, const LinkPairDelivery& d) {
   track.outcome_state = d.announced;
   track.epoch = 0;
 
-  cs.in_transit.emplace(d.correlator, std::move(entry));
+  cs.in_transit.put(d.correlator, sim_.now(), std::move(entry));
   send(cs.upstream, track);
   ++counters_.tracks_originated;
 }
@@ -721,7 +727,7 @@ void QnpEngine::try_swap(CircuitState& cs) {
     if (!config_.lazy_tracking) {
       // Blocking-tracking ablation: wait for the downstream-travelling
       // TRACK of the upstream pair before swapping.
-      if (cs.up_track_buf.count(cs.up_queue.front().correlator) == 0) return;
+      if (!cs.up_track_buf.contains(cs.up_queue.front().correlator)) return;
     }
     // "Entanglement swaps always prefer the oldest unexpired pairs."
     QueuedPair up = std::move(cs.up_queue.front());
@@ -755,35 +761,33 @@ void QnpEngine::on_swap_complete(CircuitId circuit_id, SwapSide up,
 
   // Downstream-travelling TRACK waiting for this swap? (Alg 7 upstream
   // branch.)
-  const auto up_buf = cs->up_track_buf.find(up.correlator);
-  if (up_buf != cs->up_track_buf.end()) {
-    TrackMsg track = up_buf->second;
-    cs->up_track_buf.erase(up_buf);
+  if (const TrackMsg* up_buf = cs->up_track_buf.find(up.correlator)) {
+    TrackMsg track = *up_buf;
+    cs->up_track_buf.erase(up.correlator);
     track.link_correlator = down.correlator;
     track.outcome_state =
         track.outcome_state ^ down.announced ^ completion.announced;
     send(cs->downstream, track);
     ++counters_.tracks_forwarded;
   } else {
-    cs->up_records[up.correlator] =
-        SwapRecord{down.correlator, down.announced, completion.announced,
-                   sim_.now()};
+    cs->up_records.put(
+        up.correlator, sim_.now(),
+        SwapRecord{down.correlator, down.announced, completion.announced});
   }
 
   // Upstream-travelling TRACK waiting? (Alg 7 downstream branch.)
-  const auto down_buf = cs->down_track_buf.find(down.correlator);
-  if (down_buf != cs->down_track_buf.end()) {
-    TrackMsg track = down_buf->second;
-    cs->down_track_buf.erase(down_buf);
+  if (const TrackMsg* down_buf = cs->down_track_buf.find(down.correlator)) {
+    TrackMsg track = *down_buf;
+    cs->down_track_buf.erase(down.correlator);
     track.link_correlator = up.correlator;
     track.outcome_state =
         track.outcome_state ^ up.announced ^ completion.announced;
     send(cs->upstream, track);
     ++counters_.tracks_forwarded;
   } else {
-    cs->down_records[down.correlator] =
-        SwapRecord{up.correlator, up.announced, completion.announced,
-                   sim_.now()};
+    cs->down_records.put(
+        down.correlator, sim_.now(),
+        SwapRecord{up.correlator, up.announced, completion.announced});
   }
 
   gc_records(*cs);
@@ -802,21 +806,20 @@ void QnpEngine::expire_rule_intermediate(CircuitState& cs, bool from_upstream,
   poke_adjacent_egps(cs);
 
   auto& track_buf = from_upstream ? cs.up_track_buf : cs.down_track_buf;
-  const auto buffered = track_buf.find(correlator);
-  if (buffered != track_buf.end()) {
+  if (const TrackMsg* buffered = track_buf.find(correlator)) {
     // A TRACK already waited for this pair: bounce an EXPIRE to its
     // origin end-node immediately.
     ExpireMsg expire;
     expire.circuit_id = cs.id;
-    expire.origin_correlator = buffered->second.origin_correlator;
-    track_buf.erase(buffered);
+    expire.origin_correlator = buffered->origin_correlator;
+    track_buf.erase(correlator);
     send(from_upstream ? cs.upstream : cs.downstream, expire);
     ++counters_.expires_sent;
     return;
   }
   auto& expire_records =
       from_upstream ? cs.up_expire_records : cs.down_expire_records;
-  expire_records[correlator] = sim_.now();
+  expire_records.put(correlator, sim_.now(), ExpireMark{});
   gc_records(cs);
 }
 
@@ -831,9 +834,9 @@ void QnpEngine::handle_expire(NodeId from, const ExpireMsg& msg) {
     return;
   }
   ++counters_.expires_received;
-  const auto it = cs->in_transit.find(msg.origin_correlator);
-  if (it == cs->in_transit.end()) return;  // already resolved
-  discard_in_transit(*cs, msg.origin_correlator, it->second, "expire");
+  auto* entry = cs->in_transit.find(msg.origin_correlator);
+  if (entry == nullptr) return;  // already resolved
+  discard_in_transit(*cs, msg.origin_correlator, *entry, "expire");
 }
 
 void QnpEngine::discard_in_transit(CircuitState& cs,
@@ -860,6 +863,28 @@ void QnpEngine::discard_in_transit(CircuitState& cs,
   poke_adjacent_egps(cs);
 }
 
+void QnpEngine::release_expired_in_transit(CircuitState& cs,
+                                           const PairCorrelator& corr,
+                                           InTransit& entry) {
+  // Both the TRACK and any EXPIRE for this pair are overdue by the full
+  // record TTL: the chain broke somewhere and nothing will resolve the
+  // entry. Count it with the other no-longer-deliverable pairs.
+  if (entry.is_test) cs.tests.erase(corr);
+  if (entry.early_delivered) {
+    const EndpointId ep = cs.is_head() ? cs.head_endpoint : cs.tail_endpoint;
+    if (const auto* handlers = handlers_for(ep);
+        handlers != nullptr && handlers->on_expire) {
+      handlers->on_expire(cs.id, entry.request, entry.qubit);
+    }
+  } else if (entry.qubit.valid() && !entry.measured) {
+    device_.discard(entry.qubit);
+  }
+  if (entry.request.valid()) cs.demux.unassign(entry.request);
+  ++counters_.pairs_discarded_unassigned;
+  QNETP_LOG(trace, "qnp") << node() << " wholesale-expired in-transit pair "
+                          << corr.to_string();
+}
+
 // ---------------------------------------------------------------------------
 // TRACK handling (Algorithms 2, 5, 8).
 // ---------------------------------------------------------------------------
@@ -871,6 +896,7 @@ void QnpEngine::handle_track(NodeId from, TrackMsg msg) {
   const bool from_upstream = (from == cs->upstream);
   QNETP_ASSERT_MSG(from_upstream || from == cs->downstream,
                    "TRACK from a node outside the circuit");
+  gc_records(*cs);
 
   if (cs->is_head() || cs->is_tail()) {
     end_node_track_rule(*cs, msg, cs->is_head());
@@ -883,19 +909,17 @@ void QnpEngine::handle_track(NodeId from, TrackMsg msg) {
       from_upstream ? cs->up_expire_records : cs->down_expire_records;
   auto& track_buf = from_upstream ? cs->up_track_buf : cs->down_track_buf;
 
-  const auto rec = records.find(msg.link_correlator);
-  if (rec != records.end()) {
-    msg.outcome_state = msg.outcome_state ^ rec->second.other_announced ^
-                        rec->second.swap_outcome;
-    msg.link_correlator = rec->second.other_correlator;
-    records.erase(rec);
+  const PairCorrelator key = msg.link_correlator;
+  if (const SwapRecord* rec = records.find(key)) {
+    msg.outcome_state =
+        msg.outcome_state ^ rec->other_announced ^ rec->swap_outcome;
+    msg.link_correlator = rec->other_correlator;
+    records.erase(key);
     send(from_upstream ? cs->downstream : cs->upstream, msg);
     ++counters_.tracks_forwarded;
     return;
   }
-  const auto exp = expire_records.find(msg.link_correlator);
-  if (exp != expire_records.end()) {
-    expire_records.erase(exp);
+  if (expire_records.erase(key)) {
     ExpireMsg expire;
     expire.circuit_id = cs->id;
     expire.origin_correlator = msg.origin_correlator;
@@ -904,28 +928,29 @@ void QnpEngine::handle_track(NodeId from, TrackMsg msg) {
     ++counters_.expires_sent;
     return;
   }
-  track_buf[msg.link_correlator] = msg;
+  track_buf.put(key, sim_.now(), msg);
   if (!config_.lazy_tracking) try_swap(*cs);
 }
 
 void QnpEngine::end_node_track_rule(CircuitState& cs, const TrackMsg& msg,
                                     bool at_head) {
-  const auto it = cs.in_transit.find(msg.link_correlator);
-  if (it == cs.in_transit.end()) {
-    // The local pair was already resolved (e.g. EXPIRE raced the TRACK).
+  auto* found = cs.in_transit.find(msg.link_correlator);
+  if (found == nullptr) {
+    // The local pair was already resolved (EXPIRE raced the TRACK, or
+    // wholesale expiry already released it): ignore, including exact
+    // duplicates of an already-processed TRACK.
     return;
   }
-  InTransit& entry = it->second;
+  InTransit& entry = *found;
 
   // Fidelity test rounds terminate here.
   if (at_head && entry.is_test) {
-    const auto test = cs.tests.find(msg.link_correlator);
-    if (test != cs.tests.end()) {
-      test->second.have_track = true;
-      test->second.tracked = msg.outcome_state;
-      finish_test_round(cs, msg.link_correlator, test->second);
+    if (TestRound* test = cs.tests.find(msg.link_correlator)) {
+      test->have_track = true;
+      test->tracked = msg.outcome_state;
+      finish_test_round(cs, msg.link_correlator, *test);
     }
-    cs.in_transit.erase(it);
+    cs.in_transit.erase(msg.link_correlator);
     return;
   }
   if (!at_head && msg.test_round) {
@@ -946,7 +971,7 @@ void QnpEngine::end_node_track_rule(CircuitState& cs, const TrackMsg& msg,
                         send(upstream, result);
                       });
     }
-    cs.in_transit.erase(it);
+    cs.in_transit.erase(msg.link_correlator);
     poke_adjacent_egps(cs);
     return;
   }
@@ -959,7 +984,7 @@ void QnpEngine::end_node_track_rule(CircuitState& cs, const TrackMsg& msg,
   if (at_head && !entry.request.valid()) {
     // We originated an unassigned TRACK; the pair was already discarded
     // locally at LINK time.
-    cs.in_transit.erase(it);
+    cs.in_transit.erase(msg.link_correlator);
     return;
   }
 
@@ -979,12 +1004,11 @@ void QnpEngine::end_node_track_rule(CircuitState& cs, const TrackMsg& msg,
 
 void QnpEngine::maybe_deliver(CircuitState& cs,
                               const PairCorrelator& correlator) {
-  const auto it = cs.in_transit.find(correlator);
-  if (it == cs.in_transit.end()) return;
-  InTransit& entry = it->second;
-  if (!entry.track_received) return;
-  if (entry.is_measure && !entry.measured) return;  // outcome still pending
-  deliver_pair(cs, correlator, entry);
+  auto* entry = cs.in_transit.find(correlator);
+  if (entry == nullptr) return;
+  if (!entry->track_received) return;
+  if (entry->is_measure && !entry->measured) return;  // outcome pending
+  deliver_pair(cs, correlator, *entry);
 }
 
 void QnpEngine::deliver_pair(CircuitState& cs,
@@ -1049,10 +1073,10 @@ void QnpEngine::deliver_pair(CircuitState& cs,
                     [this, cid, corr](int o) {
                       auto* c = find_circuit(cid);
                       if (c == nullptr) return;
-                      const auto e = c->in_transit.find(corr);
-                      if (e == c->in_transit.end()) return;
-                      e->second.measured = true;
-                      e->second.outcome = o;
+                      auto* e = c->in_transit.find(corr);
+                      if (e == nullptr) return;
+                      e->measured = true;
+                      e->outcome = o;
                       maybe_deliver(*c, corr);
                     });
     entry.qubit = QubitId::invalid();
@@ -1191,11 +1215,11 @@ void QnpEngine::handle_test_result(NodeId from, const TestResultMsg& msg) {
     send(from == cs->downstream ? cs->upstream : cs->downstream, msg);
     return;
   }
-  const auto it = cs->tests.find(msg.origin_correlator);
-  if (it == cs->tests.end()) return;
-  it->second.tail_outcome = msg.outcome;
-  it->second.have_tail = true;
-  finish_test_round(*cs, msg.origin_correlator, it->second);
+  auto* round = cs->tests.find(msg.origin_correlator);
+  if (round == nullptr) return;
+  round->tail_outcome = msg.outcome;
+  round->have_tail = true;
+  finish_test_round(*cs, msg.origin_correlator, *round);
 }
 
 void QnpEngine::finish_test_round(CircuitState& cs,
@@ -1256,47 +1280,118 @@ void QnpEngine::measure_app_qubit(QubitId qubit, Basis basis,
   });
 }
 
+// ---------------------------------------------------------------------------
+// Record lifetime management: wholesale flow-table expiry.
+// ---------------------------------------------------------------------------
+
+std::uint64_t QnpEngine::CircuitState::live_records() const {
+  return up_records.size() + down_records.size() + up_track_buf.size() +
+         down_track_buf.size() + up_expire_records.size() +
+         down_expire_records.size() + in_transit.size() + tests.size();
+}
+
+std::uint64_t QnpEngine::CircuitState::expired_wholesale() const {
+  return up_records.expired_wholesale() + down_records.expired_wholesale() +
+         up_track_buf.expired_wholesale() +
+         down_track_buf.expired_wholesale() +
+         up_expire_records.expired_wholesale() +
+         down_expire_records.expired_wholesale() +
+         in_transit.expired_wholesale() + tests.expired_wholesale();
+}
+
 void QnpEngine::gc_records(CircuitState& cs) {
-  const Duration ttl =
-      std::max(cs.cutoff * 8.0, Duration::seconds(1.0));
-  const TimePoint floor = (sim_.now().count_ps() > ttl.count_ps())
-                              ? (sim_.now() - ttl)
-                              : TimePoint::origin();
-  auto sweep = [&](auto& map) {
-    if (map.size() < 64) return;
-    for (auto it = map.begin(); it != map.end();) {
-      if (it->second.created < floor) {
-        it = map.erase(it);
-      } else {
-        ++it;
-      }
+  const Duration ttl = std::max(cs.cutoff * 8.0, Duration::seconds(1.0));
+  if (sim_.now().count_ps() > ttl.count_ps()) {
+    const TimePoint floor = sim_.now() - ttl;
+    cs.up_records.expire_all(floor);
+    cs.down_records.expire_all(floor);
+    cs.up_expire_records.expire_all(floor);
+    cs.down_expire_records.expire_all(floor);
+    cs.tests.expire_all(floor);
+    // A buffered TRACK whose partner record aged out can never be
+    // forwarded: bounce an EXPIRE toward the origin end-node so it
+    // releases its half of the chain (these used to leak silently).
+    auto bounce = [&](NodeId toward) {
+      return [&, toward](const PairCorrelator&, TrackMsg&& buffered) {
+        ExpireMsg expire;
+        expire.circuit_id = cs.id;
+        expire.origin_correlator = buffered.origin_correlator;
+        send(toward, expire);
+        ++counters_.expires_sent;
+      };
+    };
+    cs.up_track_buf.expire_all(floor, 0, bounce(cs.upstream));
+    cs.down_track_buf.expire_all(floor, 0, bounce(cs.downstream));
+    // End-node in-transit entries hold device qubits, so they expire
+    // ungated: once both the TRACK and any EXPIRE are a full TTL overdue
+    // the chain broke and nothing else will release them.
+    if (cs.is_head() || cs.is_tail()) {
+      const std::size_t dropped = cs.in_transit.expire_all(
+          floor, 0, [&](const PairCorrelator& corr, InTransit&& entry) {
+            release_expired_in_transit(cs, corr, entry);
+          });
+      if (dropped > 0) poke_adjacent_egps(cs);
     }
-  };
-  sweep(cs.up_records);
-  sweep(cs.down_records);
-  auto sweep_times = [&](auto& map) {
-    if (map.size() < 64) return;
-    for (auto it = map.begin(); it != map.end();) {
-      if (it->second < floor) {
-        it = map.erase(it);
-      } else {
-        ++it;
-      }
+  }
+  note_occupancy();
+#ifndef NDEBUG
+  const std::string err = consistency_check();
+  QNETP_ASSERT_MSG(err.empty(), err);
+#endif
+}
+
+void QnpEngine::note_occupancy() {
+  std::uint64_t live = 0;
+  for (const auto& [id, cs] : circuits_) live += cs.live_records();
+  if (live > peak_live_records_) peak_live_records_ = live;
+}
+
+EngineOccupancy QnpEngine::occupancy() const {
+  EngineOccupancy occ;
+  occ.expired_wholesale = retired_expired_wholesale_;
+  for (const auto& [id, cs] : circuits_) {
+    occ.live += cs.live_records();
+    occ.expired_wholesale += cs.expired_wholesale();
+  }
+  occ.peak = std::max(peak_live_records_, occ.live);
+  return occ;
+}
+
+std::string QnpEngine::consistency_check() const {
+  std::uint64_t open_head_requests = 0;
+  for (const auto& [id, cs] : circuits_) {
+    if (!cs.is_head()) continue;
+    for (const auto& [rid, state] : cs.requests) {
+      if (!state.completed) ++open_head_requests;
     }
-  };
-  sweep_times(cs.up_expire_records);
-  sweep_times(cs.down_expire_records);
-  auto sweep_tests = [&](auto& map) {
-    if (map.size() < 64) return;
-    for (auto it = map.begin(); it != map.end();) {
-      if (it->second.created < floor) {
-        it = map.erase(it);
-      } else {
-        ++it;
-      }
-    }
-  };
-  sweep_tests(cs.tests);
+  }
+  std::ostringstream err;
+  const std::uint64_t accounted = counters_.requests_completed +
+                                  counters_.requests_aborted +
+                                  open_head_requests;
+  if (counters_.requests_accepted != accounted) {
+    err << "requests_accepted (" << counters_.requests_accepted
+        << ") != completed (" << counters_.requests_completed
+        << ") + aborted (" << counters_.requests_aborted << ") + active ("
+        << open_head_requests << ")";
+    return err.str();
+  }
+  if (counters_.requests_completed > counters_.requests_accepted) {
+    err << "requests_completed (" << counters_.requests_completed
+        << ") > requests_accepted (" << counters_.requests_accepted << ")";
+    return err.str();
+  }
+  if (counters_.swaps_completed > counters_.swaps_started) {
+    err << "swaps_completed (" << counters_.swaps_completed
+        << ") > swaps_started (" << counters_.swaps_started << ")";
+    return err.str();
+  }
+  const EngineOccupancy occ = occupancy();
+  if (occ.peak < occ.live) {
+    err << "occupancy peak (" << occ.peak << ") < live (" << occ.live << ")";
+    return err.str();
+  }
+  return {};
 }
 
 }  // namespace qnetp::qnp

@@ -17,7 +17,8 @@
 //  * when an end-node has no active request for a new link-pair, it sends
 //    a TRACK with an invalid request id so the far end can release the
 //    partner qubit (instead of leaking it);
-//  * swap/expire records are garbage-collected after 8x the cutoff time,
+//  * all per-correlator record maps live in time-wheel-indexed FlowTables
+//    and are retired wholesale (expire_all) after 8x the cutoff time,
 //    bounding state held for chains that broke elsewhere.
 #pragma once
 
@@ -38,6 +39,7 @@
 #include "qnp/config.hpp"
 #include "qnp/demux.hpp"
 #include "qnp/fidelity_estimator.hpp"
+#include "qnp/flow_table.hpp"
 #include "qnp/request.hpp"
 
 namespace qnetp::qnp {
@@ -60,8 +62,17 @@ struct QnpCounters {
   std::uint64_t requests_rejected = 0;
   std::uint64_t requests_shaped = 0;
   std::uint64_t requests_completed = 0;
+  std::uint64_t requests_aborted = 0;  ///< open at the head when torn down
   std::uint64_t test_rounds_completed = 0;
   std::uint64_t early_deliveries = 0;
+};
+
+/// Census of the engine's flow-table records; the soak bench asserts
+/// flatness (peak within a small factor of steady state) on it.
+struct EngineOccupancy {
+  std::uint64_t live = 0;               ///< records held right now
+  std::uint64_t peak = 0;               ///< high-water mark of `live`
+  std::uint64_t expired_wholesale = 0;  ///< dropped by wholesale expiry
 };
 
 class QnpEngine {
@@ -72,6 +83,17 @@ class QnpEngine {
   NodeId node() const { return device_.node(); }
   const QnpConfig& config() const { return config_; }
   const QnpCounters& counters() const { return counters_; }
+
+  /// Flow-table record census across all circuits (includes tables of
+  /// already-torn-down circuits in the cumulative fields).
+  EngineOccupancy occupancy() const;
+
+  /// Cross-checks the counters against each other and the live request
+  /// state (accepted == completed + aborted + still-active); returns an
+  /// explanation of the first violated invariant, or "" when consistent.
+  /// Debug builds assert it on the record-GC path; the soak bench and
+  /// traffic trials assert it in every build type.
+  std::string consistency_check() const;
 
   // --- Wiring (done once by the network assembly) --------------------------
 
@@ -149,13 +171,17 @@ class QnpEngine {
   };
 
   /// Swap record (Appendix C "Swap records"), stored per direction keyed
-  /// by the consumed pair's correlator on that side.
+  /// by the consumed pair's correlator on that side. Lifetime stamps live
+  /// in the FlowTable holding it.
   struct SwapRecord {
     PairCorrelator other_correlator;
     qstate::BellIndex other_announced;
     qstate::BellIndex swap_outcome;
-    TimePoint created;
   };
+
+  /// A cutoff-expired correlator awaiting its TRACK; the creation stamp
+  /// kept by the FlowTable is the only payload.
+  struct ExpireMark {};
 
   /// End-node bookkeeping for one local link-pair (in_transit of Alg 1-6).
   struct InTransit {
@@ -194,7 +220,6 @@ class QnpEngine {
     bool have_tail = false;
     bool have_track = false;
     qstate::BellIndex tracked;
-    TimePoint created;
   };
 
   struct CircuitState {
@@ -215,19 +240,20 @@ class QnpEngine {
     bool is_head() const { return !upstream.valid(); }
     bool is_tail() const { return !downstream.valid(); }
 
-    // Intermediate-node state.
+    // Intermediate-node state. All per-correlator maps are FlowTables so
+    // stale records retire wholesale instead of via per-entry sweeps.
     std::deque<QueuedPair> up_queue;
     std::deque<QueuedPair> down_queue;
-    std::unordered_map<PairCorrelator, SwapRecord> up_records;
-    std::unordered_map<PairCorrelator, SwapRecord> down_records;
-    std::unordered_map<PairCorrelator, netmsg::TrackMsg> up_track_buf;
-    std::unordered_map<PairCorrelator, netmsg::TrackMsg> down_track_buf;
-    std::unordered_map<PairCorrelator, TimePoint> up_expire_records;
-    std::unordered_map<PairCorrelator, TimePoint> down_expire_records;
+    FlowTable<SwapRecord> up_records;
+    FlowTable<SwapRecord> down_records;
+    FlowTable<netmsg::TrackMsg> up_track_buf;
+    FlowTable<netmsg::TrackMsg> down_track_buf;
+    FlowTable<ExpireMark> up_expire_records;
+    FlowTable<ExpireMark> down_expire_records;
 
     // End-node state.
     Demultiplexer demux;
-    std::unordered_map<PairCorrelator, InTransit> in_transit;
+    FlowTable<InTransit> in_transit;
     std::map<RequestId, RequestState> requests;  // ordered for determinism
     std::deque<AppRequest> shaped;               // waiting for capacity
     double committed_eer = 0.0;
@@ -238,8 +264,11 @@ class QnpEngine {
     std::unordered_set<RequestId> known_rate_based;
     // Fidelity testing (head-end).
     std::uint32_t pairs_since_test = 0;
-    std::unordered_map<PairCorrelator, TestRound> tests;
+    FlowTable<TestRound> tests;
     FidelityEstimator estimator;
+
+    std::uint64_t live_records() const;
+    std::uint64_t expired_wholesale() const;
   };
 
   // -- Helpers ---------------------------------------------------------------
@@ -306,10 +335,16 @@ class QnpEngine {
 
   void discard_in_transit(CircuitState& cs, const PairCorrelator& corr,
                           InTransit& entry, const char* why);
+  /// Release an in-transit entry that wholesale expiry already removed
+  /// from the table (qubit, demux slot, app notification).
+  void release_expired_in_transit(CircuitState& cs,
+                                  const PairCorrelator& corr,
+                                  InTransit& entry);
 
   const EndpointHandlers* handlers_for(EndpointId endpoint) const;
 
   void gc_records(CircuitState& cs);
+  void note_occupancy();
 
   // -- Members ----------------------------------------------------------------
 
@@ -338,6 +373,8 @@ class QnpEngine {
   std::unordered_map<QubitId, CircuitId> app_qubits_;
 
   QnpCounters counters_;
+  std::uint64_t peak_live_records_ = 0;
+  std::uint64_t retired_expired_wholesale_ = 0;  ///< from torn-down circuits
 };
 
 }  // namespace qnetp::qnp

@@ -1,0 +1,181 @@
+// FlowTable: a correlator-keyed record table with amortized wholesale
+// expiry, shared by every per-correlator map the QNP engine keeps
+// (swap records, expire records, buffered TRACKs, in-transit pairs,
+// test rounds).
+//
+// The old engine garbage-collected each map entry-by-entry: every sweep
+// walked the whole map and compared per-entry timestamps. Production
+// dataplanes index flow state by expiry time instead and retire whole
+// buckets at once (the `flow_emap.expire_all(now - EXP_TIME)` idiom of
+// the vigor NAT); this is that shape. Records are hashed by correlator
+// for O(1) lookup and additionally referenced from a time wheel of
+// fixed-width creation-time slots. `expire_all(floor)` pops whole slots
+// from the front of the wheel while they lie strictly below the
+// horizon — amortized O(1) per record over its lifetime, never a full
+// map walk.
+//
+// Erased or overwritten records leave stale wheel references behind;
+// a per-record sequence number detects and skips them at retirement
+// time (lazy deletion), so erase() stays O(1) too.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "qbase/assert.hpp"
+#include "qbase/ids.hpp"
+#include "qbase/units.hpp"
+
+namespace qnetp::qnp {
+
+template <typename Value>
+class FlowTable {
+ public:
+  /// `slot_width` is the retirement granularity: an entry outlives its
+  /// nominal horizon by at most one slot. The engine's minimum record
+  /// TTL is 1 s, so the 125 ms default keeps at least 8 live slots.
+  explicit FlowTable(Duration slot_width = Duration::ms(125))
+      : width_ps_(slot_width.count_ps()) {
+    QNETP_ASSERT(width_ps_ > 0);
+  }
+
+  Value* find(const PairCorrelator& key) {
+    const auto it = map_.find(key);
+    return it == map_.end() ? nullptr : &it->second.value;
+  }
+  const Value* find(const PairCorrelator& key) const {
+    const auto it = map_.find(key);
+    return it == map_.end() ? nullptr : &it->second.value;
+  }
+  bool contains(const PairCorrelator& key) const {
+    return map_.count(key) > 0;
+  }
+
+  /// Insert or overwrite, stamping the entry with `now` (an overwrite
+  /// restarts the entry's lifetime). `now` must be monotone across puts.
+  Value& put(const PairCorrelator& key, TimePoint now, Value value) {
+    const std::uint64_t seq = next_seq_++;
+    auto [it, inserted] =
+        map_.insert_or_assign(key, Entry{std::move(value), now, seq});
+    if (inserted) ++inserted_;
+    const std::int64_t slot = now.count_ps() / width_ps_;
+    if (wheel_.empty() || wheel_.back().index != slot) {
+      QNETP_ASSERT_MSG(wheel_.empty() || wheel_.back().index < slot,
+                       "flow-table puts must be time-monotone");
+      wheel_.push_back(Slot{slot, {}});
+    }
+    wheel_.back().refs.push_back(SlotRef{key, seq});
+    if (map_.size() > peak_) peak_ = map_.size();
+    return it->second.value;
+  }
+
+  bool erase(const PairCorrelator& key) {
+    if (map_.erase(key) == 0) return false;
+    ++erased_;
+    return true;  // the wheel reference goes stale and is skipped later
+  }
+
+  /// Erase every entry matching `pred(key, value)`; returns the count.
+  template <typename Pred>
+  std::size_t erase_if(Pred&& pred) {
+    std::size_t n = 0;
+    for (auto it = map_.begin(); it != map_.end();) {
+      if (pred(it->first, it->second.value)) {
+        it = map_.erase(it);
+        ++n;
+      } else {
+        ++it;
+      }
+    }
+    erased_ += n;
+    return n;
+  }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (auto& [key, entry] : map_) fn(key, entry.value);
+  }
+
+  void clear() {
+    erased_ += map_.size();
+    map_.clear();
+    wheel_.clear();
+  }
+
+  /// Wholesale expiry: retire every wheel slot that lies entirely below
+  /// `floor`, dropping its still-live entries. An entry created exactly
+  /// AT the horizon survives (its slot's end is past the floor). When
+  /// fewer than `min_live` entries are live the call is a no-op, mirroring
+  /// the old sweep's size gate. `on_expire(key, Value&&)` runs after the
+  /// entry left the table, so it may re-enter the table safely.
+  template <typename Fn>
+  std::size_t expire_all(TimePoint floor, std::size_t min_live,
+                         Fn&& on_expire) {
+    if (map_.size() < min_live) return 0;
+    std::size_t n = 0;
+    while (!wheel_.empty() &&
+           (wheel_.front().index + 1) * width_ps_ <= floor.count_ps()) {
+      Slot slot = std::move(wheel_.front());
+      wheel_.pop_front();
+      for (const SlotRef& ref : slot.refs) {
+        const auto it = map_.find(ref.key);
+        if (it == map_.end() || it->second.seq != ref.seq) continue;
+        Value dead = std::move(it->second.value);
+        map_.erase(it);
+        ++expired_;
+        ++n;
+        on_expire(ref.key, std::move(dead));
+      }
+    }
+    return n;
+  }
+  std::size_t expire_all(TimePoint floor, std::size_t min_live = 0) {
+    return expire_all(floor, min_live, [](const PairCorrelator&, Value&&) {});
+  }
+
+  std::size_t size() const { return map_.size(); }
+  bool empty() const { return map_.empty(); }
+
+  // Occupancy accounting: inserted() == size() + erased() + expired()
+  // holds after any op sequence (overwrites replace in place and touch
+  // none of the three).
+  std::uint64_t inserted() const { return inserted_; }
+  std::uint64_t erased() const { return erased_; }
+  std::uint64_t expired_wholesale() const { return expired_; }
+  std::size_t peak() const { return peak_; }
+
+  /// Creation stamp of a live entry (tests); nullptr when absent.
+  const TimePoint* created(const PairCorrelator& key) const {
+    const auto it = map_.find(key);
+    return it == map_.end() ? nullptr : &it->second.created;
+  }
+
+ private:
+  struct Entry {
+    Value value;
+    TimePoint created;
+    std::uint64_t seq = 0;
+  };
+  struct SlotRef {
+    PairCorrelator key;
+    std::uint64_t seq = 0;
+  };
+  struct Slot {
+    std::int64_t index = 0;
+    std::vector<SlotRef> refs;
+  };
+
+  std::unordered_map<PairCorrelator, Entry> map_;
+  std::deque<Slot> wheel_;  ///< ascending, possibly sparse, slot indices
+  std::int64_t width_ps_;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t inserted_ = 0;
+  std::uint64_t erased_ = 0;
+  std::uint64_t expired_ = 0;
+  std::size_t peak_ = 0;
+};
+
+}  // namespace qnetp::qnp

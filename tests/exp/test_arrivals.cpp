@@ -1,0 +1,220 @@
+#include "exp/traffic.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace qnetp::exp {
+namespace {
+
+using qnetp::Duration;
+using qnetp::TimePoint;
+
+std::vector<TimePoint> arrivals_until(ArrivalProcess& proc, TimePoint end) {
+  std::vector<TimePoint> out;
+  TimePoint t = TimePoint::origin();
+  for (;;) {
+    t = proc.next_after(t);
+    if (t >= end) break;
+    out.push_back(t);
+  }
+  return out;
+}
+
+TEST(PoissonArrivals, EmpiricalRateWithinConfidenceInterval) {
+  ArrivalConfig cfg;
+  cfg.kind = ArrivalKind::poisson;
+  cfg.rate = 5.0;
+  const double horizon_s = 2000.0;
+  ArrivalProcess proc(cfg, 77);
+  const auto ts = arrivals_until(
+      proc, TimePoint::origin() + Duration::seconds(horizon_s));
+  // Poisson count over T has mean rate*T and stddev sqrt(rate*T); allow
+  // a generous 4-sigma band so the seeded test never flakes.
+  const double expected = cfg.rate * horizon_s;
+  const double sigma = std::sqrt(expected);
+  EXPECT_GT(static_cast<double>(ts.size()), expected - 4.0 * sigma);
+  EXPECT_LT(static_cast<double>(ts.size()), expected + 4.0 * sigma);
+  // Strictly increasing times.
+  for (std::size_t i = 1; i < ts.size(); ++i) EXPECT_GT(ts[i], ts[i - 1]);
+}
+
+TEST(PoissonArrivals, InterarrivalMeanMatches) {
+  ArrivalConfig cfg;
+  cfg.kind = ArrivalKind::poisson;
+  cfg.rate = 2.0;
+  ArrivalProcess proc(cfg, 9);
+  const auto ts = arrivals_until(
+      proc, TimePoint::origin() + Duration::seconds(5000.0));
+  ASSERT_GT(ts.size(), 1000u);
+  double sum = 0.0;
+  for (std::size_t i = 1; i < ts.size(); ++i) {
+    sum += (ts[i] - ts[i - 1]).as_seconds();
+  }
+  const double mean = sum / static_cast<double>(ts.size() - 1);
+  EXPECT_NEAR(mean, 1.0 / cfg.rate, 0.05);
+}
+
+TEST(MmppArrivals, DwellTimesMatchConfiguredMeans) {
+  ArrivalConfig cfg;
+  cfg.kind = ArrivalKind::mmpp;
+  cfg.burst_rate = 20.0;
+  cfg.idle_rate = 0.5;
+  cfg.burst_dwell = Duration::seconds(2);
+  cfg.idle_dwell = Duration::seconds(8);
+  ArrivalProcess proc(cfg, 1234);
+  (void)arrivals_until(proc,
+                       TimePoint::origin() + Duration::seconds(20000.0));
+  const MmppDebug& dbg = proc.mmpp_debug();
+  // Thousands of phase alternations: the mean dwell of each phase must
+  // match its exponential parameter within a few percent.
+  ASSERT_GT(dbg.bursts, 500u);
+  ASSERT_GT(dbg.idles, 500u);
+  const double burst_mean =
+      dbg.burst_time.as_seconds() / static_cast<double>(dbg.bursts);
+  const double idle_mean =
+      dbg.idle_time.as_seconds() / static_cast<double>(dbg.idles);
+  EXPECT_NEAR(burst_mean, cfg.burst_dwell.as_seconds(),
+              0.15 * cfg.burst_dwell.as_seconds());
+  EXPECT_NEAR(idle_mean, cfg.idle_dwell.as_seconds(),
+              0.15 * cfg.idle_dwell.as_seconds());
+  // Phases alternate, so the counts differ by at most one.
+  const std::uint64_t diff =
+      dbg.bursts > dbg.idles ? dbg.bursts - dbg.idles : dbg.idles - dbg.bursts;
+  EXPECT_LE(diff, 1u);
+}
+
+TEST(MmppArrivals, OverallRateIsDwellWeightedMixture) {
+  ArrivalConfig cfg;
+  cfg.kind = ArrivalKind::mmpp;
+  cfg.burst_rate = 10.0;
+  cfg.idle_rate = 1.0;
+  cfg.burst_dwell = Duration::seconds(5);
+  cfg.idle_dwell = Duration::seconds(15);
+  const double horizon_s = 20000.0;
+  ArrivalProcess proc(cfg, 42);
+  const auto ts = arrivals_until(
+      proc, TimePoint::origin() + Duration::seconds(horizon_s));
+  const double p_burst = cfg.burst_dwell.as_seconds() /
+                         (cfg.burst_dwell.as_seconds() +
+                          cfg.idle_dwell.as_seconds());
+  const double mixture_rate =
+      p_burst * cfg.burst_rate + (1.0 - p_burst) * cfg.idle_rate;
+  const double empirical = static_cast<double>(ts.size()) / horizon_s;
+  EXPECT_NEAR(empirical, mixture_rate, 0.1 * mixture_rate);
+}
+
+TEST(MmppArrivals, BurstierThanPoisson) {
+  // Index of dispersion of counts over fixed bins: ~1 for Poisson,
+  // substantially above 1 for an MMPP with distinct phase rates.
+  ArrivalConfig cfg;
+  cfg.kind = ArrivalKind::mmpp;
+  cfg.burst_rate = 20.0;
+  cfg.idle_rate = 0.5;
+  cfg.burst_dwell = Duration::seconds(4);
+  cfg.idle_dwell = Duration::seconds(12);
+  ArrivalProcess proc(cfg, 7);
+  const double horizon_s = 10000.0;
+  const auto ts = arrivals_until(
+      proc, TimePoint::origin() + Duration::seconds(horizon_s));
+  const double bin_s = 4.0;
+  std::vector<double> counts(
+      static_cast<std::size_t>(horizon_s / bin_s), 0.0);
+  for (const TimePoint t : ts) {
+    const auto bin = static_cast<std::size_t>(
+        (t - TimePoint::origin()).as_seconds() / bin_s);
+    if (bin < counts.size()) counts[bin] += 1.0;
+  }
+  double mean = 0.0;
+  for (double c : counts) mean += c;
+  mean /= static_cast<double>(counts.size());
+  double var = 0.0;
+  for (double c : counts) var += (c - mean) * (c - mean);
+  var /= static_cast<double>(counts.size() - 1);
+  EXPECT_GT(var / mean, 3.0);
+}
+
+TEST(DiurnalArrivals, PeakHalfOutweighsTroughHalf) {
+  ArrivalConfig cfg;
+  cfg.kind = ArrivalKind::diurnal;
+  cfg.peak_rate = 6.0;
+  cfg.trough_rate = 0.5;
+  cfg.period = Duration::seconds(100);
+  ArrivalProcess proc(cfg, 5);
+  const auto ts = arrivals_until(
+      proc, TimePoint::origin() + Duration::seconds(10000.0));
+  // rate(t) peaks at the half-period point of every cycle; count
+  // arrivals landing in the middle half of each period vs the outer
+  // half (the trough is at the period boundaries).
+  double middle = 0.0, outer = 0.0;
+  const double period_s = cfg.period.as_seconds();
+  for (const TimePoint t : ts) {
+    const double phase = std::fmod(
+        (t - TimePoint::origin()).as_seconds(), period_s) / period_s;
+    if (phase >= 0.25 && phase < 0.75) {
+      middle += 1.0;
+    } else {
+      outer += 1.0;
+    }
+  }
+  EXPECT_GT(middle, 2.0 * outer);
+  // The thinned stream must also respect the overall mean rate.
+  const double mean_rate = 0.5 * (cfg.peak_rate + cfg.trough_rate);
+  EXPECT_NEAR(static_cast<double>(ts.size()) / 10000.0, mean_rate,
+              0.1 * mean_rate);
+}
+
+TEST(DiurnalArrivals, RateAtFollowsRaisedCosine) {
+  ArrivalConfig cfg;
+  cfg.kind = ArrivalKind::diurnal;
+  cfg.peak_rate = 4.0;
+  cfg.trough_rate = 1.0;
+  cfg.period = Duration::seconds(60);
+  ArrivalProcess proc(cfg, 1);
+  EXPECT_NEAR(proc.rate_at(TimePoint::origin()), 1.0, 1e-9);
+  EXPECT_NEAR(proc.rate_at(TimePoint::origin() + Duration::seconds(30)),
+              4.0, 1e-9);
+  EXPECT_NEAR(proc.rate_at(TimePoint::origin() + Duration::seconds(15)),
+              2.5, 1e-9);
+}
+
+TEST(ArrivalDeterminism, SeededReplayIsBitIdentical) {
+  for (const ArrivalKind kind :
+       {ArrivalKind::poisson, ArrivalKind::mmpp, ArrivalKind::diurnal}) {
+    ArrivalConfig cfg;
+    cfg.kind = kind;
+    ArrivalProcess a(cfg, 99), b(cfg, 99);
+    const TimePoint end = TimePoint::origin() + Duration::seconds(500.0);
+    const auto ta = arrivals_until(a, end);
+    const auto tb = arrivals_until(b, end);
+    ASSERT_FALSE(ta.empty());
+    ASSERT_EQ(ta.size(), tb.size()) << to_string(kind);
+    for (std::size_t i = 0; i < ta.size(); ++i) {
+      EXPECT_EQ(ta[i].count_ps(), tb[i].count_ps()) << to_string(kind);
+    }
+  }
+}
+
+TEST(ArrivalDeterminism, TrialSeedsGiveIndependentStreams) {
+  ArrivalConfig cfg;
+  cfg.kind = ArrivalKind::poisson;
+  cfg.rate = 3.0;
+  const TimePoint end = TimePoint::origin() + Duration::seconds(1000.0);
+  ArrivalProcess a(cfg, derive_stream_seed(1, 0));
+  ArrivalProcess b(cfg, derive_stream_seed(1, 1));
+  const auto ta = arrivals_until(a, end);
+  const auto tb = arrivals_until(b, end);
+  // Different derived streams must not collide: count exact matches of
+  // the first min(n) arrival instants.
+  const std::size_t n = std::min(ta.size(), tb.size());
+  ASSERT_GT(n, 100u);
+  std::size_t same = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (ta[i].count_ps() == tb[i].count_ps()) ++same;
+  }
+  EXPECT_EQ(same, 0u);
+}
+
+}  // namespace
+}  // namespace qnetp::exp

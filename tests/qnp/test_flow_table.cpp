@@ -1,0 +1,251 @@
+// FlowTable unit tests: wholesale-expiry slot semantics, lazy deletion
+// of stale wheel references, and the occupancy accounting invariant
+// inserted() == size() + erased() + expired_wholesale() under random
+// operation sequences checked against a reference std::map mirror.
+#include "qnp/flow_table.hpp"
+
+#include <cstdint>
+#include <map>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "qbase/units.hpp"
+
+namespace qnetp::qnp {
+namespace {
+
+PairCorrelator key(std::uint64_t n) {
+  return PairCorrelator{LinkId{1 + (n % 7)}, n};
+}
+
+TimePoint at_s(double s) {
+  return TimePoint::origin() + Duration::seconds(s);
+}
+
+TEST(FlowTable, BasicInsertFindErase) {
+  FlowTable<int> table;
+  EXPECT_TRUE(table.empty());
+  table.put(key(1), at_s(0.0), 10);
+  table.put(key(2), at_s(0.1), 20);
+  ASSERT_NE(table.find(key(1)), nullptr);
+  EXPECT_EQ(*table.find(key(1)), 10);
+  EXPECT_TRUE(table.contains(key(2)));
+  EXPECT_FALSE(table.contains(key(3)));
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_TRUE(table.erase(key(1)));
+  EXPECT_FALSE(table.erase(key(1)));  // already gone
+  EXPECT_EQ(table.find(key(1)), nullptr);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.inserted(), 2u);
+  EXPECT_EQ(table.erased(), 1u);
+  EXPECT_EQ(table.expired_wholesale(), 0u);
+}
+
+TEST(FlowTable, EntryCreatedExactlyAtTheHorizonSurvives) {
+  // 125 ms slots: an entry stamped at t lives in slot [t_slot, t_slot +
+  // 125ms) and is retired only once the whole slot lies at or below the
+  // floor. An entry created exactly AT the floor therefore survives.
+  FlowTable<int> table(Duration::ms(125));
+  table.put(key(1), at_s(1.0), 1);
+  EXPECT_EQ(table.expire_all(at_s(1.0)), 0u);
+  EXPECT_TRUE(table.contains(key(1)));
+  // Still inside the slot: survives any floor below the slot end.
+  EXPECT_EQ(table.expire_all(at_s(1.124)), 0u);
+  EXPECT_TRUE(table.contains(key(1)));
+  // At the slot end the slot lies entirely below the floor: retired.
+  EXPECT_EQ(table.expire_all(at_s(1.125)), 1u);
+  EXPECT_FALSE(table.contains(key(1)));
+  EXPECT_EQ(table.expired_wholesale(), 1u);
+  EXPECT_EQ(table.inserted(), table.size() + table.erased() +
+                                  table.expired_wholesale());
+}
+
+TEST(FlowTable, ExpiryRetiresOnlySlotsBelowTheFloor) {
+  FlowTable<int> table(Duration::ms(125));
+  table.put(key(1), at_s(0.0), 1);
+  table.put(key(2), at_s(0.5), 2);
+  table.put(key(3), at_s(2.0), 3);
+  std::vector<std::uint64_t> expired;
+  const std::size_t n = table.expire_all(
+      at_s(1.0), 0,
+      [&](const PairCorrelator& k, int&&) { expired.push_back(k.sequence); });
+  EXPECT_EQ(n, 2u);
+  ASSERT_EQ(expired.size(), 2u);
+  EXPECT_EQ(expired[0], 1u);  // oldest slot first
+  EXPECT_EQ(expired[1], 2u);
+  EXPECT_TRUE(table.contains(key(3)));
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(FlowTable, OverwriteRestartsTheLifetime) {
+  FlowTable<std::string> table(Duration::ms(125));
+  table.put(key(9), at_s(0.0), "old");
+  table.put(key(9), at_s(5.0), "new");
+  // Overwrite replaces in place: no counter moves.
+  EXPECT_EQ(table.inserted(), 1u);
+  EXPECT_EQ(table.size(), 1u);
+  // A floor past the original stamp hits only the stale wheel reference
+  // (sequence mismatch) and must not retire the refreshed entry.
+  EXPECT_EQ(table.expire_all(at_s(4.0)), 0u);
+  ASSERT_NE(table.find(key(9)), nullptr);
+  EXPECT_EQ(*table.find(key(9)), "new");
+  ASSERT_NE(table.created(key(9)), nullptr);
+  EXPECT_EQ(table.created(key(9))->count_ps(), at_s(5.0).count_ps());
+  // Past the refreshed slot it finally goes.
+  EXPECT_EQ(table.expire_all(at_s(6.0)), 1u);
+  EXPECT_TRUE(table.empty());
+}
+
+TEST(FlowTable, ErasedEntriesLeaveOnlyStaleWheelRefs) {
+  FlowTable<int> table(Duration::ms(125));
+  table.put(key(1), at_s(0.0), 1);
+  table.put(key(2), at_s(0.0), 2);
+  EXPECT_TRUE(table.erase(key(1)));
+  // Wholesale expiry skips the stale ref: key(1) counts as erased, not
+  // expired, and the invariant still balances.
+  EXPECT_EQ(table.expire_all(at_s(10.0)), 1u);
+  EXPECT_EQ(table.erased(), 1u);
+  EXPECT_EQ(table.expired_wholesale(), 1u);
+  EXPECT_EQ(table.inserted(), table.size() + table.erased() +
+                                  table.expired_wholesale());
+}
+
+TEST(FlowTable, MinLiveGateSkipsExpiry) {
+  FlowTable<int> table(Duration::ms(125));
+  for (std::uint64_t i = 0; i < 4; ++i) table.put(key(i), at_s(0.0), 0);
+  EXPECT_EQ(table.expire_all(at_s(100.0), /*min_live=*/5), 0u);
+  EXPECT_EQ(table.size(), 4u);
+  // At or above the gate the expiry proceeds.
+  EXPECT_EQ(table.expire_all(at_s(100.0), /*min_live=*/4), 4u);
+  EXPECT_TRUE(table.empty());
+}
+
+TEST(FlowTable, EraseIfAndClearCountAsErased) {
+  FlowTable<int> table;
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    table.put(key(i), at_s(0.01 * static_cast<double>(i)),
+              static_cast<int>(i));
+  }
+  const std::size_t evens =
+      table.erase_if([](const PairCorrelator&, int v) { return v % 2 == 0; });
+  EXPECT_EQ(evens, 3u);
+  EXPECT_EQ(table.erased(), 3u);
+  table.clear();
+  EXPECT_TRUE(table.empty());
+  EXPECT_EQ(table.erased(), 6u);
+  EXPECT_EQ(table.inserted(), 6u);
+  EXPECT_EQ(table.expired_wholesale(), 0u);
+  // Cleared wheel: a later put restarts cleanly.
+  table.put(key(100), at_s(50.0), 1);
+  EXPECT_EQ(table.expire_all(at_s(49.0)), 0u);
+  EXPECT_TRUE(table.contains(key(100)));
+}
+
+TEST(FlowTable, OnExpireMayReenterTheTable) {
+  // on_expire runs after the entry left the table, so re-putting the
+  // same key from inside the callback must be safe and survive.
+  FlowTable<int> table(Duration::ms(125));
+  table.put(key(1), at_s(0.0), 7);
+  const std::size_t n = table.expire_all(
+      at_s(10.0), 0, [&](const PairCorrelator& k, int&& dead) {
+        table.put(k, at_s(10.0), dead + 1);
+      });
+  EXPECT_EQ(n, 1u);
+  ASSERT_NE(table.find(key(1)), nullptr);
+  EXPECT_EQ(*table.find(key(1)), 8);
+  EXPECT_EQ(table.inserted(), 2u);
+  EXPECT_EQ(table.expired_wholesale(), 1u);
+  EXPECT_EQ(table.inserted(), table.size() + table.erased() +
+                                  table.expired_wholesale());
+}
+
+TEST(FlowTable, PeakTracksHighWaterMark) {
+  FlowTable<int> table;
+  for (std::uint64_t i = 0; i < 10; ++i) table.put(key(i), at_s(0.0), 0);
+  EXPECT_EQ(table.peak(), 10u);
+  table.expire_all(at_s(100.0));
+  EXPECT_EQ(table.peak(), 10u);  // peak never decays
+  table.put(key(99), at_s(200.0), 0);
+  EXPECT_EQ(table.peak(), 10u);
+}
+
+TEST(FlowTable, RandomOpsMatchReferenceMirror) {
+  // Drive put/overwrite/erase/expire with a seeded random sequence and
+  // mirror the expected contents in a std::map applying the documented
+  // slot rule: an entry expires iff the slot containing its (latest)
+  // stamp ends at or below the floor.
+  const std::int64_t width_ps = Duration::ms(125).count_ps();
+  FlowTable<std::uint64_t> table(Duration::ms(125));
+  std::map<std::uint64_t, std::int64_t> mirror;  // key seq -> stamp ps
+  std::mt19937_64 rng(20260808);
+  std::int64_t now_ps = 0;
+  std::uint64_t next_key = 0;
+  std::vector<std::uint64_t> live_keys;
+
+  for (int step = 0; step < 4000; ++step) {
+    now_ps += static_cast<std::int64_t>(rng() % 50'000'000'000ull);  // ≤50ms
+    const TimePoint now = TimePoint::origin() + Duration::ps(now_ps);
+    switch (rng() % 8) {
+      case 0:
+      case 1:
+      case 2: {  // insert fresh
+        const std::uint64_t k = next_key++;
+        table.put(key(k), now, k);
+        mirror[k] = now_ps;
+        live_keys.push_back(k);
+        break;
+      }
+      case 3: {  // overwrite a live key, restamping it
+        if (live_keys.empty()) break;
+        const std::uint64_t k = live_keys[rng() % live_keys.size()];
+        if (mirror.count(k) == 0) break;
+        table.put(key(k), now, k);
+        mirror[k] = now_ps;
+        break;
+      }
+      case 4: {  // erase (possibly already gone)
+        if (live_keys.empty()) break;
+        const std::uint64_t k = live_keys[rng() % live_keys.size()];
+        EXPECT_EQ(table.erase(key(k)), mirror.erase(k) > 0);
+        break;
+      }
+      default: {  // wholesale expiry one second back
+        const std::int64_t floor_ps = now_ps - Duration::seconds(1).count_ps();
+        if (floor_ps <= 0) break;
+        const std::size_t n = table.expire_all(
+            TimePoint::origin() + Duration::ps(floor_ps));
+        std::size_t expect = 0;
+        for (auto it = mirror.begin(); it != mirror.end();) {
+          const std::int64_t slot = it->second / width_ps;
+          if ((slot + 1) * width_ps <= floor_ps) {
+            it = mirror.erase(it);
+            ++expect;
+          } else {
+            ++it;
+          }
+        }
+        EXPECT_EQ(n, expect);
+        break;
+      }
+    }
+    ASSERT_EQ(table.size(), mirror.size()) << "step " << step;
+    ASSERT_EQ(table.inserted(), table.size() + table.erased() +
+                                    table.expired_wholesale())
+        << "step " << step;
+  }
+  // Full content check at the end: same keys, same stamps.
+  for (const auto& [k, stamp_ps] : mirror) {
+    ASSERT_TRUE(table.contains(key(k)));
+    ASSERT_NE(table.created(key(k)), nullptr);
+    EXPECT_EQ((*table.created(key(k)) - TimePoint::origin()).count_ps(),
+              stamp_ps);
+  }
+  EXPECT_GT(table.expired_wholesale(), 0u);
+  EXPECT_GT(table.erased(), 0u);
+}
+
+}  // namespace
+}  // namespace qnetp::qnp
