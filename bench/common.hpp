@@ -4,6 +4,11 @@
 //   --runs=N    repeat each configuration with N seeded trials
 //   --jobs=N    run trials on N worker threads (aggregates are
 //               bit-identical for any N; default 1)
+//   --shards=N  execution shards inside each trial's fabric, for the
+//               workloads that support conservative-parallel DES
+//               (aggregates are bit-identical for any N; default 1).
+//               Orthogonal to --jobs: jobs parallelize across trials,
+//               shards parallelize within one simulated fabric.
 //   --seed=S    base seed the per-trial seeds are derived from
 //   --quick     cut the sweep to a fast smoke-test subset (each binary
 //               prints exactly what was cut)
@@ -33,6 +38,7 @@ using exp::keep_request;
 struct BenchArgs {
   std::size_t runs = 0;  // 0 = binary default
   std::size_t jobs = 1;
+  std::size_t shards = 1;
   std::uint64_t seed = 0;  // 0 = binary default
   bool quick = false;
   bool csv = false;
@@ -75,6 +81,9 @@ struct BenchArgs {
       } else if (a.rfind("--jobs=", 0) == 0) {
         args.jobs =
             static_cast<std::size_t>(parse_u64(a.substr(7), "--jobs", 1));
+      } else if (a.rfind("--shards=", 0) == 0) {
+        args.shards =
+            static_cast<std::size_t>(parse_u64(a.substr(9), "--shards", 1));
       } else if (a.rfind("--seed=", 0) == 0) {
         args.seed = parse_u64(a.substr(7), "--seed", 1);
       } else if (a == "--quick") {
@@ -86,8 +95,8 @@ struct BenchArgs {
       } else {
         std::fprintf(stderr, "unknown argument: %s\n", a.c_str());
         std::fprintf(stderr,
-                     "usage: %s [--runs=N] [--jobs=N] [--seed=S] [--quick] "
-                     "[--csv]%s\n",
+                     "usage: %s [--runs=N] [--jobs=N] [--shards=N] "
+                     "[--seed=S] [--quick] [--csv]%s\n",
                      argv[0], extra_usage);
         std::exit(2);
       }
@@ -127,7 +136,9 @@ inline void note_quick_cut(const BenchArgs& args, std::size_t default_runs,
                            const std::string& what) {
   if (args.quick) {
     std::cout << "[--quick] reduced sweep: " << what << "; "
-              << args.trials(default_runs) << " trial(s) per point\n";
+              << args.trials(default_runs) << " trial(s) per point";
+    if (args.shards != 1) std::cout << "; --shards=" << args.shards;
+    std::cout << "\n";
   }
 }
 

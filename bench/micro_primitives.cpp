@@ -6,10 +6,14 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <cstdlib>
+#include <memory>
 #include <vector>
 
 #include "des/simulator.hpp"
 #include "netmsg/codec.hpp"
+#include "netsim/network.hpp"
+#include "qhw/params.hpp"
 #include "qbase/rng.hpp"
 #include "qdevice/entangled_pair.hpp"
 #include "qstate/channels.hpp"
@@ -306,5 +310,134 @@ static void BM_GeometricSampling(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GeometricSampling);
+
+// QNP engine hot path, measured through a live 3-node chain with one
+// installed circuit (the fixture is built once; the engines, EGP links
+// and classical fabric are all real).
+
+namespace {
+
+struct EngineFixture {
+  std::unique_ptr<netsim::Network> net;
+  CircuitId circuit;
+  qnp::QnpEngine* head = nullptr;
+  bool completed = false;
+  std::uint64_t next_id = 1;
+
+  EngineFixture() {
+    netsim::NetworkConfig config;
+    config.seed = 99;
+    net = netsim::make_chain(3, config, qhw::simulation_preset(),
+                             qhw::FiberParams::lab(2.0));
+    const auto plan = net->establish_circuit(NodeId{1}, NodeId{3},
+                                             EndpointId{1}, EndpointId{2},
+                                             0.72);
+    if (!plan.has_value()) std::abort();
+    circuit = plan->install.circuit_id;
+    head = &net->engine(NodeId{1});
+
+    qnp::EndpointHandlers hh;
+    hh.on_pair = [this](const qnp::PairDelivery& d) {
+      if (d.qubit.valid() && !d.tracking_pending) {
+        head->release_app_qubit(d.qubit);
+      }
+    };
+    hh.on_tracking = [this](const qnp::PairDelivery& d) {
+      if (d.qubit.valid()) head->release_app_qubit(d.qubit);
+    };
+    hh.on_expire = [this](CircuitId, RequestId, QubitId q) {
+      if (q.valid()) head->release_app_qubit(q);
+    };
+    hh.on_complete = [this](CircuitId, RequestId) { completed = true; };
+    head->register_endpoint(EndpointId{1}, std::move(hh));
+
+    qnp::EndpointHandlers th;
+    th.on_pair = [this](const qnp::PairDelivery& d) {
+      if (d.qubit.valid() && !d.tracking_pending) {
+        net->engine(NodeId{3}).release_app_qubit(d.qubit);
+      }
+    };
+    th.on_tracking = [this](const qnp::PairDelivery& d) {
+      if (d.qubit.valid()) net->engine(NodeId{3}).release_app_qubit(d.qubit);
+    };
+    th.on_expire = [this](CircuitId, RequestId, QubitId q) {
+      if (q.valid()) net->engine(NodeId{3}).release_app_qubit(q);
+    };
+    net->engine(NodeId{3}).register_endpoint(EndpointId{2}, std::move(th));
+  }
+
+  qnp::AppRequest keep(std::uint64_t pairs) {
+    qnp::AppRequest req;
+    req.id = RequestId{next_id++};
+    req.head_endpoint = EndpointId{1};
+    req.tail_endpoint = EndpointId{2};
+    req.type = netmsg::RequestType::keep;
+    req.num_pairs = pairs;
+    req.delta_t = 1_s;
+    return req;
+  }
+};
+
+EngineFixture& engine_fixture() {
+  static EngineFixture f;
+  return f;
+}
+
+}  // namespace
+
+static void BM_EngineSubmitAndComplete(benchmark::State& state) {
+  // End-to-end engine hot path: submit a 1-pair KEEP request and
+  // dispatch DES events until the completion callback fires (EGP
+  // generation, swap, track, delivery, flow-table retirement).
+  auto& f = engine_fixture();
+  for (auto _ : state) {
+    f.completed = false;
+    const bool ok = f.head->submit_request(f.circuit, f.keep(1));
+    std::size_t guard = 0;
+    while (ok && !f.completed && f.net->sim().events_pending() > 0 &&
+           ++guard < 2000000) {
+      f.net->sim().step();
+    }
+    benchmark::DoNotOptimize(f.completed);
+  }
+}
+BENCHMARK(BM_EngineSubmitAndComplete);
+
+static void BM_EngineSubmitPoliced(benchmark::State& state) {
+  // The synchronous admission path alone: a demand far beyond the
+  // circuit's rate with a hard deadline is policed (rejected) inside
+  // submit_request, no DES events involved.
+  auto& f = engine_fixture();
+  for (auto _ : state) {
+    qnp::AppRequest req = f.keep(1000000);
+    req.delta_t = Duration::ms(1);
+    req.deadline = Duration::ms(1);
+    benchmark::DoNotOptimize(f.head->submit_request(f.circuit, req));
+  }
+}
+BENCHMARK(BM_EngineSubmitPoliced);
+
+static void BM_EngineKeepaliveOnMessage(benchmark::State& state) {
+  // Classical receive path: codec round trip + engine dispatch of a
+  // message the flow table ignores (keepalive chatter).
+  auto& f = engine_fixture();
+  for (auto _ : state) {
+    f.net->classical().send(NodeId{1}, NodeId{2},
+                            netmsg::KeepaliveMsg{f.circuit});
+    f.net->sim().run_until(f.net->sim().now() + 1_ms);
+  }
+}
+BENCHMARK(BM_EngineKeepaliveOnMessage);
+
+static void BM_EngineOccupancyConsistency(benchmark::State& state) {
+  // The engine's bookkeeping scans: occupancy counters plus the full
+  // internal consistency audit over its record tables.
+  auto& f = engine_fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.head->occupancy().live);
+    benchmark::DoNotOptimize(f.head->consistency_check().size());
+  }
+}
+BENCHMARK(BM_EngineOccupancyConsistency);
 
 BENCHMARK_MAIN();

@@ -94,6 +94,13 @@ class Simulator {
   /// removed eagerly, so there is nothing else to count).
   std::size_t events_pending() const { return heap_.size(); }
 
+  /// Timestamp of the earliest pending event, or TimePoint::max() when
+  /// the queue is empty. The sharded kernel sizes its conservative windows
+  /// off this without disturbing the queue.
+  TimePoint next_event_time() const {
+    return heap_.empty() ? TimePoint::max() : slots_[heap_[0]].at;
+  }
+
  private:
   static constexpr std::uint32_t kNone = 0xffffffffu;
   static constexpr std::uint32_t kArity = 4;

@@ -1,5 +1,6 @@
 #include "linklayer/egp.hpp"
 
+#include "des/sharded.hpp"
 #include "qbase/assert.hpp"
 #include "qbase/log.hpp"
 
@@ -40,6 +41,12 @@ void EgpLink::fail(LinkLabel label, const std::string& reason) {
 }
 
 void EgpLink::submit(const LinkRequest& request) {
+  // Shard-locality audit: an EgpLink is one sequential object spanning
+  // both endpoint devices, so on a sharded fabric both endpoints live on
+  // the same shard and the link is only driven from that shard's loop.
+  QNETP_ASSERT_MSG(des::ShardedSimulator::executing() == nullptr ||
+                       des::ShardedSimulator::executing() == &sim_,
+                   "EGP link driven from a foreign shard");
   QNETP_ASSERT(request.label.valid());
   QNETP_ASSERT(request.lpr_weight > 0.0);
   QNETP_ASSERT(request.continuous || request.num_pairs > 0);

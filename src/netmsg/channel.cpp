@@ -42,6 +42,25 @@ void ClassicalNetwork::set_link_up(NodeId a, NodeId b, bool up) {
   ba->up = up;
 }
 
+void ClassicalNetwork::enable_sharding(
+    des::ShardedSimulator& sharded,
+    std::function<std::size_t(NodeId)> shard_of) {
+  QNETP_ASSERT(shard_of != nullptr);
+  sharded_ = &sharded;
+  shard_of_ = std::move(shard_of);
+}
+
+std::optional<Duration> ClassicalNetwork::min_cross_shard_propagation()
+    const {
+  if (shard_of_ == nullptr) return std::nullopt;
+  std::optional<Duration> best;
+  for (const auto& [key, ch] : channels_) {
+    if (shard_of_(key.first) == shard_of_(key.second)) continue;
+    if (!best.has_value() || ch.propagation < *best) best = ch.propagation;
+  }
+  return best;
+}
+
 ClassicalNetwork::DirectedChannel* ClassicalNetwork::channel(NodeId from,
                                                              NodeId to) {
   const auto it = channels_.find({from, to});
@@ -51,36 +70,55 @@ ClassicalNetwork::DirectedChannel* ClassicalNetwork::channel(NodeId from,
 void ClassicalNetwork::send(NodeId from, NodeId to, const Message& msg) {
   auto* ch = channel(from, to);
   QNETP_ASSERT_MSG(ch != nullptr, "no classical channel between nodes");
+  const bool sharded = sharded_ != nullptr;
+  const std::size_t src_shard = sharded ? shard_of_(from) : 0;
+  const std::size_t dst_shard = sharded ? shard_of_(to) : 0;
+  // Timing is read off the *source* node's shard: sends originate either
+  // from an event executing on that shard or from the driver thread
+  // between windows, so this clock is always the sender's "now".
+  des::Simulator& src_sim = sharded ? sharded_->shard(src_shard) : sim_;
   if (!ch->up) {
-    ++dropped_;
+    dropped_.fetch_add(1, std::memory_order_relaxed);
     QNETP_LOG(debug, "netmsg") << "dropped " << message_name(msg) << " "
                                << from << "->" << to << " (link down)";
     return;
   }
   const Bytes wire = encode(msg);
-  bytes_ += wire.size();
+  bytes_.fetch_add(wire.size(), std::memory_order_relaxed);
 
   // Delivery time: now + propagation + processing + artificial extra,
   // floored at the previous delivery instant to preserve FIFO order even
   // if the delay knobs changed between sends.
   TimePoint deliver_at =
-      sim_.now() + ch->propagation + processing_delay_ + extra_delay_;
+      src_sim.now() + ch->propagation + processing_delay_ + extra_delay_;
   if (deliver_at < ch->last_delivery) deliver_at = ch->last_delivery;
   ch->last_delivery = deliver_at;
 
-  sim_.schedule_at(deliver_at, [this, from, to, wire] {
+  auto deliver = [this, from, to, wire] {
     const auto it = handlers_.find(to);
     if (it == handlers_.end()) {
       // The receiver tore down while the message was in flight: a drop,
       // not a programming error (transport liveness handles the rest).
-      ++dropped_;
+      dropped_.fetch_add(1, std::memory_order_relaxed);
       QNETP_LOG(debug, "netmsg") << "dropped message " << from << "->" << to
                                  << " (receiver gone)";
       return;
     }
-    ++delivered_;
+    delivered_.fetch_add(1, std::memory_order_relaxed);
     it->second(from, decode(wire));
-  });
+  };
+
+  if (sharded && dst_shard != src_shard) {
+    // The only cross-shard edge in the system. The merge key (directed
+    // channel, per-channel sequence) makes the barrier injection order a
+    // pure function of the traffic.
+    const std::uint64_t key_hi =
+        (from.value() << 32) | (to.value() & 0xffffffffu);
+    sharded_->post(src_shard, dst_shard, deliver_at, key_hi, ch->next_seq++,
+                   std::move(deliver));
+  } else {
+    src_sim.schedule_at(deliver_at, std::move(deliver));
+  }
 }
 
 }  // namespace qnetp::netmsg

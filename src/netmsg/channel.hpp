@@ -8,11 +8,24 @@
 // handler. FIFO order is enforced per directed channel even when the
 // delay is changed mid-flight. Channels can be administratively taken
 // down to exercise liveness handling.
+//
+// Sharded fabrics: when enable_sharding() is armed, a send whose
+// endpoints live on different execution shards is the *only* cross-shard
+// edge in the whole system — it goes through the sharded kernel's
+// timestamped mailboxes (keyed by directed channel + per-channel
+// sequence number, so the merge order at the window barrier is canonical)
+// instead of being scheduled into a foreign event heap. Same-shard sends
+// are scheduled into the source node's shard exactly as before. The
+// delivery counters are relaxed atomics: their final sums are
+// deterministic even though increments race across shards.
 #pragma once
 
+#include <atomic>
 #include <functional>
+#include <optional>
 #include <unordered_map>
 
+#include "des/sharded.hpp"
 #include "des/simulator.hpp"
 #include "netmsg/codec.hpp"
 #include "netmsg/message.hpp"
@@ -54,19 +67,43 @@ class ClassicalNetwork {
   /// are dropped (transport liveness will notice).
   void set_link_up(NodeId a, NodeId b, bool up);
 
+  /// Route cross-shard deliveries through `sharded`'s mailboxes.
+  /// `shard_of` must be a pure function of the node id, stable for the
+  /// lifetime of the run. Idempotent — the network assembly re-arms it
+  /// after every connect(). Once armed, send() reads the clock of the
+  /// *source* node's shard, so it may only be called from that shard's
+  /// executing event or from the driver thread between windows.
+  void enable_sharding(des::ShardedSimulator& sharded,
+                       std::function<std::size_t(NodeId)> shard_of);
+
+  /// Smallest propagation delay over channels whose endpoints live on
+  /// different shards — the conservative lookahead bound. nullopt when
+  /// sharding is not armed or no channel crosses shards.
+  std::optional<Duration> min_cross_shard_propagation() const;
+
   /// Send a message; asserts the channel exists. The message is encoded
   /// to bytes and decoded at the receiver (full codec round trip).
   void send(NodeId from, NodeId to, const Message& msg);
 
-  std::uint64_t messages_delivered() const { return delivered_; }
-  std::uint64_t messages_dropped() const { return dropped_; }
-  std::uint64_t bytes_carried() const { return bytes_; }
+  std::uint64_t messages_delivered() const {
+    return delivered_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t messages_dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bytes_carried() const {
+    return bytes_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct DirectedChannel {
     Duration propagation;
     bool up = true;
     TimePoint last_delivery;  ///< FIFO floor
+    /// Per-directed-channel send counter: the stable low word of the
+    /// cross-shard mailbox merge key. Only the source node's shard
+    /// thread touches it (sends on (from, to) originate at `from`).
+    std::uint64_t next_seq = 1;
   };
   struct KeyHash {
     std::size_t operator()(const std::pair<NodeId, NodeId>& k) const {
@@ -83,9 +120,11 @@ class ClassicalNetwork {
   std::unordered_map<NodeId, Handler> handlers_;
   Duration processing_delay_ = Duration::zero();
   Duration extra_delay_ = Duration::zero();
-  std::uint64_t delivered_ = 0;
-  std::uint64_t dropped_ = 0;
-  std::uint64_t bytes_ = 0;
+  des::ShardedSimulator* sharded_ = nullptr;
+  std::function<std::size_t(NodeId)> shard_of_;
+  std::atomic<std::uint64_t> delivered_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> bytes_{0};
 };
 
 }  // namespace qnetp::netmsg

@@ -25,16 +25,56 @@ linklayer::EgpLink* Node::egp_to(NodeId neighbour) const {
   return it == neighbours_.end() ? nullptr : it->second;
 }
 
+namespace {
+
+std::size_t effective_shards(const NetworkConfig& config) {
+  if (!config.sharding.enabled()) return 1;
+  const std::size_t shards = std::max<std::size_t>(1, config.sharding.shards);
+  QNETP_ASSERT_MSG(shards <= config.sharding.regions,
+                   "more execution shards than regions");
+  return shards;
+}
+
+}  // namespace
+
 Network::Network(NetworkConfig config)
-    : config_(config), rng_(config.seed), classical_(sim_) {
-  Log::set_clock(this, [this] { return sim_.now(); });
+    : config_(std::move(config)),
+      sharded_(effective_shards(config_)),
+      rng_(config_.seed),
+      classical_(sharded_.shard(0)) {
+  registries_.reserve(sharded_.shard_count());
+  for (std::size_t i = 0; i < sharded_.shard_count(); ++i) {
+    registries_.push_back(std::make_unique<qdevice::PairRegistry>());
+  }
+  Log::set_clock(this, [this] { return sharded_.shard(0).now(); });
+  if (sharded_.shard_count() > 1) {
+    // Worker threads stamp log lines off their own shard's clock.
+    sharded_.set_thread_init([this](std::size_t shard) {
+      Log::set_clock(this, [this, shard] { return sharded_.shard(shard).now(); });
+    });
+  }
 }
 
 Network::~Network() { Log::clear_clock(this); }
 
+std::size_t Network::region_of(NodeId id) const {
+  const auto it = config_.sharding.region_of.find(id);
+  const std::size_t region =
+      it == config_.sharding.region_of.end() ? 0 : it->second;
+  QNETP_ASSERT_MSG(region < region_count(), "region tag out of range");
+  return region;
+}
+
+std::size_t Network::shard_of(NodeId id) const {
+  // Contiguous fold of regions onto execution shards: behaviour is a
+  // function of the region alone; the fold only picks the worker loop.
+  return region_of(id) * sharded_.shard_count() / region_count();
+}
+
 Node& Network::add_node(NodeId id, const qhw::HardwareParams& hw) {
   QNETP_ASSERT_MSG(nodes_.count(id) == 0, "duplicate node id");
-  auto node = std::make_unique<Node>(sim_, rng_.fork(), registry_, hw, id,
+  auto node = std::make_unique<Node>(shard_sim(id), rng_.fork(),
+                                     *registries_[shard_of(id)], hw, id,
                                      config_.qnp);
   Node& ref = *node;
   nodes_[id] = std::move(node);
@@ -72,8 +112,18 @@ linklayer::EgpLink& Network::connect(NodeId a, NodeId b,
   const qhw::HardwareParams& hw = hardware_.at(a);
   qhw::PhotonicLinkModel model(hw, fiber);
 
+  // Sharded fabrics give every link its own forked RNG stream (links on
+  // different shards generate concurrently); classic fabrics keep the
+  // shared network stream so existing digests are untouched. Cross-region
+  // links host only classical traffic — circuits never cross regions, so
+  // their quantum side stays idle and the shard choice below is moot.
+  Rng* link_rng = &rng_;
+  if (config_.sharding.enabled()) {
+    link_rngs_.push_back(std::make_unique<Rng>(rng_.fork()));
+    link_rng = link_rngs_.back().get();
+  }
   auto egp = std::make_unique<linklayer::EgpLink>(
-      sim_, rng_, link_id, na.device(), nb.device(), model);
+      shard_sim(a), *link_rng, link_id, na.device(), nb.device(), model);
   linklayer::EgpLink& ref = *egp;
   links_.push_back(std::move(egp));
 
@@ -97,6 +147,17 @@ linklayer::EgpLink& Network::connect(NodeId a, NodeId b,
   classical_.connect(a, b, fiber.propagation_delay());
   topology_.add_link(ctrl::TopologyLink{link_id, a, b, model, 1.0});
   controller_.reset();  // topology changed; rebuild lazily
+
+  if (sharded_.shard_count() > 1) {
+    // Re-arm after every topology change: the channel set (and with it
+    // the conservative lookahead = min cross-shard propagation) may have
+    // changed.
+    classical_.enable_sharding(sharded_,
+                               [this](NodeId n) { return shard_of(n); });
+    if (const auto la = classical_.min_cross_shard_propagation()) {
+      sharded_.set_lookahead(*la);
+    }
+  }
   return ref;
 }
 
@@ -139,6 +200,29 @@ std::optional<ctrl::CircuitPlan> Network::establish_circuit(
                                         options, reason);
   if (!plan.has_value()) return std::nullopt;
 
+  if (config_.sharding.enabled()) {
+    // Quantum circuits are region-local: an EgpLink is one sequential
+    // object spanning both endpoint devices, and entangled-pair state
+    // spans both nodes — neither survives a shard boundary. Bridges are
+    // classical-only. This is a property of the *region* partition, so
+    // the outcome is identical at every worker count.
+    bool cross = false;
+    for (const auto& hop : plan->install.hops) {
+      if (region_of(hop.node) != region_of(head)) {
+        cross = true;
+        break;
+      }
+    }
+    if (cross) {
+      if (reason != nullptr) {
+        *reason = "path crosses a region boundary "
+                  "(quantum circuits are region-local)";
+      }
+      controller_->release_circuit(plan->install.circuit_id);
+      return std::nullopt;
+    }
+  }
+
   bool up = false;
   bool ok = false;
   std::string ack_reason;
@@ -149,9 +233,26 @@ std::optional<ctrl::CircuitPlan> Network::establish_circuit(
         ack_reason = r;
       });
   engine(head).begin_install(plan->install);
-  const TimePoint horizon = sim_.now() + timeout;
-  while (!up && sim_.now() < horizon) {
-    if (!sim_.step()) break;
+  if (!config_.sharding.enabled()) {
+    // Classic path, byte-identical to the pre-sharding behaviour: step
+    // until the ack fires (stopping at the exact ack event).
+    const TimePoint horizon = sharded_.shard(0).now() + timeout;
+    while (!up && sharded_.shard(0).now() < horizon) {
+      if (!sharded_.shard(0).step()) break;
+    }
+  } else {
+    // Sharded fabrics poll on a fixed 1 ms quantum so the instant the
+    // ack is *observed* (and therefore every later schedule) is a pure
+    // function of the quantum — not of window boundaries, which differ
+    // across shard counts.
+    const Duration quantum = Duration::ms(1);
+    const TimePoint horizon = sharded_.now() + timeout;
+    while (!up && sharded_.now() < horizon) {
+      TimePoint stepto = sharded_.now() + quantum;
+      if (stepto > horizon) stepto = horizon;
+      const std::uint64_t ran = sharded_.run_until(stepto);
+      if (ran == 0 && sharded_.events_pending() == 0) break;
+    }
   }
   engine(head).set_on_circuit_up(nullptr);
   if (!up || !ok) {
@@ -165,9 +266,20 @@ std::optional<ctrl::CircuitPlan> Network::establish_circuit(
     // bounded window to propagate.
     engine(head).teardown(plan->install.circuit_id,
                           up ? "install rejected" : "install timeout");
-    const TimePoint drain = sim_.now() + timeout;
-    while (sim_.now() < drain) {
-      if (!sim_.step()) break;
+    if (!config_.sharding.enabled()) {
+      const TimePoint drain = sharded_.shard(0).now() + timeout;
+      while (sharded_.shard(0).now() < drain) {
+        if (!sharded_.shard(0).step()) break;
+      }
+    } else {
+      const Duration quantum = Duration::ms(1);
+      const TimePoint drain = sharded_.now() + timeout;
+      while (sharded_.now() < drain) {
+        TimePoint stepto = sharded_.now() + quantum;
+        if (stepto > drain) stepto = drain;
+        const std::uint64_t ran = sharded_.run_until(stepto);
+        if (ran == 0 && sharded_.events_pending() == 0) break;
+      }
     }
     controller_->release_circuit(plan->install.circuit_id);
     return std::nullopt;
@@ -187,6 +299,9 @@ void Network::teardown_circuit(CircuitId circuit, const std::string& reason) {
 
 void Network::install_manual_circuit(const netmsg::InstallMsg& install) {
   for (const auto& hop : install.hops) {
+    QNETP_ASSERT_MSG(!config_.sharding.enabled() ||
+                         region_of(hop.node) == region_of(install.hops[0].node),
+                     "manual circuit crosses a region boundary");
     node(hop.node).engine().install_hop(install, hop);
   }
 }
@@ -195,7 +310,10 @@ bool Network::quiescent() const {
   for (const auto& [id, n] : nodes_) {
     if (!n->device().memory().all_free()) return false;
   }
-  return registry_.empty();
+  for (const auto& reg : registries_) {
+    if (!reg->empty()) return false;
+  }
+  return true;
 }
 
 std::unique_ptr<Network> make_dumbbell(const NetworkConfig& config,

@@ -7,6 +7,7 @@
 // six-node dumbbell with the MA-MB bottleneck (Fig. 7).
 #pragma once
 
+#include <algorithm>
 #include <map>
 #include <memory>
 #include <optional>
@@ -15,6 +16,7 @@
 
 #include "ctrl/controller.hpp"
 #include "ctrl/topology.hpp"
+#include "des/sharded.hpp"
 #include "des/simulator.hpp"
 #include "linklayer/egp.hpp"
 #include "netmsg/channel.hpp"
@@ -44,6 +46,31 @@ class Node {
   std::map<NodeId, linklayer::EgpLink*> neighbours_;
 };
 
+/// Execution sharding of one fabric (conservative-parallel DES).
+///
+/// The partition has two layers so behaviour never depends on the worker
+/// count: `region_of` is the *logical* partition (fixed by the
+/// TopologySpec region tags — quantum links and circuits stay
+/// region-local), and `shards` is how many worker event loops the
+/// regions fold onto (region r runs on shard r * shards / regions, a
+/// contiguous assignment). All protocol decisions key off regions, so
+/// aggregate digests are bit-identical across any `shards` value.
+struct ShardingConfig {
+  /// Execution shards (worker event loops); clamped to 1 when the
+  /// fabric has a single region. Must be <= regions.
+  std::size_t shards = 1;
+  /// Node -> region; nodes absent from the map are region 0. Filled by
+  /// TopologySpec::build() from the spec's region tags.
+  std::map<NodeId, std::size_t> region_of;
+  /// Total regions (>= every region_of value + 1).
+  std::size_t regions = 1;
+  /// True when the fabric has a real multi-region partition. Keyed off
+  /// regions — never off `shards` — so the sharded code paths (per-link
+  /// RNG streams, quantized establish polling, per-shard registries)
+  /// behave identically at every worker count.
+  bool enabled() const { return regions > 1; }
+};
+
 struct NetworkConfig {
   std::uint64_t seed = 1;
   qnp::QnpConfig qnp;
@@ -54,6 +81,8 @@ struct NetworkConfig {
   std::size_t storage_qubits = 0;
   /// Capacity model the central controller admits circuits against.
   ctrl::ControllerConfig admission;
+  /// Conservative-parallel execution partition (defaults to none).
+  ShardingConfig sharding;
 };
 
 class Network {
@@ -67,10 +96,30 @@ class Network {
   Network(Network&&) = delete;
   Network& operator=(Network&&) = delete;
 
-  des::Simulator& sim() { return sim_; }
+  /// The classic single-threaded kernel view. Asserts on multi-shard
+  /// fabrics — driving one shard's loop directly would desynchronize the
+  /// windows; use sharded_sim() there.
+  des::Simulator& sim() {
+    QNETP_ASSERT_MSG(sharded_.shard_count() == 1,
+                     "use sharded_sim() on a multi-shard network");
+    return sharded_.shard(0);
+  }
+  /// The sharded kernel (single-shard for classic fabrics). run_until /
+  /// now / stop on this drive the whole fabric at any shard count.
+  des::ShardedSimulator& sharded_sim() { return sharded_; }
   netmsg::ClassicalNetwork& classical() { return classical_; }
-  qdevice::PairRegistry& registry() { return registry_; }
+  qdevice::PairRegistry& registry() { return *registries_.front(); }
   const ctrl::Topology& topology() const { return topology_; }
+
+  /// Execution partition introspection.
+  bool sharding_enabled() const { return config_.sharding.enabled(); }
+  std::size_t region_count() const {
+    return std::max<std::size_t>(1, config_.sharding.regions);
+  }
+  std::size_t region_of(NodeId id) const;
+  /// The execution shard a node's events run on (region folded onto the
+  /// configured worker count).
+  std::size_t shard_of(NodeId id) const;
 
   /// Add a node with the given hardware profile.
   Node& add_node(NodeId id, const qhw::HardwareParams& hw);
@@ -121,15 +170,25 @@ class Network {
   const qhw::HardwareParams& hardware(NodeId id) const;
 
  private:
+  des::Simulator& shard_sim(NodeId id) { return sharded_.shard(shard_of(id)); }
+
   NetworkConfig config_;
-  des::Simulator sim_;
+  des::ShardedSimulator sharded_;
   Rng rng_;
-  qdevice::PairRegistry registry_;
+  /// One pair registry per execution shard: entangled pairs never span
+  /// shards (quantum links are region-local), so each shard's bindings
+  /// are touched only by that shard's event loop.
+  std::vector<std::unique_ptr<qdevice::PairRegistry>> registries_;
   netmsg::ClassicalNetwork classical_;
   ctrl::Topology topology_;
   std::map<NodeId, std::unique_ptr<Node>> nodes_;
   std::map<NodeId, qhw::HardwareParams> hardware_;
   std::vector<std::unique_ptr<linklayer::EgpLink>> links_;
+  /// Sharded fabrics fork one RNG stream per link at connect() (in spec
+  /// order, so the streams are reproducible): EgpLinks on different
+  /// shards must not share the network RNG. Classic fabrics keep sharing
+  /// rng_ so every committed digest is untouched.
+  std::vector<std::unique_ptr<Rng>> link_rngs_;
   std::unique_ptr<ctrl::Controller> controller_;
   std::map<CircuitId, NodeId> circuit_heads_;
   std::uint64_t next_link_ = 1;

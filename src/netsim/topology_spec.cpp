@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <unordered_set>
 
 #include "qbase/assert.hpp"
@@ -186,6 +187,60 @@ TopologySpec TopologySpec::waxman(std::uint64_t seed,
   return spec;
 }
 
+TopologySpec TopologySpec::compose_regions(
+    const std::vector<TopologySpec>& parts,
+    const qhw::FiberParams& bridge_fiber) {
+  QNETP_ASSERT_MSG(!parts.empty(), "compose_regions of zero parts");
+  bridge_fiber.validate();
+  TopologySpec spec;
+  spec.name = "regions" + std::to_string(parts.size());
+  spec.default_hw = parts.front().default_hw;
+  spec.default_fiber = parts.front().default_fiber;
+
+  std::uint64_t offset = 0;
+  std::vector<NodeId> region_first;
+  std::vector<NodeId> region_last;
+  for (std::size_t r = 0; r < parts.size(); ++r) {
+    const TopologySpec& part = parts[r];
+    part.validate();
+    QNETP_ASSERT_MSG(!part.nodes.empty(), "empty region in compose_regions");
+    // Renumber to a contiguous block, preserving the part's spec order.
+    std::map<NodeId, NodeId> remap;
+    for (std::size_t i = 0; i < part.nodes.size(); ++i) {
+      const NodeId nid{offset + i + 1};
+      remap[part.nodes[i].id] = nid;
+      // Parts keep their own defaults: materialize them as overrides for
+      // every part whose defaults are not the composed spec's (part 0).
+      std::optional<qhw::HardwareParams> hw = part.nodes[i].hw;
+      if (!hw.has_value() && r != 0) hw = part.default_hw;
+      spec.nodes.push_back(NodeSpec{nid, std::move(hw), r});
+    }
+    for (const auto& l : part.links) {
+      std::optional<qhw::FiberParams> fiber = l.fiber;
+      if (!fiber.has_value() && r != 0) fiber = part.default_fiber;
+      spec.links.push_back(
+          LinkSpec{remap.at(l.a), remap.at(l.b), std::move(fiber)});
+    }
+    region_first.push_back(NodeId{offset + 1});
+    region_last.push_back(NodeId{offset + part.nodes.size()});
+    offset += part.nodes.size();
+  }
+  // Long-haul bridges between consecutive regions. Only classical
+  // traffic crosses them; their propagation delay is the sharded
+  // kernel's lookahead bound.
+  for (std::size_t r = 0; r + 1 < parts.size(); ++r) {
+    spec.links.push_back(
+        LinkSpec{region_last[r], region_first[r + 1], bridge_fiber});
+  }
+  return spec;
+}
+
+std::size_t TopologySpec::region_count() const {
+  std::size_t max_region = 0;
+  for (const auto& n : nodes) max_region = std::max(max_region, n.region);
+  return max_region + 1;
+}
+
 TopologySpec& TopologySpec::with_link_fiber(NodeId a, NodeId b,
                                             const qhw::FiberParams& fiber) {
   for (auto& l : links) {
@@ -271,7 +326,18 @@ void TopologySpec::validate() const {
 std::unique_ptr<Network> TopologySpec::build(
     const NetworkConfig& config) const {
   validate();
-  auto net = std::make_unique<Network>(config);
+  NetworkConfig cfg = config;
+  // Multi-region specs carry the execution-sharding partition; the
+  // caller's cfg.sharding.shards picks how many worker loops the regions
+  // fold onto (single-region specs always run the classic path).
+  const std::size_t regions = region_count();
+  if (regions > 1) {
+    cfg.sharding.regions = regions;
+    for (const auto& n : nodes) {
+      if (n.region != 0) cfg.sharding.region_of[n.id] = n.region;
+    }
+  }
+  auto net = std::make_unique<Network>(cfg);
   for (const auto& n : nodes) {
     net->add_node(n.id, n.hw.has_value() ? *n.hw : default_hw);
   }

@@ -30,6 +30,11 @@ struct NodeSpec {
   NodeId id;
   /// Hardware override; the spec default applies when unset.
   std::optional<qhw::HardwareParams> hw;
+  /// Logical partition the node belongs to. Regions are the unit of
+  /// execution sharding (netsim::ShardingConfig): quantum links and
+  /// circuits stay region-local, only classical messages cross regions.
+  /// Region 0 is the default for single-region specs.
+  std::size_t region = 0;
 };
 
 struct LinkSpec {
@@ -86,6 +91,16 @@ struct TopologySpec {
   /// override with its geometric length.
   static TopologySpec waxman(std::uint64_t seed, const WaxmanParams& params,
                              const qhw::HardwareParams& hw);
+  /// Stitch several specs into one multi-region fabric: part k's nodes
+  /// are renumbered to a contiguous id block (preserving spec order) and
+  /// tagged region k, and consecutive regions are joined by one bridge
+  /// link over `bridge_fiber` (last node of k — first node of k+1).
+  /// Bridges are meant to be long-haul: their propagation delay is the
+  /// conservative lookahead when the fabric is built with execution
+  /// shards, and circuits never cross them (quantum traffic is
+  /// region-local), so the bridge link's quantum side stays idle.
+  static TopologySpec compose_regions(const std::vector<TopologySpec>& parts,
+                                      const qhw::FiberParams& bridge_fiber);
 
   // --- Amendments ----------------------------------------------------------
 
@@ -100,6 +115,8 @@ struct TopologySpec {
 
   std::size_t node_count() const { return nodes.size(); }
   std::size_t link_count() const { return links.size(); }
+  /// 1 + the highest region tag (1 for single-region specs).
+  std::size_t region_count() const;
   bool has_node(NodeId id) const;
   const LinkSpec* link_between(NodeId a, NodeId b) const;
   /// Every node reachable from every other (true for the empty spec).

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "des/sharded.hpp"
 #include "qbase/assert.hpp"
 #include "qbase/log.hpp"
 
@@ -297,6 +298,12 @@ void QnpEngine::cancel_downstream_link_request(CircuitState& cs) {
 
 bool QnpEngine::submit_request(CircuitId circuit_id, const AppRequest& request,
                                std::string* reason) {
+  // Shard-locality audit: all engine state is node-local, so on a
+  // sharded fabric the engine may only ever be entered from its own
+  // shard's event loop (or the driver thread between windows).
+  QNETP_ASSERT_MSG(des::ShardedSimulator::executing() == nullptr ||
+                       des::ShardedSimulator::executing() == &sim_,
+                   "engine entered from a foreign shard");
   auto* cs = find_circuit(circuit_id);
   if (cs == nullptr) {
     if (reason) *reason = "no such circuit";
@@ -463,6 +470,9 @@ void QnpEngine::tail_flush_request(CircuitState& cs, RequestId request) {
 // ---------------------------------------------------------------------------
 
 void QnpEngine::on_link_pair(const LinkPairDelivery& d) {
+  QNETP_ASSERT_MSG(des::ShardedSimulator::executing() == nullptr ||
+                       des::ShardedSimulator::executing() == &sim_,
+                   "engine entered from a foreign shard");
   auto* cs = circuit_for_label(d.link, d.label);
   if (cs == nullptr) {
     // Circuit gone (teardown racing the link layer): return the qubit.
@@ -1239,6 +1249,9 @@ void QnpEngine::finish_test_round(CircuitState& cs,
 // ---------------------------------------------------------------------------
 
 void QnpEngine::on_message(NodeId from, const Message& msg) {
+  QNETP_ASSERT_MSG(des::ShardedSimulator::executing() == nullptr ||
+                       des::ShardedSimulator::executing() == &sim_,
+                   "engine entered from a foreign shard");
   struct Visitor {
     QnpEngine& self;
     NodeId from;

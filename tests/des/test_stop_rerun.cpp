@@ -1,0 +1,108 @@
+// Simulator::stop() and run_until() edge cases: the contracts the
+// sharded kernel's conservative windows lean on (events exactly at the
+// window end, stop mid-dispatch, re-running after a stop).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "des/simulator.hpp"
+#include "qbase/units.hpp"
+
+namespace qnetp::des {
+namespace {
+
+using namespace qnetp::literals;
+
+TEST(StopRerun, EventExactlyAtHorizonRuns) {
+  Simulator sim;
+  bool at_horizon = false;
+  bool after_horizon = false;
+  sim.schedule(5_ms, [&] { at_horizon = true; });
+  sim.schedule(5_ms + Duration::ps(1), [&] { after_horizon = true; });
+  const auto ran = sim.run_until(TimePoint::origin() + 5_ms);
+  EXPECT_EQ(ran, 1u);
+  EXPECT_TRUE(at_horizon);       // horizon is inclusive
+  EXPECT_FALSE(after_horizon);   // one picosecond later is not
+  EXPECT_EQ(sim.now(), TimePoint::origin() + 5_ms);
+  EXPECT_EQ(sim.events_pending(), 1u);
+}
+
+TEST(StopRerun, ClockAdvancesToHorizonWhenDrainedEarly) {
+  Simulator sim;
+  sim.schedule(1_ms, [] {});
+  sim.run_until(TimePoint::origin() + 10_ms);
+  // Nothing left after 1 ms, but the bounded run still owns the whole
+  // window: the clock lands on the horizon, not the last event.
+  EXPECT_EQ(sim.now(), TimePoint::origin() + 10_ms);
+}
+
+TEST(StopRerun, NextEventTimePeeksWithoutDisturbing) {
+  Simulator sim;
+  EXPECT_EQ(sim.next_event_time(), TimePoint::max());
+  sim.schedule(3_ms, [] {});
+  sim.schedule(1_ms, [] {});
+  EXPECT_EQ(sim.next_event_time(), TimePoint::origin() + 1_ms);
+  EXPECT_EQ(sim.events_pending(), 2u);  // peeking pops nothing
+  sim.run();
+  EXPECT_EQ(sim.next_event_time(), TimePoint::max());
+}
+
+TEST(StopRerun, StopMidDispatchPreservesPendingAndClock) {
+  Simulator sim;
+  std::vector<int> ran;
+  sim.schedule(1_ms, [&] { ran.push_back(1); });
+  sim.schedule(2_ms, [&] {
+    ran.push_back(2);
+    sim.stop();
+  });
+  sim.schedule(3_ms, [&] { ran.push_back(3); });
+  sim.run_until(TimePoint::origin() + 10_ms);
+  // The stopping event finishes, later events stay queued, and the clock
+  // holds at the stop instant instead of jumping to the horizon.
+  EXPECT_EQ(ran, (std::vector<int>{1, 2}));
+  EXPECT_EQ(sim.events_pending(), 1u);
+  EXPECT_EQ(sim.now(), TimePoint::origin() + 2_ms);
+}
+
+TEST(StopRerun, RerunAfterStopResumesFromPendingWork) {
+  Simulator sim;
+  std::vector<int> ran;
+  sim.schedule(1_ms, [&] {
+    ran.push_back(1);
+    sim.stop();
+  });
+  sim.schedule(2_ms, [&] { ran.push_back(2); });
+  sim.run_until(TimePoint::origin() + 5_ms);
+  EXPECT_EQ(ran, (std::vector<int>{1}));
+
+  // run_until clears the stop flag on entry: the same call again picks
+  // up the remaining event and completes the window.
+  sim.run_until(TimePoint::origin() + 5_ms);
+  EXPECT_EQ(ran, (std::vector<int>{1, 2}));
+  EXPECT_EQ(sim.events_pending(), 0u);
+  EXPECT_EQ(sim.now(), TimePoint::origin() + 5_ms);
+}
+
+TEST(StopRerun, StopBeforeRunStopsNothingLater) {
+  Simulator sim;
+  bool ran = false;
+  sim.stop();  // stale stop from an earlier window must not leak
+  sim.schedule(1_ms, [&] { ran = true; });
+  sim.run_until(TimePoint::origin() + 2_ms);
+  EXPECT_TRUE(ran);
+}
+
+TEST(StopRerun, StepDispatchesExactlyOne) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule(1_ms, [&] { ++count; });
+  sim.schedule(2_ms, [&] { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(sim.step());  // empty queue
+}
+
+}  // namespace
+}  // namespace qnetp::des
