@@ -149,14 +149,14 @@ bool Controller::plan_on_path(const std::vector<NodeId>& path,
         return fail("admission: " + links[i]->id.to_string() +
                     " saturated by installed circuits");
       }
-      grants->push_back(PathGrant{links[i]->id, lpr_need, lpr_need});
+      grants->push_back(PathGrant{links[i]->id, lpr_need, lpr_need, usable});
       admitted_bottleneck = std::min(admitted_bottleneck, lpr_need);
     } else {
       if (residual < config_.min_residual_fraction * link_capacity[i]) {
         return fail("admission: " + links[i]->id.to_string() +
                     " saturated by installed circuits");
       }
-      grants->push_back(PathGrant{links[i]->id, residual, 0.0});
+      grants->push_back(PathGrant{links[i]->id, residual, 0.0, usable});
       admitted_bottleneck = std::min(admitted_bottleneck, residual);
     }
   }
@@ -174,6 +174,7 @@ bool Controller::plan_on_path(const std::vector<NodeId>& path,
   plan->admitted_share =
       solo_max_eer > 0.0 ? std::min(1.0, max_eer / solo_max_eer) : 0.0;
   plan->requested_eer = options.requested_eer;
+  plan->par_prob = worst_par_prob;
 
   plan->install = netmsg::InstallMsg{};
   plan->install.head_end_identifier = input.head_endpoint;
@@ -249,14 +250,24 @@ std::optional<CircuitPlan> Controller::plan_circuit(
     commit.guaranteed_lpr += g.reserved_lpr;
     commit.circuits += 1;
   }
-  planned_[plan.install.circuit_id] = grants;
+  planned_[plan.install.circuit_id] =
+      PlannedCircuit{grants, plan.path, plan.par_prob, options.requested_eer,
+                     /*update_version=*/0};
+  if (options.requested_eer > 0.0) {
+    // A new guarantee shrinks the residual every best-effort circuit on
+    // the shared links lives off — re-signal them.
+    requeue_residual_updates(plan.links);
+  }
   return plan;
 }
 
 void Controller::release_circuit(CircuitId id) {
   const auto it = planned_.find(id);
   if (it == planned_.end()) return;
-  for (const auto& g : it->second) {
+  const bool was_guaranteed = it->second.requested_eer > 0.0;
+  std::vector<LinkId> released_links;
+  for (const auto& g : it->second.grants) {
+    released_links.push_back(g.link);
     const auto commit_it = commits_.find(g.link);
     QNETP_ASSERT(commit_it != commits_.end());
     auto& commit = commit_it->second;
@@ -267,6 +278,67 @@ void Controller::release_circuit(CircuitId id) {
     if (commit.circuits == 0) commits_.erase(commit_it);
   }
   planned_.erase(it);
+  // Drop any pending re-signal for the circuit that just went away.
+  std::erase_if(pending_updates_, [&](const ResidualUpdate& u) {
+    return u.msg.circuit_id == id;
+  });
+  if (was_guaranteed) requeue_residual_updates(released_links);
+}
+
+void Controller::requeue_residual_updates(const std::vector<LinkId>& changed) {
+  for (auto& [id, circuit] : planned_) {
+    if (circuit.requested_eer > 0.0) continue;  // guarantees never move
+    const bool crosses = std::any_of(
+        circuit.grants.begin(), circuit.grants.end(), [&](const PathGrant& g) {
+          return std::find(changed.begin(), changed.end(), g.link) !=
+                 changed.end();
+        });
+    if (!crosses) continue;
+
+    double bottleneck = std::numeric_limits<double>::infinity();
+    bool moved = false;
+    for (auto& g : circuit.grants) {
+      const double residual =
+          std::max(0.0, g.usable_lpr - committed_lpr(g.link));
+      if (std::abs(residual - g.weight_lpr) > 1e-9 * std::max(1.0, residual)) {
+        moved = true;
+      }
+      g.weight_lpr = residual;
+      bottleneck = std::min(bottleneck, residual);
+    }
+    if (!moved) continue;
+
+    circuit.update_version += 1;
+    netmsg::UpdateMsg msg;
+    msg.circuit_id = id;
+    msg.version = circuit.update_version;
+    const double eer = bottleneck * 0.5 * circuit.par_prob;
+    for (std::size_t i = 0; i < circuit.path.size(); ++i) {
+      netmsg::UpdateHop hop;
+      hop.node = circuit.path[i];
+      hop.downstream_max_lpr =
+          (i + 1 < circuit.path.size()) ? circuit.grants[i].weight_lpr : 0.0;
+      hop.circuit_max_eer = eer;
+      msg.hops.push_back(hop);
+    }
+    // One pending entry per circuit: a later recompute supersedes an
+    // undrained one (versions stay monotone either way).
+    const auto pending = std::find_if(
+        pending_updates_.begin(), pending_updates_.end(),
+        [&](const ResidualUpdate& u) { return u.msg.circuit_id == id; });
+    if (pending != pending_updates_.end()) {
+      pending->msg = std::move(msg);
+    } else {
+      pending_updates_.push_back(
+          ResidualUpdate{circuit.path.front(), std::move(msg)});
+    }
+  }
+}
+
+std::vector<Controller::ResidualUpdate> Controller::take_residual_updates() {
+  std::vector<ResidualUpdate> out;
+  out.swap(pending_updates_);
+  return out;
 }
 
 double Controller::committed_lpr(LinkId id) const {

@@ -19,6 +19,7 @@
 // scheduler weight (HopState::downstream_max_lpr).
 #pragma once
 
+#include <map>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -64,6 +65,7 @@ struct CircuitPlan {
   std::vector<LinkId> links;    ///< links along the path, in hop order
   double admitted_share = 1.0;  ///< admitted fraction of bottleneck capacity
   double requested_eer = 0.0;   ///< the guarantee this plan reserved (0=BE)
+  double par_prob = 1.0;        ///< worst pairing probability on the path
 };
 
 /// Capacity-model knobs for admission control.
@@ -103,6 +105,17 @@ class Controller {
   /// Circuits whose capacity is currently committed.
   std::size_t planned_circuits() const { return planned_.size(); }
 
+  /// An admission re-signal for one installed best-effort circuit whose
+  /// residual changed (a later guaranteed circuit shrank it, or a
+  /// release regrew it). Send `msg` from `head` down the circuit.
+  struct ResidualUpdate {
+    NodeId head;
+    netmsg::UpdateMsg msg;
+  };
+  /// Drain the re-signals accumulated by plan_circuit/release_circuit
+  /// since the last call (deterministic circuit-id order).
+  std::vector<ResidualUpdate> take_residual_updates();
+
  private:
   struct LinkCommit {
     double guaranteed_lpr = 0.0;
@@ -119,7 +132,23 @@ class Controller {
     LinkId link;
     double weight_lpr = 0.0;    ///< WFQ weight: the admitted LPR share
     double reserved_lpr = 0.0;  ///< hard reservation (0 for best-effort)
+    double usable_lpr = 0.0;    ///< link capacity x utilisation headroom
   };
+
+  /// Everything remembered about an installed circuit: enough to
+  /// recompute a best-effort circuit's residual share when the
+  /// guarantees around it change.
+  struct PlannedCircuit {
+    std::vector<PathGrant> grants;
+    std::vector<NodeId> path;
+    double par_prob = 1.0;      ///< worst pairing probability on the path
+    double requested_eer = 0.0; ///< > 0 = guaranteed (never re-signalled)
+    std::uint64_t update_version = 0;
+  };
+
+  /// Recompute the residual share of every installed best-effort circuit
+  /// crossing `changed` links and queue UPDATEs for the ones that moved.
+  void requeue_residual_updates(const std::vector<LinkId>& changed);
 
   /// Try to plan on one concrete path; fills `plan` and the per-link
   /// grants on success, or explains why the path cannot carry the
@@ -135,8 +164,10 @@ class Controller {
   std::uint64_t next_circuit_ = 1;
   std::uint64_t next_label_ = 1;
   std::unordered_map<LinkId, LinkCommit> commits_;
-  /// Per planned circuit: what was committed on each link it crosses.
-  std::unordered_map<CircuitId, std::vector<PathGrant>> planned_;
+  /// Per planned circuit: what was committed on each link it crosses
+  /// (ordered so re-signalling walks circuits deterministically).
+  std::map<CircuitId, PlannedCircuit> planned_;
+  std::vector<ResidualUpdate> pending_updates_;
 };
 
 }  // namespace qnetp::ctrl

@@ -1,0 +1,226 @@
+#include "ctrl/linkstate.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "qbase/assert.hpp"
+#include "qbase/log.hpp"
+
+namespace qnetp::ctrl {
+
+LinkStateRouter::LinkStateRouter(des::Simulator& sim, NodeId self,
+                                 LinkStateConfig config)
+    : sim_(sim), self_(self), config_(config) {
+  QNETP_ASSERT(self_.valid());
+  QNETP_ASSERT(config_.refresh_interval > Duration::zero());
+  QNETP_ASSERT_MSG(config_.max_age > config_.refresh_interval,
+                   "LSAs would age out between refreshes");
+  QNETP_ASSERT(config_.age_sweep_interval > Duration::zero());
+}
+
+void LinkStateRouter::start() {
+  QNETP_ASSERT_MSG(send_ != nullptr && local_links_ != nullptr,
+                   "router started before wiring");
+  running_ = true;
+  originate();
+  arm_refresh();
+  arm_age_sweep();
+}
+
+void LinkStateRouter::stop() {
+  running_ = false;
+  refresh_timer_.cancel();
+  age_timer_.cancel();
+}
+
+void LinkStateRouter::originate() {
+  if (!running_) return;
+  netmsg::LsaMsg lsa;
+  lsa.origin = self_;
+  lsa.seq = next_seq_++;
+  lsa.max_age = config_.max_age;
+  lsa.links = local_links_();
+  ++stats_.lsas_originated;
+
+  flood_neighbours_.clear();
+  for (const auto& l : lsa.links) flood_neighbours_.push_back(l.neighbour);
+
+  const auto it = lsdb_.find(self_);
+  const bool changed =
+      it == lsdb_.end() || it->second.lsa.links != lsa.links;
+  lsdb_[self_] = LsdbEntry{lsa, sim_.now()};
+  flood(lsa, NodeId{});
+  if (changed) mark_dirty();
+}
+
+void LinkStateRouter::flood(const netmsg::LsaMsg& msg, NodeId except) {
+  for (const NodeId nb : flood_neighbours_) {
+    if (nb == except) continue;
+    ++stats_.lsas_flooded;
+    send_(nb, msg);
+  }
+}
+
+void LinkStateRouter::on_message(NodeId from, const netmsg::LsaMsg& msg) {
+  ++stats_.lsas_received;
+
+  if (msg.origin == self_) {
+    // Someone still floods an old incarnation of our own LSA (possible
+    // after a partition heals). Assert ownership: jump past its sequence
+    // number and re-originate, OSPF-style.
+    if (msg.seq >= next_seq_ && running_) {
+      next_seq_ = msg.seq + 1;
+      originate();
+    }
+    return;
+  }
+
+  const auto it = lsdb_.find(msg.origin);
+  if (it != lsdb_.end() && msg.seq <= it->second.lsa.seq) {
+    ++stats_.lsas_duplicate;
+    if (msg.seq < it->second.lsa.seq && from.valid()) {
+      // The sender lags: return our newer copy so its database resyncs
+      // in one hop instead of waiting for the next refresh wave.
+      ++stats_.lsas_resynced;
+      send_(from, it->second.lsa);
+    }
+    return;
+  }
+
+  const bool changed =
+      it == lsdb_.end() || it->second.lsa.links != msg.links;
+  lsdb_[msg.origin] = LsdbEntry{msg, sim_.now()};
+  flood(msg, from);
+  if (changed) mark_dirty();
+}
+
+void LinkStateRouter::arm_refresh() {
+  refresh_timer_ = des::ScopedTimer(sim_, config_.refresh_interval, [this] {
+    originate();
+    arm_refresh();
+  });
+}
+
+void LinkStateRouter::arm_age_sweep() {
+  age_timer_ = des::ScopedTimer(sim_, config_.age_sweep_interval, [this] {
+    age_sweep();
+    arm_age_sweep();
+  });
+}
+
+void LinkStateRouter::age_sweep() {
+  bool changed = false;
+  for (auto it = lsdb_.begin(); it != lsdb_.end();) {
+    if (it->first != self_ &&
+        sim_.now() - it->second.refreshed > it->second.lsa.max_age) {
+      QNETP_LOG(debug, "lsr") << self_ << " aged out LSA of " << it->first;
+      it = lsdb_.erase(it);
+      ++stats_.lsas_aged_out;
+      changed = true;
+    } else {
+      ++it;
+    }
+  }
+  if (changed) mark_dirty();
+}
+
+void LinkStateRouter::mark_dirty() {
+  view_dirty_ = true;
+  if (on_change_) on_change_();
+}
+
+const std::vector<LinkStateRouter::ViewLink>& LinkStateRouter::view_links() {
+  if (view_dirty_) rebuild_view();
+  return view_;
+}
+
+void LinkStateRouter::rebuild_view() {
+  view_.clear();
+  // Two-way check: keep a link only when both endpoint LSAs advertise it
+  // under the same link id. lsdb_ is ordered, so (a < b) pairs are
+  // visited once and the view order is deterministic.
+  for (const auto& [a, ea] : lsdb_) {
+    for (const auto& la : ea.lsa.links) {
+      const NodeId b = la.neighbour;
+      if (!(a < b)) continue;
+      const auto eb = lsdb_.find(b);
+      if (eb == lsdb_.end()) continue;
+      const auto back = std::find_if(
+          eb->second.lsa.links.begin(), eb->second.lsa.links.end(),
+          [&](const netmsg::LsaLink& lb) {
+            return lb.neighbour == a && lb.link == la.link;
+          });
+      if (back == eb->second.lsa.links.end()) continue;
+      view_.push_back(
+          ViewLink{la.link, a, b, std::max(la.cost, back->cost)});
+    }
+  }
+  view_dirty_ = false;
+  run_spf();
+}
+
+void LinkStateRouter::run_spf() {
+  ++stats_.spf_runs;
+  dist_.clear();
+  prev_.clear();
+
+  std::map<NodeId, std::vector<std::pair<NodeId, double>>> adj;
+  for (const auto& l : view_) {
+    adj[l.a].emplace_back(l.b, l.cost);
+    adj[l.b].emplace_back(l.a, l.cost);
+  }
+
+  using Item = std::pair<double, NodeId>;
+  auto cmp = [](const Item& x, const Item& y) {
+    if (x.first != y.first) return x.first > y.first;
+    return x.second > y.second;  // deterministic tie-break by node id
+  };
+  std::priority_queue<Item, std::vector<Item>, decltype(cmp)> heap(cmp);
+  dist_[self_] = 0.0;
+  heap.emplace(0.0, self_);
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    const auto du = dist_.find(u);
+    if (du == dist_.end() || d > du->second + 1e-12) continue;
+    const auto au = adj.find(u);
+    if (au == adj.end()) continue;
+    for (const auto& [v, cost] : au->second) {
+      const double nd = d + cost;
+      const auto it = dist_.find(v);
+      if (it == dist_.end() || nd < it->second - 1e-12) {
+        dist_[v] = nd;
+        prev_[v] = u;
+        heap.emplace(nd, v);
+      }
+    }
+  }
+}
+
+std::optional<std::vector<NodeId>> LinkStateRouter::path_to(NodeId dest) {
+  if (view_dirty_) rebuild_view();
+  if (dest == self_) return std::vector<NodeId>{self_};
+  if (dist_.find(dest) == dist_.end()) return std::nullopt;
+  std::vector<NodeId> path;
+  for (NodeId n = dest;; n = prev_.at(n)) {
+    path.push_back(n);
+    if (n == self_) break;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::optional<double> LinkStateRouter::distance_to(NodeId dest) {
+  if (view_dirty_) rebuild_view();
+  const auto it = dist_.find(dest);
+  if (it == dist_.end()) return std::nullopt;
+  return it->second;
+}
+
+const netmsg::LsaMsg* LinkStateRouter::database_entry(NodeId origin) const {
+  const auto it = lsdb_.find(origin);
+  return it == lsdb_.end() ? nullptr : &it->second.lsa;
+}
+
+}  // namespace qnetp::ctrl

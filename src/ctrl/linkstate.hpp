@@ -1,0 +1,169 @@
+// Link-state routing over the classical fabric (OSPF-shaped, carrying
+// the quantum metrics of Shi & Qian, arXiv:1909.09329).
+//
+// One LinkStateRouter runs per node, beside the QNP engine, and replaces
+// the assumption that the central controller's network view is always
+// current: every node originates a sequence-numbered LSA describing its
+// own adjacencies (cost, achievable link-pair rate, best fidelity,
+// residual circuit slots), floods it reliably with per-origin dedup, and
+// recomputes shortest paths from the resulting link-state database. The
+// recomputation is delta-triggered ("incremental" in the OSPF sense):
+// periodic refreshes that do not change advertised content neither dirty
+// the SPF nor fire the change callback, so a stable network converges to
+// zero recomputation work.
+//
+// Protocol rules:
+//  * origination: seq strictly increases; a refresh timer re-originates
+//    every `refresh_interval` so live LSAs never age out;
+//  * flooding: a newer LSA is stored and re-flooded to every neighbour
+//    except the sender; an older or duplicate one is dropped, and when
+//    the receiver holds a strictly newer copy it replies with that copy
+//    (the OSPF "database resync" accelerator, which heals partitions
+//    quickly after a link comes back);
+//  * age-out: entries (never the self LSA) whose last refresh is older
+//    than their origin-declared `max_age` are evicted by a periodic
+//    sweep — the only way a silently dead node leaves the database;
+//  * two-way check: SPF uses a link only when BOTH endpoint LSAs
+//    advertise it, so a half-severed adjacency never carries traffic.
+//
+// The router is deliberately independent of ctrl::Topology: it keeps its
+// own SPF over the LSDB, and the network assembly feeds the resulting
+// view into the controller's Topology (netsim::Network::enable_linkstate)
+// — which is also what lets the convergence property test compare the
+// router's SPF against the centralized oracle as two independent
+// implementations.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "des/simulator.hpp"
+#include "netmsg/message.hpp"
+#include "qbase/ids.hpp"
+#include "qbase/units.hpp"
+
+namespace qnetp::ctrl {
+
+struct LinkStateConfig {
+  /// Re-originate the local LSA this often (keeps it refreshed well
+  /// inside max_age).
+  Duration refresh_interval = Duration::ms(500);
+  /// Age-out horizon advertised in our LSAs: receivers evict our entry
+  /// when it goes unrefreshed this long.
+  Duration max_age = Duration::ms(1600);
+  /// Period of the local eviction sweep.
+  Duration age_sweep_interval = Duration::ms(200);
+};
+
+/// Router statistics (tests and trials read these).
+struct LinkStateStats {
+  std::uint64_t lsas_originated = 0;
+  std::uint64_t lsas_received = 0;
+  std::uint64_t lsas_flooded = 0;     ///< copies forwarded/sent
+  std::uint64_t lsas_duplicate = 0;   ///< dropped (seq <= stored)
+  std::uint64_t lsas_resynced = 0;    ///< newer copy returned to sender
+  std::uint64_t lsas_aged_out = 0;
+  std::uint64_t spf_runs = 0;         ///< view rebuilds (delta-triggered)
+};
+
+class LinkStateRouter {
+ public:
+  LinkStateRouter(des::Simulator& sim, NodeId self,
+                  LinkStateConfig config = {});
+
+  NodeId self() const { return self_; }
+  const LinkStateConfig& config() const { return config_; }
+  const LinkStateStats& stats() const { return stats_; }
+
+  /// Classical transmission toward a direct neighbour.
+  using SendFn = std::function<void(NodeId to, const netmsg::Message&)>;
+  void set_send(SendFn fn) { send_ = std::move(fn); }
+
+  /// Truth source for the local adjacencies, consulted at every
+  /// origination — severing a link is "make the fn stop returning it,
+  /// then originate()".
+  using LocalLinksFn = std::function<std::vector<netmsg::LsaLink>()>;
+  void set_local_links(LocalLinksFn fn) { local_links_ = std::move(fn); }
+
+  /// Fired whenever the LSDB *content* changes (new/changed/aged-out
+  /// LSA). Pure refreshes do not fire it.
+  void set_on_change(std::function<void()> fn) { on_change_ = std::move(fn); }
+
+  /// Originate the first LSA and arm the refresh/age timers.
+  void start();
+  /// Stop originating and sweeping (a stopping node goes silent and ages
+  /// out of every other database). The LSDB is kept for inspection.
+  void stop();
+  bool running() const { return running_; }
+
+  /// Re-advertise the current local adjacencies now (churn notification).
+  void originate();
+
+  /// Inbound LSA from the classical fabric.
+  void on_message(NodeId from, const netmsg::LsaMsg& msg);
+
+  // --- LSDB / SPF ----------------------------------------------------------
+
+  /// One two-way-checked link of the current view.
+  struct ViewLink {
+    LinkId id;
+    NodeId a, b;
+    double cost = 1.0;  ///< max of the two advertised directions
+  };
+  /// The surviving graph implied by the LSDB (rebuilt lazily on change).
+  const std::vector<ViewLink>& view_links();
+
+  /// SPF result toward `dest` on the current view: node sequence
+  /// self..dest, or nullopt when unreachable/unknown.
+  std::optional<std::vector<NodeId>> path_to(NodeId dest);
+  /// SPF distance toward `dest` (sum of view costs), nullopt when
+  /// unreachable.
+  std::optional<double> distance_to(NodeId dest);
+
+  /// The stored LSA for `origin` (self included), nullptr when absent.
+  const netmsg::LsaMsg* database_entry(NodeId origin) const;
+  std::size_t database_size() const { return lsdb_.size(); }
+
+ private:
+  struct LsdbEntry {
+    netmsg::LsaMsg lsa;
+    TimePoint refreshed;
+  };
+
+  void flood(const netmsg::LsaMsg& msg, NodeId except);
+  void arm_refresh();
+  void arm_age_sweep();
+  void age_sweep();
+  void mark_dirty();
+  void rebuild_view();
+  /// Run Dijkstra from self_ over the current view (deterministic
+  /// tie-breaks by node id); fills dist_/prev_.
+  void run_spf();
+
+  des::Simulator& sim_;
+  NodeId self_;
+  LinkStateConfig config_;
+  SendFn send_;
+  LocalLinksFn local_links_;
+  std::function<void()> on_change_;
+
+  bool running_ = false;
+  std::uint64_t next_seq_ = 1;
+  /// Neighbours advertised by the last origination: the flooding fan-out.
+  std::vector<NodeId> flood_neighbours_;
+  std::map<NodeId, LsdbEntry> lsdb_;  ///< ordered: deterministic SPF input
+  des::ScopedTimer refresh_timer_;
+  des::ScopedTimer age_timer_;
+
+  bool view_dirty_ = true;
+  std::vector<ViewLink> view_;
+  std::map<NodeId, double> dist_;
+  std::map<NodeId, NodeId> prev_;
+
+  LinkStateStats stats_;
+};
+
+}  // namespace qnetp::ctrl

@@ -37,6 +37,19 @@ void Topology::add_link(const TopologyLink& link) {
   link_by_id_[link.id] = idx;
 }
 
+void Topology::set_link_up(LinkId id, bool up) {
+  const auto it = link_by_id_.find(id);
+  QNETP_ASSERT_MSG(it != link_by_id_.end(), "unknown link");
+  links_[it->second].up = up;
+}
+
+void Topology::set_link_cost(LinkId id, double cost) {
+  QNETP_ASSERT(cost > 0.0);
+  const auto it = link_by_id_.find(id);
+  QNETP_ASSERT_MSG(it != link_by_id_.end(), "unknown link");
+  links_[it->second].cost = cost;
+}
+
 bool Topology::has_node(NodeId node) const {
   return adjacency_.count(node) > 0;
 }
@@ -57,6 +70,7 @@ std::vector<NodeId> Topology::neighbours(NodeId node) const {
   if (it == adjacency_.end()) return result;
   for (const std::size_t idx : it->second) {
     const auto& l = links_[idx];
+    if (!l.up) continue;
     result.push_back(l.a == node ? l.b : l.a);
   }
   return result;
@@ -94,6 +108,7 @@ std::optional<std::vector<NodeId>> Topology::shortest_path_excluding(
     if (u == to) break;
     for (const std::size_t idx : adjacency_.at(u)) {
       const auto& l = links_[idx];
+      if (!l.up) continue;
       if (!excluded_links.empty() && excluded_links.count(l.id) > 0) {
         continue;
       }

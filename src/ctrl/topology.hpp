@@ -25,6 +25,9 @@ struct TopologyLink {
   NodeId b;
   qhw::PhotonicLinkModel model;
   double cost = 1.0;  ///< routing metric (hop count by default)
+  /// Administrative/learned state: severed or failed links are kept in
+  /// the graph (lookups still resolve them) but excluded from routing.
+  bool up = true;
 };
 
 class Topology {
@@ -32,10 +35,18 @@ class Topology {
   void add_node(NodeId node);
   void add_link(const TopologyLink& link);
 
+  /// Runtime churn applied by the link-state machinery (or directly by
+  /// tests): a down link stays resolvable via link()/link_between() but
+  /// is invisible to neighbours() and every path computation.
+  void set_link_up(LinkId id, bool up);
+  void set_link_cost(LinkId id, double cost);
+
   bool has_node(NodeId node) const;
   const TopologyLink* link_between(NodeId a, NodeId b) const;
   const TopologyLink* link(LinkId id) const;
+  /// Neighbours over up links only.
   std::vector<NodeId> neighbours(NodeId node) const;
+  const std::vector<TopologyLink>& links() const { return links_; }
   std::size_t node_count() const { return nodes_.size(); }
   std::size_t link_count() const { return links_.size(); }
 

@@ -16,6 +16,8 @@ enum class WireType : std::uint8_t {
   teardown = 7,
   keepalive = 8,
   test_result = 9,
+  lsa = 10,
+  update = 11,
 };
 
 void put_correlator(ByteWriter& w, const PairCorrelator& c) {
@@ -239,6 +241,74 @@ TestResultMsg decode_test_result(ByteReader& r) {
   return m;
 }
 
+void encode_body(ByteWriter& w, const LsaMsg& m) {
+  w.u8(static_cast<std::uint8_t>(WireType::lsa));
+  w.u64(m.origin.value());
+  w.varint(m.seq);
+  put_duration(w, m.max_age);
+  w.varint(m.links.size());
+  for (const auto& l : m.links) {
+    w.u64(l.neighbour.value());
+    w.u64(l.link.value());
+    w.f64(l.cost);
+    w.f64(l.max_lpr);
+    w.f64(l.fidelity);
+    w.varint(l.residual_slots);
+  }
+}
+
+LsaMsg decode_lsa(ByteReader& r) {
+  LsaMsg m;
+  m.origin = NodeId{r.u64()};
+  m.seq = r.varint();
+  m.max_age = get_duration(r);
+  const auto n = r.varint();
+  if (n > 4096) throw CodecError("implausible LSA link count");
+  m.links.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    LsaLink l;
+    l.neighbour = NodeId{r.u64()};
+    l.link = LinkId{r.u64()};
+    l.cost = r.f64();
+    l.max_lpr = r.f64();
+    l.fidelity = r.f64();
+    const auto slots = r.varint();
+    if (slots > LsaLink::kUnlimitedSlots) throw CodecError("bad slot count");
+    l.residual_slots = static_cast<std::uint32_t>(slots);
+    m.links.push_back(l);
+  }
+  return m;
+}
+
+void encode_body(ByteWriter& w, const UpdateMsg& m) {
+  w.u8(static_cast<std::uint8_t>(WireType::update));
+  w.u64(m.circuit_id.value());
+  w.varint(m.version);
+  w.varint(m.hops.size());
+  for (const auto& h : m.hops) {
+    w.u64(h.node.value());
+    w.f64(h.downstream_max_lpr);
+    w.f64(h.circuit_max_eer);
+  }
+}
+
+UpdateMsg decode_update(ByteReader& r) {
+  UpdateMsg m;
+  m.circuit_id = CircuitId{r.u64()};
+  m.version = r.varint();
+  const auto n = r.varint();
+  if (n > 4096) throw CodecError("implausible hop count");
+  m.hops.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    UpdateHop h;
+    h.node = NodeId{r.u64()};
+    h.downstream_max_lpr = r.f64();
+    h.circuit_max_eer = r.f64();
+    m.hops.push_back(h);
+  }
+  return m;
+}
+
 }  // namespace
 
 Bytes encode(const Message& m) {
@@ -261,6 +331,8 @@ Message decode(const Bytes& bytes) {
     case WireType::teardown: m = decode_teardown(r); break;
     case WireType::keepalive: m = decode_keepalive(r); break;
     case WireType::test_result: m = decode_test_result(r); break;
+    case WireType::lsa: m = decode_lsa(r); break;
+    case WireType::update: m = decode_update(r); break;
     default: throw CodecError("unknown message type");
   }
   if (!r.at_end()) throw CodecError("trailing bytes after message");

@@ -26,6 +26,8 @@ std::string message_name(const Message& m) {
     std::string operator()(const TestResultMsg&) const {
       return "TEST_RESULT";
     }
+    std::string operator()(const LsaMsg&) const { return "LSA"; }
+    std::string operator()(const UpdateMsg&) const { return "UPDATE"; }
   };
   return std::visit(Visitor{}, m);
 }

@@ -173,9 +173,65 @@ struct KeepaliveMsg {
   bool operator==(const KeepaliveMsg&) const = default;
 };
 
+// ---------------------------------------------------------------------------
+// Link-state routing (ctrl/linkstate.hpp).
+// ---------------------------------------------------------------------------
+
+/// One adjacency advertised in an LSA, carrying the quantum routing
+/// metrics of Shi & Qian (arXiv:1909.09329) alongside the scalar cost:
+/// the link-pair rate the link can sustain, the best link fidelity it can
+/// reach, and how many concurrent circuit slots remain unclaimed.
+struct LsaLink {
+  NodeId neighbour;
+  LinkId link;
+  double cost = 1.0;      ///< routing metric (SPF input)
+  double max_lpr = 0.0;   ///< achievable link-pair rate (pairs/s)
+  double fidelity = 0.0;  ///< highest heralded pair fidelity
+  /// Residual concurrent-circuit slots (kUnlimitedSlots = no cap).
+  std::uint32_t residual_slots = 0;
+  static constexpr std::uint32_t kUnlimitedSlots = 0xFFFFFFFFu;
+
+  bool operator==(const LsaLink&) const = default;
+};
+
+/// LSA: one node's view of its own adjacencies, flooded network-wide.
+/// Receivers keep the highest sequence number per origin and age entries
+/// out `max_age` after the last refresh.
+struct LsaMsg {
+  NodeId origin;
+  std::uint64_t seq = 0;
+  Duration max_age;  ///< origin's age-out horizon for this LSA
+  std::vector<LsaLink> links;
+
+  bool operator==(const LsaMsg&) const = default;
+};
+
+/// One hop's re-signalled admission share (UPDATE payload entry).
+struct UpdateHop {
+  NodeId node;
+  double downstream_max_lpr = 0.0;  ///< new WFQ weight (pairs/s)
+  double circuit_max_eer = 0.0;     ///< new end-to-end rate bound
+
+  bool operator==(const UpdateHop&) const = default;
+};
+
+/// UPDATE: source-routed admission re-signal. When a later guaranteed
+/// circuit shrinks (or a teardown regrows) the residual capacity a
+/// best-effort circuit was granted, the controller re-signals the
+/// installed hops with their new shares; each node applies its entry and
+/// relays downstream. `version` is a per-circuit monotone counter so
+/// stale re-orderings are ignored.
+struct UpdateMsg {
+  CircuitId circuit_id;
+  std::uint64_t version = 0;
+  std::vector<UpdateHop> hops;
+
+  bool operator==(const UpdateMsg&) const = default;
+};
+
 using Message = std::variant<ForwardMsg, CompleteMsg, TrackMsg, ExpireMsg,
                              InstallMsg, InstallAckMsg, TeardownMsg,
-                             KeepaliveMsg, TestResultMsg>;
+                             KeepaliveMsg, TestResultMsg, LsaMsg, UpdateMsg>;
 
 /// Short human-readable tag for logging.
 std::string message_name(const Message& m);

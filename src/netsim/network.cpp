@@ -91,12 +91,26 @@ Node& Network::add_node(NodeId id, const qhw::HardwareParams& hw) {
     ref.device().memory().add_storage(config_.storage_qubits);
   }
 
-  // Classical message dispatch into the engine.
-  classical_.set_handler(id, [&ref](NodeId from, const netmsg::Message& m) {
-    ref.engine().on_message(from, m);
-  });
+  // Classical message dispatch: LSAs go to the node's router, everything
+  // else into the engine.
+  classical_.set_handler(
+      id, [this, &ref, id](NodeId from, const netmsg::Message& m) {
+        if (const auto* lsa = std::get_if<netmsg::LsaMsg>(&m)) {
+          const auto it = routers_.find(id);
+          if (it != routers_.end()) it->second->on_message(from, *lsa);
+          return;
+        }
+        ref.engine().on_message(from, m);
+      });
   ref.engine().set_send([this, id](NodeId to, const netmsg::Message& m) {
     classical_.send(id, to, m);
+  });
+  // Engine-initiated teardowns (churn) must give their admitted capacity
+  // back; the callback may fire on a shard thread, so park the id and let
+  // the driver release it.
+  ref.engine().set_on_teardown([this](CircuitId circuit, const std::string&) {
+    std::lock_guard<std::mutex> lock(release_mutex_);
+    pending_releases_.insert(circuit);
   });
   return ref;
 }
@@ -184,11 +198,219 @@ const qhw::HardwareParams& Network::hardware(NodeId id) const {
   return it->second;
 }
 
+// --- Link-state routing ------------------------------------------------------
+
+void Network::enable_linkstate(ctrl::LinkStateConfig config) {
+  QNETP_ASSERT_MSG(!linkstate_enabled_, "linkstate already enabled");
+  QNETP_ASSERT_MSG(!nodes_.empty(), "enable_linkstate on an empty network");
+  linkstate_enabled_ = true;
+  linkstate_config_ = config;
+  view_node_ = nodes_.begin()->first;
+  for (const auto& [id, n] : nodes_) {
+    auto router = std::make_unique<ctrl::LinkStateRouter>(shard_sim(id), id,
+                                                          config);
+    router->set_send([this, id = id](NodeId to, const netmsg::Message& m) {
+      classical_.send(id, to, m);
+    });
+    router->set_local_links([this, id = id] { return advertised_links(id); });
+    if (id == view_node_) {
+      router->set_on_change(
+          [this] { view_stale_.store(true, std::memory_order_relaxed); });
+    }
+    routers_[id] = std::move(router);
+  }
+  for (auto& [id, r] : routers_) r->start();
+}
+
+ctrl::LinkStateRouter& Network::router(NodeId id) {
+  const auto it = routers_.find(id);
+  QNETP_ASSERT_MSG(it != routers_.end(), "no router (enable_linkstate first)");
+  return *it->second;
+}
+
+ctrl::LinkStateStats Network::linkstate_totals() const {
+  ctrl::LinkStateStats total;
+  for (const auto& [id, r] : routers_) {
+    const auto& s = r->stats();
+    total.lsas_originated += s.lsas_originated;
+    total.lsas_received += s.lsas_received;
+    total.lsas_flooded += s.lsas_flooded;
+    total.lsas_duplicate += s.lsas_duplicate;
+    total.lsas_resynced += s.lsas_resynced;
+    total.lsas_aged_out += s.lsas_aged_out;
+    total.spf_runs += s.spf_runs;
+  }
+  return total;
+}
+
+std::vector<netmsg::LsaLink> Network::advertised_links(NodeId id) {
+  std::vector<netmsg::LsaLink> out;
+  if (failed_nodes_.count(id) != 0) return out;
+  for (const auto& l : topology_.links()) {
+    if (l.a != id && l.b != id) continue;
+    const NodeId peer = (l.a == id) ? l.b : l.a;
+    const auto churn = link_churn_.find(l.id);
+    if (churn != link_churn_.end() && churn->second.severed) continue;
+    if (failed_nodes_.count(peer) != 0) continue;
+
+    netmsg::LsaLink adv;
+    adv.neighbour = peer;
+    adv.link = l.id;
+    adv.cost = churn != link_churn_.end() ? churn->second.cost_scale : 1.0;
+    const double mean_s =
+        l.model.mean_generation_time(l.model.optimal_alpha()).as_seconds();
+    adv.max_lpr = mean_s > 0.0 ? 1.0 / mean_s : 0.0;
+    adv.fidelity = l.model.max_fidelity();
+    if (config_.admission.max_circuits_per_link > 0) {
+      const std::size_t used =
+          controller_ != nullptr ? controller_->circuits_on(l.id) : 0;
+      adv.residual_slots = static_cast<std::uint32_t>(
+          config_.admission.max_circuits_per_link > used
+              ? config_.admission.max_circuits_per_link - used
+              : 0);
+    } else {
+      adv.residual_slots = netmsg::LsaLink::kUnlimitedSlots;
+    }
+    out.push_back(adv);
+  }
+  return out;
+}
+
+void Network::apply_router_view() {
+  auto& reference = *routers_.at(view_node_);
+  std::map<LinkId, double> routed;
+  for (const auto& l : reference.view_links()) routed[l.id] = l.cost;
+  for (const auto& l : topology_.links()) {
+    const auto it = routed.find(l.id);
+    if (it == routed.end()) {
+      if (l.up) topology_.set_link_up(l.id, false);
+    } else {
+      if (!l.up) topology_.set_link_up(l.id, true);
+      topology_.set_link_cost(l.id, it->second);
+    }
+  }
+}
+
+// --- Runtime churn -----------------------------------------------------------
+
+LinkId Network::link_id_between(NodeId a, NodeId b) {
+  const auto* l = topology_.link_between(a, b);
+  QNETP_ASSERT_MSG(l != nullptr, "no link between the given nodes");
+  return l->id;
+}
+
+void Network::sever_link(NodeId a, NodeId b) {
+  const LinkId id = link_id_between(a, b);
+  auto& churn = link_churn_[id];
+  QNETP_ASSERT_MSG(!churn.severed, "link already severed");
+  churn.severed = true;
+  classical_.set_link_up(a, b, false);
+  if (linkstate_enabled_) {
+    if (routers_.at(a)->running()) routers_.at(a)->originate();
+    if (routers_.at(b)->running()) routers_.at(b)->originate();
+  } else {
+    topology_.set_link_up(id, false);
+  }
+  // The engines on both ends lose the adjacency: every circuit crossing
+  // it tears down from both cut faces (the TEARDOWN toward the dead link
+  // is dropped; the surviving directions propagate).
+  if (failed_nodes_.count(a) == 0) engine(a).on_link_down(b);
+  if (failed_nodes_.count(b) == 0) engine(b).on_link_down(a);
+}
+
+void Network::heal_link(NodeId a, NodeId b) {
+  const LinkId id = link_id_between(a, b);
+  auto& churn = link_churn_[id];
+  QNETP_ASSERT_MSG(churn.severed, "healing a link that is up");
+  churn.severed = false;
+  classical_.set_link_up(a, b, true);
+  if (linkstate_enabled_) {
+    if (routers_.at(a)->running()) routers_.at(a)->originate();
+    if (routers_.at(b)->running()) routers_.at(b)->originate();
+  } else {
+    topology_.set_link_up(id, true);
+  }
+}
+
+void Network::degrade_link(NodeId a, NodeId b, double cost_factor) {
+  QNETP_ASSERT(cost_factor > 0.0);
+  const LinkId id = link_id_between(a, b);
+  link_churn_[id].cost_scale = cost_factor;
+  if (linkstate_enabled_) {
+    if (routers_.at(a)->running()) routers_.at(a)->originate();
+    if (routers_.at(b)->running()) routers_.at(b)->originate();
+  } else {
+    topology_.set_link_cost(id, cost_factor);
+  }
+}
+
+void Network::fail_node(NodeId id) {
+  QNETP_ASSERT_MSG(failed_nodes_.count(id) == 0, "node already failed");
+  failed_nodes_.insert(id);
+  // Channels down first: everything the dying node still tries to send
+  // (its own TEARDOWNs below included) is lost, like a real crash.
+  std::vector<NodeId> peers;
+  for (const auto& l : topology_.links()) {
+    if (l.a != id && l.b != id) continue;
+    const auto churn = link_churn_.find(l.id);
+    if (churn != link_churn_.end() && churn->second.severed) continue;
+    peers.push_back(l.a == id ? l.b : l.a);
+    classical_.set_link_up(l.a, l.b, false);
+    if (!linkstate_enabled_) topology_.set_link_up(l.id, false);
+  }
+  if (linkstate_enabled_) routers_.at(id)->stop();
+  // The dead node's own engine frees its circuit state and qubits (the
+  // fabric-wide leak check has no other way to account for them); its
+  // signalling is silently dropped, so the survivors learn of the crash
+  // from their own adjacency loss and from the LSA aging out.
+  for (const NodeId peer : peers) {
+    engine(id).on_link_down(peer);
+    if (failed_nodes_.count(peer) == 0) {
+      if (linkstate_enabled_ && routers_.at(peer)->running()) {
+        routers_.at(peer)->originate();
+      }
+      engine(peer).on_link_down(id);
+    }
+  }
+}
+
+std::size_t Network::service_control_plane() {
+  std::size_t actions = 0;
+  if (linkstate_enabled_ && view_stale_.exchange(false)) {
+    apply_router_view();
+    ++actions;
+  }
+  std::set<CircuitId> releases;
+  {
+    std::lock_guard<std::mutex> lock(release_mutex_);
+    releases.swap(pending_releases_);
+  }
+  for (const CircuitId circuit : releases) {
+    circuit_heads_.erase(circuit);
+    if (controller_ != nullptr) {
+      controller_->release_circuit(circuit);
+      ++actions;
+    }
+  }
+  if (controller_ != nullptr) {
+    for (const auto& update : controller_->take_residual_updates()) {
+      // The head may have lost the circuit (or its life) since the
+      // update was queued.
+      if (failed_nodes_.count(update.head) != 0) continue;
+      if (!engine(update.head).circuit_rates(update.msg.circuit_id)) continue;
+      engine(update.head).begin_update(update.msg);
+      ++actions;
+    }
+  }
+  return actions;
+}
+
 std::optional<ctrl::CircuitPlan> Network::establish_circuit(
     NodeId head, NodeId tail, EndpointId head_endpoint,
     EndpointId tail_endpoint, double end_to_end_fidelity,
     const ctrl::CircuitPlanOptions& options, std::string* reason,
     Duration timeout) {
+  service_control_plane();  // released capacity must be visible to admission
   if (controller_ == nullptr) {
     // Controller assumes homogeneous hardware (the paper's setting); use
     // the head node's profile.
@@ -282,19 +504,22 @@ std::optional<ctrl::CircuitPlan> Network::establish_circuit(
       }
     }
     controller_->release_circuit(plan->install.circuit_id);
+    service_control_plane();  // re-signal circuits the failed plan squeezed
     return std::nullopt;
   }
   circuit_heads_[plan->install.circuit_id] = head;
+  service_control_plane();  // re-signal circuits this guarantee squeezed
   return plan;
 }
 
 void Network::teardown_circuit(CircuitId circuit, const std::string& reason) {
+  service_control_plane();
   const auto it = circuit_heads_.find(circuit);
-  QNETP_ASSERT_MSG(it != circuit_heads_.end(),
-                   "teardown of a circuit establish_circuit did not set up");
+  if (it == circuit_heads_.end()) return;  // churn already tore it down
   engine(it->second).teardown(circuit, reason);
   circuit_heads_.erase(it);
   if (controller_ != nullptr) controller_->release_circuit(circuit);
+  service_control_plane();  // re-signal circuits the release regrew
 }
 
 void Network::install_manual_circuit(const netmsg::InstallMsg& install) {

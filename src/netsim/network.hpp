@@ -8,13 +8,17 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "ctrl/controller.hpp"
+#include "ctrl/linkstate.hpp"
 #include "ctrl/topology.hpp"
 #include "des/sharded.hpp"
 #include "des/simulator.hpp"
@@ -107,6 +111,9 @@ class Network {
   /// The sharded kernel (single-shard for classic fabrics). run_until /
   /// now / stop on this drive the whole fabric at any shard count.
   des::ShardedSimulator& sharded_sim() { return sharded_; }
+  /// The event loop (and clock) a node's events run on — safe to read
+  /// from that node's handlers at any shard count.
+  des::Simulator& node_sim(NodeId id) { return sharded_.shard(shard_of(id)); }
   netmsg::ClassicalNetwork& classical() { return classical_; }
   qdevice::PairRegistry& registry() { return *registries_.front(); }
   const ctrl::Topology& topology() const { return topology_; }
@@ -159,6 +166,46 @@ class Network {
   /// nullptr before the first call).
   const ctrl::Controller* controller() const { return controller_.get(); }
 
+  // --- Link-state routing ---------------------------------------------------
+
+  /// Run one LinkStateRouter per node over the classical fabric. Once
+  /// enabled, the controller's Topology is driven from the routed view
+  /// (the lowest node id hosts the reference database): links the routers
+  /// have not yet converged on count as down, so run the fabric for a
+  /// convergence warm-up before the first establish_circuit. Call before
+  /// running the simulator.
+  void enable_linkstate(ctrl::LinkStateConfig config = {});
+  bool linkstate_enabled() const { return linkstate_enabled_; }
+  /// The per-node router (enable_linkstate first).
+  ctrl::LinkStateRouter& router(NodeId id);
+  /// Router statistics summed over every node.
+  ctrl::LinkStateStats linkstate_totals() const;
+
+  // --- Runtime churn (driver thread, between run_until windows) -------------
+
+  /// Cut a link both ways: classical delivery stops, both end routers
+  /// re-originate without it, and both end engines tear down the circuits
+  /// that crossed it.
+  void sever_link(NodeId a, NodeId b);
+  /// Undo sever_link; the routers re-advertise the adjacency.
+  void heal_link(NodeId a, NodeId b);
+  /// Scale the advertised routing cost of a link (metric-only churn:
+  /// nothing is torn down, paths just stop preferring it).
+  void degrade_link(NodeId a, NodeId b, double cost_factor);
+  /// Silently kill a node: every incident channel drops, neighbours tear
+  /// down the circuits through it, its own engine frees its qubits, and
+  /// its LSA ages out of the surviving databases.
+  void fail_node(NodeId id);
+  bool node_failed(NodeId id) const { return failed_nodes_.count(id) != 0; }
+
+  /// Drain the deferred control-plane work accumulated while the fabric
+  /// ran: engine-initiated teardowns release their admitted capacity, the
+  /// routed view is applied to the controller topology, and residual
+  /// UPDATEs are re-signalled to best-effort circuit heads. Called
+  /// automatically at establish/teardown entry; call it from trial loops
+  /// between strides. Returns the number of actions performed.
+  std::size_t service_control_plane();
+
   /// Install a manually constructed circuit (Sec. 5.3: "we manually
   /// populate the routing tables").
   void install_manual_circuit(const netmsg::InstallMsg& install);
@@ -171,6 +218,19 @@ class Network {
 
  private:
   des::Simulator& shard_sim(NodeId id) { return sharded_.shard(shard_of(id)); }
+
+  /// Per-link runtime churn state (base routing cost is 1.0).
+  struct LinkChurn {
+    double cost_scale = 1.0;
+    bool severed = false;
+  };
+
+  /// The adjacencies node `id` currently advertises in its LSA, with the
+  /// quantum metrics (max LPR, best fidelity, residual circuit slots).
+  std::vector<netmsg::LsaLink> advertised_links(NodeId id);
+  /// Push the reference router's two-way-checked view into topology_.
+  void apply_router_view();
+  LinkId link_id_between(NodeId a, NodeId b);
 
   NetworkConfig config_;
   des::ShardedSimulator sharded_;
@@ -192,6 +252,23 @@ class Network {
   std::unique_ptr<ctrl::Controller> controller_;
   std::map<CircuitId, NodeId> circuit_heads_;
   std::uint64_t next_link_ = 1;
+
+  bool linkstate_enabled_ = false;
+  ctrl::LinkStateConfig linkstate_config_;
+  std::map<NodeId, std::unique_ptr<ctrl::LinkStateRouter>> routers_;
+  /// The node whose LSDB drives the controller topology (lowest id).
+  NodeId view_node_;
+  /// Set by the reference router's on_change (possibly on a shard
+  /// thread); consumed by service_control_plane on the driver thread.
+  std::atomic<bool> view_stale_{false};
+
+  std::map<LinkId, LinkChurn> link_churn_;
+  std::set<NodeId> failed_nodes_;
+
+  /// Engine-initiated teardowns land here from shard threads; the driver
+  /// drains them in circuit-id order (deterministic at any shard count).
+  std::mutex release_mutex_;
+  std::set<CircuitId> pending_releases_;
 };
 
 /// The paper's Fig. 7 dumbbell: end-nodes A0(1), A1(2), B0(3), B1(4) and

@@ -14,7 +14,7 @@ Probe::Probe(Network& net, NodeId node, EndpointId endpoint,
     r.delivery = d;
     if (d.pair != nullptr) {
       r.oracle_fidelity =
-          d.pair->oracle_fidelity(d.state, net_.sim().now());
+          d.pair->oracle_fidelity(d.state, net_.node_sim(node_).now());
     }
     deliveries_.push_back(r);
     if (auto_consume_ && d.qubit.valid() && !d.tracking_pending) {
@@ -26,7 +26,7 @@ Probe::Probe(Network& net, NodeId node, EndpointId endpoint,
     r.delivery = d;
     if (d.pair != nullptr) {
       r.oracle_fidelity =
-          d.pair->oracle_fidelity(d.state, net_.sim().now());
+          d.pair->oracle_fidelity(d.state, net_.node_sim(node_).now());
     }
     tracking_updates_.push_back(r);
     if (auto_consume_ && d.qubit.valid()) {
@@ -40,7 +40,7 @@ Probe::Probe(Network& net, NodeId node, EndpointId endpoint,
     }
   };
   handlers.on_complete = [this](CircuitId, RequestId id) {
-    completions_[id] = net_.sim().now();
+    completions_[id] = net_.node_sim(node_).now();
   };
   handlers.on_circuit_down = [this](CircuitId, const std::string&) {
     circuit_down_ = true;
@@ -93,7 +93,7 @@ DualProbe::DualProbe(Network& net, NodeId head, EndpointId head_endpoint,
       }
     };
     handlers.on_complete = [this, at_head](CircuitId, RequestId id) {
-      if (at_head) head_completions_[id] = net_.sim().now();
+      if (at_head) head_completions_[id] = net_.node_sim(head_node_).now();
     };
     return handlers;
   };
@@ -130,12 +130,12 @@ void DualProbe::finish(const Half& a, const Half& b) {
                           head_half.delivery.pair == tail_half.delivery.pair);
   rec.head_at = head_half.delivery.delivered_at;
   rec.tail_at = tail_half.delivery.delivered_at;
-  rec.completed_at = net_.sim().now();
+  rec.completed_at = net_.node_sim(head_node_).now();
   // Joint fidelity while both qubits are still alive, against the state
   // the network claims.
   if (head_half.delivery.pair != nullptr) {
     rec.fidelity = head_half.delivery.pair->oracle_fidelity(
-        rec.state_head, net_.sim().now());
+        rec.state_head, net_.node_sim(head_node_).now());
   }
   pairs_.push_back(rec);
 

@@ -253,6 +253,51 @@ void QnpEngine::handle_teardown(NodeId from, const TeardownMsg& msg) {
   circuits_.erase(msg.circuit_id);
   QNETP_LOG(info, "qnp") << node() << " tore down " << msg.circuit_id << ": "
                          << msg.reason;
+  // Tell the control plane the circuit's capacity is free again. After
+  // the erase: a listener that re-enters the engine must see the final
+  // state.
+  if (on_teardown_) on_teardown_(msg.circuit_id, msg.reason);
+}
+
+void QnpEngine::on_link_down(NodeId neighbour) {
+  QNETP_ASSERT(neighbour.valid());
+  std::vector<CircuitId> affected;
+  for (const auto& [id, cs] : circuits_) {
+    if (cs.upstream == neighbour || cs.downstream == neighbour) {
+      affected.push_back(id);
+    }
+  }
+  for (const CircuitId id : affected) {
+    teardown(id, "link to " + neighbour.to_string() + " down");
+  }
+}
+
+void QnpEngine::begin_update(const netmsg::UpdateMsg& update) {
+  handle_update(NodeId{}, update);
+}
+
+void QnpEngine::handle_update(NodeId /*from*/, const netmsg::UpdateMsg& msg) {
+  auto* cs = find_circuit(msg.circuit_id);
+  if (cs == nullptr) return;  // circuit torn down while the UPDATE flew
+  if (msg.version <= cs->update_version) return;  // stale re-signal
+  cs->update_version = msg.version;
+  const auto hop = std::find_if(
+      msg.hops.begin(), msg.hops.end(),
+      [this](const netmsg::UpdateHop& h) { return h.node == node(); });
+  if (hop == msg.hops.end()) return;
+  cs->downstream_max_lpr = hop->downstream_max_lpr;
+  cs->circuit_max_eer = hop->circuit_max_eer;
+  ++counters_.updates_applied;
+  if (cs->downstream.valid()) send(cs->downstream, msg);
+  // Re-signal the WFQ weight to the link layer under the new share.
+  refresh_downstream_link_request(*cs);
+}
+
+std::optional<QnpEngine::CircuitRates> QnpEngine::circuit_rates(
+    CircuitId circuit) const {
+  const auto* cs = find_circuit(circuit);
+  if (cs == nullptr) return std::nullopt;
+  return CircuitRates{cs->downstream_max_lpr, cs->circuit_max_eer};
 }
 
 // ---------------------------------------------------------------------------
@@ -1267,6 +1312,13 @@ void QnpEngine::on_message(NodeId from, const Message& msg) {
     void operator()(const KeepaliveMsg&) {}
     void operator()(const TestResultMsg& m) {
       self.handle_test_result(from, m);
+    }
+    void operator()(const netmsg::LsaMsg&) {
+      // Routing traffic: consumed by the LinkStateRouter before the
+      // dispatch reaches the engine; ignore if no router is attached.
+    }
+    void operator()(const netmsg::UpdateMsg& m) {
+      self.handle_update(from, m);
     }
   };
   std::visit(Visitor{*this, from}, msg);

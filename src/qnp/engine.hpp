@@ -65,6 +65,7 @@ struct QnpCounters {
   std::uint64_t requests_aborted = 0;  ///< open at the head when torn down
   std::uint64_t test_rounds_completed = 0;
   std::uint64_t early_deliveries = 0;
+  std::uint64_t updates_applied = 0;  ///< admission UPDATEs applied here
 };
 
 /// Census of the engine's flow-table records; the soak bench asserts
@@ -109,6 +110,16 @@ class QnpEngine {
   using CircuitUpFn = std::function<void(CircuitId, bool ok,
                                          const std::string& reason)>;
   void set_on_circuit_up(CircuitUpFn fn) { on_circuit_up_ = std::move(fn); }
+
+  /// Fired whenever this engine removes a circuit's local state (its own
+  /// teardown() or a received TEARDOWN). The network assembly routes it
+  /// to Controller::release_circuit so engine-initiated teardowns return
+  /// their admitted capacity — without this, liveness-triggered
+  /// teardowns silently leak it. May fire at several nodes for one
+  /// circuit; the listener must tolerate duplicates.
+  using TeardownFn =
+      std::function<void(CircuitId, const std::string& reason)>;
+  void set_on_teardown(TeardownFn fn) { on_teardown_ = std::move(fn); }
 
   // --- Application interface (end-nodes) -----------------------------------
 
@@ -155,6 +166,23 @@ class QnpEngine {
 
   /// Tear down a circuit locally and propagate in both directions.
   void teardown(CircuitId circuit, const std::string& reason);
+
+  /// Runtime churn: the link toward `neighbour` went down. Tears down
+  /// every circuit routed over it (TEARDOWNs toward the dead side are
+  /// dropped by the severed channel; the far side initiates its own).
+  void on_link_down(NodeId neighbour);
+
+  /// Apply an admission UPDATE at the head-end and relay it downstream
+  /// (the controller's residual re-signalling path).
+  void begin_update(const netmsg::UpdateMsg& update);
+
+  /// The re-signallable rates of an installed circuit (nullopt when the
+  /// circuit is unknown at this node).
+  struct CircuitRates {
+    double downstream_max_lpr = 0.0;
+    double circuit_max_eer = 0.0;
+  };
+  std::optional<CircuitRates> circuit_rates(CircuitId circuit) const;
 
   bool has_circuit(CircuitId circuit) const;
 
@@ -259,6 +287,8 @@ class QnpEngine {
     double committed_eer = 0.0;
     // Shared EER bookkeeping at every hop (for LPR scaling).
     double current_eer = 0.0;
+    // Last applied admission UPDATE (stale versions are ignored).
+    std::uint64_t update_version = 0;
     std::uint64_t active_requests = 0;
     std::uint64_t rate_based_requests = 0;
     std::unordered_set<RequestId> known_rate_based;
@@ -319,6 +349,7 @@ class QnpEngine {
   void handle_install_ack(NodeId from, const netmsg::InstallAckMsg& msg);
   void handle_teardown(NodeId from, const netmsg::TeardownMsg& msg);
   void handle_test_result(NodeId from, const netmsg::TestResultMsg& msg);
+  void handle_update(NodeId from, const netmsg::UpdateMsg& msg);
 
   void end_node_track_rule(CircuitState& cs, const netmsg::TrackMsg& msg,
                            bool at_head);
@@ -355,6 +386,7 @@ class QnpEngine {
   SendFn send_;
   EgpLookupFn egp_lookup_;
   CircuitUpFn on_circuit_up_;
+  TeardownFn on_teardown_;
 
   std::map<CircuitId, CircuitState> circuits_;
   struct LabelKey {

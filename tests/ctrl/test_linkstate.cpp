@@ -1,0 +1,332 @@
+// LinkStateRouter protocol properties over a miniature classical fabric:
+// flooding + convergence, duplicate drop, database resync, self-LSA
+// ownership, age-out of silent nodes, the two-way connectivity check,
+// delta-triggered SPF, runtime cost changes and sever/heal rerouting.
+#include "ctrl/linkstate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+#include <utility>
+#include <variant>
+
+#include "des/simulator.hpp"
+
+namespace qnetp::ctrl {
+namespace {
+
+using namespace qnetp::literals;
+
+/// A handful of routers joined by ideal 10 us channels. Links are edited
+/// by mutating the advertised adjacency lists (the router's truth
+/// source) and blocking delivery, then calling originate() — exactly the
+/// contract netsim::Network uses.
+class Rig {
+ public:
+  explicit Rig(LinkStateConfig config = {}) : config_(config) {}
+
+  des::Simulator sim;
+
+  LinkStateRouter& add(NodeId id) {
+    auto router = std::make_unique<LinkStateRouter>(sim, id, config_);
+    router->set_send([this, id](NodeId to, const netmsg::Message& m) {
+      if (blocked_.count({id, to}) != 0) return;
+      const auto* lsa = std::get_if<netmsg::LsaMsg>(&m);
+      ASSERT_NE(lsa, nullptr) << "router sent a non-LSA message";
+      sim.schedule(10_us, [this, id, to, msg = *lsa] {
+        const auto it = routers_.find(to);
+        if (it != routers_.end()) it->second->on_message(id, msg);
+      });
+    });
+    router->set_local_links([this, id] { return adj_[id]; });
+    auto& ref = *router;
+    routers_[id] = std::move(router);
+    return ref;
+  }
+
+  LinkStateRouter& at(std::uint64_t id) { return *routers_.at(NodeId{id}); }
+
+  void link(std::uint64_t a, std::uint64_t b, std::uint64_t link_id,
+            double cost = 1.0, double max_lpr = 0.0) {
+    netmsg::LsaLink fwd;
+    fwd.neighbour = NodeId{b};
+    fwd.link = LinkId{link_id};
+    fwd.cost = cost;
+    fwd.max_lpr = max_lpr;
+    netmsg::LsaLink back = fwd;
+    back.neighbour = NodeId{a};
+    adj_[NodeId{a}].push_back(fwd);
+    adj_[NodeId{b}].push_back(back);
+  }
+
+  void set_cost(std::uint64_t a, std::uint64_t b, double cost) {
+    for (auto& l : adj_[NodeId{a}]) {
+      if (l.neighbour == NodeId{b}) l.cost = cost;
+    }
+    for (auto& l : adj_[NodeId{b}]) {
+      if (l.neighbour == NodeId{a}) l.cost = cost;
+    }
+  }
+
+  void sever(std::uint64_t a, std::uint64_t b) {
+    std::erase_if(adj_[NodeId{a}],
+                  [&](const netmsg::LsaLink& l) { return l.neighbour == NodeId{b}; });
+    std::erase_if(adj_[NodeId{b}],
+                  [&](const netmsg::LsaLink& l) { return l.neighbour == NodeId{a}; });
+    blocked_.insert({NodeId{a}, NodeId{b}});
+    blocked_.insert({NodeId{b}, NodeId{a}});
+  }
+
+  void block(std::uint64_t a, std::uint64_t b) {
+    blocked_.insert({NodeId{a}, NodeId{b}});
+    blocked_.insert({NodeId{b}, NodeId{a}});
+  }
+
+  void start_all() {
+    for (auto& [id, r] : routers_) r->start();
+  }
+
+  void run(Duration d) { sim.run_until(sim.now() + d); }
+
+  /// Every router's database holds exactly `n` origins.
+  bool all_databases_have(std::size_t n) {
+    for (auto& [id, r] : routers_) {
+      if (r->database_size() != n) return false;
+    }
+    return true;
+  }
+
+ private:
+  LinkStateConfig config_;
+  std::map<NodeId, std::unique_ptr<LinkStateRouter>> routers_;
+  std::map<NodeId, std::vector<netmsg::LsaLink>> adj_;
+  std::set<std::pair<NodeId, NodeId>> blocked_;
+};
+
+LinkStateConfig fast_config() {
+  LinkStateConfig c;
+  c.refresh_interval = 50_ms;
+  c.max_age = 160_ms;
+  c.age_sweep_interval = 20_ms;
+  return c;
+}
+
+TEST(LinkState, FloodsAndConvergesOnTriangle) {
+  Rig rig(fast_config());
+  for (std::uint64_t id = 1; id <= 3; ++id) rig.add(NodeId{id});
+  rig.link(1, 2, 12);
+  rig.link(2, 3, 23);
+  rig.link(1, 3, 13);
+  rig.start_all();
+  rig.run(20_ms);
+
+  EXPECT_TRUE(rig.all_databases_have(3));
+  const auto path = rig.at(1).path_to(NodeId{3});
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(*path, (std::vector<NodeId>{NodeId{1}, NodeId{3}}));
+  EXPECT_DOUBLE_EQ(*rig.at(1).distance_to(NodeId{3}), 1.0);
+  // Flooding echoes are dropped as duplicates, not re-flooded forever.
+  EXPECT_GT(rig.at(1).stats().lsas_duplicate, 0u);
+}
+
+TEST(LinkState, QuantumMetricsPropagate) {
+  Rig rig(fast_config());
+  rig.add(NodeId{1});
+  rig.add(NodeId{2});
+  rig.link(1, 2, 12, 1.0, /*max_lpr=*/321.5);
+  rig.start_all();
+  rig.run(20_ms);
+
+  const auto* lsa = rig.at(2).database_entry(NodeId{1});
+  ASSERT_NE(lsa, nullptr);
+  ASSERT_EQ(lsa->links.size(), 1u);
+  EXPECT_DOUBLE_EQ(lsa->links[0].max_lpr, 321.5);
+}
+
+TEST(LinkState, RefreshWithoutChangeDoesNotRerunSpf) {
+  Rig rig(fast_config());
+  for (std::uint64_t id = 1; id <= 3; ++id) rig.add(NodeId{id});
+  rig.link(1, 2, 12);
+  rig.link(2, 3, 23);
+  rig.start_all();
+  rig.run(30_ms);
+  (void)rig.at(1).path_to(NodeId{3});  // force the lazy rebuild
+
+  const auto spf_before = rig.at(1).stats().spf_runs;
+  const auto received_before = rig.at(1).stats().lsas_received;
+  rig.run(300_ms);  // six refresh cycles, nothing changes
+  (void)rig.at(1).path_to(NodeId{3});
+
+  EXPECT_GT(rig.at(1).stats().lsas_received, received_before)
+      << "refreshes must keep flowing";
+  EXPECT_EQ(rig.at(1).stats().spf_runs, spf_before)
+      << "content-free refreshes must not dirty the SPF";
+}
+
+TEST(LinkState, SeverReroutesAndHealRestores) {
+  Rig rig(fast_config());
+  for (std::uint64_t id = 1; id <= 4; ++id) rig.add(NodeId{id});
+  // Square 1-2-3-4-1.
+  rig.link(1, 2, 12);
+  rig.link(2, 3, 23);
+  rig.link(3, 4, 34);
+  rig.link(1, 4, 14);
+  rig.start_all();
+  rig.run(20_ms);
+  ASSERT_EQ(*rig.at(2).path_to(NodeId{3}),
+            (std::vector<NodeId>{NodeId{2}, NodeId{3}}));
+
+  rig.sever(2, 3);
+  rig.at(2).originate();
+  rig.at(3).originate();
+  rig.run(20_ms);
+  const auto detour = rig.at(2).path_to(NodeId{3});
+  ASSERT_TRUE(detour.has_value());
+  EXPECT_EQ(*detour,
+            (std::vector<NodeId>{NodeId{2}, NodeId{1}, NodeId{4}, NodeId{3}}));
+
+  // Heal: re-advertise and unblock; the direct path comes back.
+  rig.link(2, 3, 23);
+  // (blocked_ entries stay; flooding via 1 and 4 still reaches everyone.)
+  rig.at(2).originate();
+  rig.at(3).originate();
+  rig.run(20_ms);
+  EXPECT_EQ(*rig.at(2).path_to(NodeId{3}),
+            (std::vector<NodeId>{NodeId{2}, NodeId{3}}));
+}
+
+TEST(LinkState, CostDegradePrefersDetour) {
+  Rig rig(fast_config());
+  for (std::uint64_t id = 1; id <= 3; ++id) rig.add(NodeId{id});
+  rig.link(1, 2, 12);
+  rig.link(2, 3, 23);
+  rig.link(1, 3, 13);
+  rig.start_all();
+  rig.run(20_ms);
+  ASSERT_DOUBLE_EQ(*rig.at(1).distance_to(NodeId{2}), 1.0);
+
+  rig.set_cost(1, 2, 10.0);
+  rig.at(1).originate();
+  rig.at(2).originate();
+  rig.run(20_ms);
+  EXPECT_EQ(*rig.at(1).path_to(NodeId{2}),
+            (std::vector<NodeId>{NodeId{1}, NodeId{3}, NodeId{2}}));
+  EXPECT_DOUBLE_EQ(*rig.at(1).distance_to(NodeId{2}), 2.0);
+}
+
+TEST(LinkState, SilentNodeAgesOutEverywhere) {
+  Rig rig(fast_config());
+  for (std::uint64_t id = 1; id <= 3; ++id) rig.add(NodeId{id});
+  rig.link(1, 2, 12);
+  rig.link(2, 3, 23);
+  rig.link(1, 3, 13);
+  rig.start_all();
+  rig.run(20_ms);
+  ASSERT_TRUE(rig.all_databases_have(3));
+
+  // Node 3 dies silently: stops refreshing, channels drop.
+  rig.at(3).stop();
+  rig.block(1, 3);
+  rig.block(2, 3);
+  rig.run(400_ms);  // > max_age + sweep
+
+  EXPECT_EQ(rig.at(1).database_size(), 2u);
+  EXPECT_EQ(rig.at(2).database_size(), 2u);
+  EXPECT_FALSE(rig.at(1).path_to(NodeId{3}).has_value());
+  EXPECT_GT(rig.at(1).stats().lsas_aged_out, 0u);
+  // The live adjacency is untouched.
+  EXPECT_TRUE(rig.at(1).path_to(NodeId{2}).has_value());
+}
+
+TEST(LinkState, OneSidedLinkFailsTwoWayCheck) {
+  Rig rig(fast_config());
+  rig.add(NodeId{1});
+  rig.add(NodeId{2});
+  rig.link(1, 2, 12);
+  // Node 1 also advertises a link to a node that never advertises back.
+  netmsg::LsaLink ghost;
+  ghost.neighbour = NodeId{9};
+  ghost.link = LinkId{99};
+  // Inject via a crafted LSA carrying the ghost adjacency.
+  rig.start_all();
+  rig.run(20_ms);
+
+  netmsg::LsaMsg crafted = *rig.at(2).database_entry(NodeId{1});
+  crafted.seq += 1;
+  crafted.links.push_back(ghost);
+  rig.at(2).on_message(NodeId{1}, crafted);
+
+  EXPECT_FALSE(rig.at(2).path_to(NodeId{9}).has_value());
+  for (const auto& l : rig.at(2).view_links()) {
+    EXPECT_NE(l.id, LinkId{99}) << "half-advertised link entered the view";
+  }
+  // The two-way-checked adjacency still stands.
+  EXPECT_TRUE(rig.at(2).path_to(NodeId{1}).has_value());
+}
+
+TEST(LinkState, StaleSenderGetsResynced) {
+  Rig rig(fast_config());
+  for (std::uint64_t id = 1; id <= 3; ++id) rig.add(NodeId{id});
+  rig.link(1, 2, 12);
+  rig.link(2, 3, 23);
+  rig.start_all();
+  rig.run(120_ms);  // a couple of refresh cycles so the seq advances
+
+  const auto* current = rig.at(2).database_entry(NodeId{1});
+  ASSERT_NE(current, nullptr);
+  ASSERT_GT(current->seq, 1u);
+  const std::uint64_t fresh_seq = current->seq;
+
+  // Node 3 floods a stale copy of 1's LSA (e.g. right after a partition
+  // heals): 2 drops it and answers with the newer copy.
+  netmsg::LsaMsg stale = *current;
+  stale.seq = 0;
+  const auto resynced_before = rig.at(2).stats().lsas_resynced;
+  rig.at(2).on_message(NodeId{3}, stale);
+  EXPECT_EQ(rig.at(2).stats().lsas_resynced, resynced_before + 1);
+  rig.run(5_ms);
+  const auto* at3 = rig.at(3).database_entry(NodeId{1});
+  ASSERT_NE(at3, nullptr);
+  EXPECT_GE(at3->seq, fresh_seq) << "the stale sender must end up current";
+}
+
+TEST(LinkState, OwnOldLsaTriggersReorigination) {
+  Rig rig(fast_config());
+  rig.add(NodeId{1});
+  rig.add(NodeId{2});
+  rig.link(1, 2, 12);
+  rig.start_all();
+  rig.run(20_ms);
+
+  // An old incarnation of 1's own LSA with a far-ahead sequence number
+  // is still flooding (pre-restart history). 1 must assert ownership by
+  // jumping past it.
+  netmsg::LsaMsg zombie = *rig.at(1).database_entry(NodeId{1});
+  zombie.seq += 50;
+  zombie.links.clear();
+  rig.at(1).on_message(NodeId{2}, zombie);
+
+  const auto* own = rig.at(1).database_entry(NodeId{1});
+  ASSERT_NE(own, nullptr);
+  EXPECT_GT(own->seq, zombie.seq);
+  EXPECT_FALSE(own->links.empty()) << "content must be the live adjacency";
+}
+
+TEST(LinkState, StopGoesSilent) {
+  Rig rig(fast_config());
+  rig.add(NodeId{1});
+  rig.add(NodeId{2});
+  rig.link(1, 2, 12);
+  rig.start_all();
+  rig.run(20_ms);
+  rig.at(1).stop();
+  EXPECT_FALSE(rig.at(1).running());
+  const auto originated = rig.at(1).stats().lsas_originated;
+  rig.run(200_ms);
+  EXPECT_EQ(rig.at(1).stats().lsas_originated, originated);
+}
+
+}  // namespace
+}  // namespace qnetp::ctrl

@@ -1,0 +1,248 @@
+// Randomized convergence property: over seeded Waxman graphs with
+// scripted churn (sever / degrade / heal), after a quiet period every
+// router's SPF view agrees with the centralized Topology oracle run on
+// the surviving graph — same reachability, same distances. Seeds are
+// logged so a failure reproduces with a single-seed run.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "ctrl/linkstate.hpp"
+#include "ctrl/topology.hpp"
+#include "des/simulator.hpp"
+#include "netsim/topology_spec.hpp"
+#include "qbase/rng.hpp"
+#include "qhw/params.hpp"
+
+namespace qnetp::ctrl {
+namespace {
+
+using namespace qnetp::literals;
+
+LinkStateConfig fast_config() {
+  LinkStateConfig c;
+  c.refresh_interval = 50_ms;
+  c.max_age = 160_ms;
+  c.age_sweep_interval = 20_ms;
+  return c;
+}
+
+/// Distributed side: one LinkStateRouter per node over ideal channels,
+/// fed from a shared mutable adjacency. Centralized side: a Topology
+/// oracle kept in lockstep through set_link_up / set_link_cost.
+class ConvergenceRig {
+ public:
+  explicit ConvergenceRig(const netsim::TopologySpec& spec) {
+    for (const auto& n : spec.nodes) {
+      oracle.add_node(n.id);
+      auto router = std::make_unique<LinkStateRouter>(sim, n.id, fast_config());
+      const NodeId id = n.id;
+      router->set_send([this, id](NodeId to, const netmsg::Message& m) {
+        const auto* lsa = std::get_if<netmsg::LsaMsg>(&m);
+        ASSERT_NE(lsa, nullptr);
+        if (severed_.count(ordered(id, to)) != 0) return;
+        sim.schedule(10_us, [this, id, to, msg = *lsa] {
+          const auto it = routers_.find(to);
+          if (it != routers_.end()) it->second->on_message(id, msg);
+        });
+      });
+      router->set_local_links([this, id] { return adj_[id]; });
+      routers_[id] = std::move(router);
+    }
+    std::uint64_t next_link = 1;
+    for (const auto& l : spec.links) {
+      const LinkId id{next_link++};
+      oracle.add_link(TopologyLink{
+          id, l.a, l.b,
+          qhw::PhotonicLinkModel(qhw::simulation_preset(),
+                                 qhw::FiberParams::lab(2.0)),
+          1.0});
+      link_ends_[id] = {l.a, l.b};
+      add_adjacency(id, l.a, l.b, 1.0);
+    }
+    for (auto& [id, r] : routers_) r->start();
+  }
+
+  des::Simulator sim;
+  Topology oracle;
+
+  std::vector<LinkId> link_ids() const {
+    std::vector<LinkId> out;
+    for (const auto& [id, ends] : link_ends_) out.push_back(id);
+    return out;
+  }
+
+  bool is_severed(LinkId id) const {
+    const auto& [a, b] = link_ends_.at(id);
+    return severed_.count(ordered(a, b)) != 0;
+  }
+
+  /// True if taking `id` down keeps every surviving node pair connected
+  /// (checked on the oracle, transactionally).
+  bool severable(LinkId id) {
+    if (is_severed(id)) return false;
+    oracle.set_link_up(id, false);
+    const bool ok = oracle_connected();
+    oracle.set_link_up(id, true);
+    return ok;
+  }
+
+  void sever(LinkId id) {
+    const auto& [a, b] = link_ends_.at(id);
+    remove_adjacency(a, b);
+    severed_.insert(ordered(a, b));
+    oracle.set_link_up(id, false);
+    routers_.at(a)->originate();
+    routers_.at(b)->originate();
+  }
+
+  void heal(LinkId id) {
+    const auto& [a, b] = link_ends_.at(id);
+    severed_.erase(ordered(a, b));
+    add_adjacency(id, a, b, oracle.link(id)->cost);
+    oracle.set_link_up(id, true);
+    routers_.at(a)->originate();
+    routers_.at(b)->originate();
+  }
+
+  void degrade(LinkId id, double cost) {
+    const auto& [a, b] = link_ends_.at(id);
+    for (auto& l : adj_[a]) {
+      if (l.link == id) l.cost = cost;
+    }
+    for (auto& l : adj_[b]) {
+      if (l.link == id) l.cost = cost;
+    }
+    oracle.set_link_cost(id, cost);
+    if (severed_.count(ordered(a, b)) == 0) {
+      routers_.at(a)->originate();
+      routers_.at(b)->originate();
+    }
+  }
+
+  void run(Duration d) { sim.run_until(sim.now() + d); }
+
+  /// Every router's distance table equals the oracle's, for all pairs.
+  void expect_converged(std::uint64_t seed) {
+    for (const auto& [from, router] : routers_) {
+      for (const auto& [to, unused] : routers_) {
+        if (from == to) continue;
+        const auto want = oracle.shortest_path(from, to);
+        const auto got = router->distance_to(to);
+        if (!want.has_value()) {
+          EXPECT_FALSE(got.has_value())
+              << "seed " << seed << ": router " << from.value()
+              << " reaches " << to.value() << " but the oracle does not";
+          continue;
+        }
+        ASSERT_TRUE(got.has_value())
+            << "seed " << seed << ": router " << from.value()
+            << " cannot reach " << to.value() << " but the oracle can";
+        EXPECT_NEAR(*got, oracle.path_cost(*want), 1e-9)
+            << "seed " << seed << ": distance mismatch " << from.value()
+            << " -> " << to.value();
+      }
+    }
+  }
+
+ private:
+  static std::pair<NodeId, NodeId> ordered(NodeId a, NodeId b) {
+    return (a.value() < b.value()) ? std::make_pair(a, b)
+                                   : std::make_pair(b, a);
+  }
+
+  bool oracle_connected() {
+    const NodeId first = routers_.begin()->first;
+    for (const auto& [id, r] : routers_) {
+      if (id == first) continue;
+      if (!oracle.shortest_path(first, id).has_value()) return false;
+    }
+    return true;
+  }
+
+  void add_adjacency(LinkId id, NodeId a, NodeId b, double cost) {
+    netmsg::LsaLink fwd;
+    fwd.neighbour = b;
+    fwd.link = id;
+    fwd.cost = cost;
+    netmsg::LsaLink back = fwd;
+    back.neighbour = a;
+    adj_[a].push_back(fwd);
+    adj_[b].push_back(back);
+  }
+
+  void remove_adjacency(NodeId a, NodeId b) {
+    std::erase_if(adj_[a], [&](const netmsg::LsaLink& l) {
+      return l.neighbour == b;
+    });
+    std::erase_if(adj_[b], [&](const netmsg::LsaLink& l) {
+      return l.neighbour == a;
+    });
+  }
+
+  std::map<NodeId, std::unique_ptr<LinkStateRouter>> routers_;
+  std::map<NodeId, std::vector<netmsg::LsaLink>> adj_;
+  std::map<LinkId, std::pair<NodeId, NodeId>> link_ends_;
+  std::set<std::pair<NodeId, NodeId>> severed_;
+};
+
+/// One randomized trial: Waxman graph from `seed`, a scripted event
+/// sequence drawn from the same seed, a quiet period, then the full
+/// all-pairs oracle comparison.
+void run_trial(std::uint64_t seed) {
+  netsim::WaxmanParams params;
+  params.nodes = 12;
+  const auto spec = netsim::TopologySpec::waxman(
+      seed, params, qhw::simulation_preset());
+  ConvergenceRig rig(spec);
+  rig.run(40_ms);  // initial flood settles
+  rig.expect_converged(seed);
+
+  Rng rng(seed ^ 0xC0FFEEull);
+  const auto links = rig.link_ids();
+  std::vector<LinkId> downed;
+  const int n_events = 3 + static_cast<int>(rng.uniform_int(4));
+  for (int e = 0; e < n_events; ++e) {
+    const std::uint64_t roll = rng.uniform_int(4);
+    const LinkId pick = links[rng.uniform_int(links.size())];
+    if (roll == 0 && !downed.empty()) {
+      // Heal the oldest casualty.
+      rig.heal(downed.front());
+      downed.erase(downed.begin());
+    } else if (roll <= 1) {
+      if (rig.severable(pick)) {
+        rig.sever(pick);
+        downed.push_back(pick);
+      }
+    } else {
+      rig.degrade(pick, 1.0 + rng.uniform(0.0, 8.0));
+    }
+    rig.run(5_ms);  // events overlap in flight
+  }
+
+  rig.run(60_ms);  // quiet period: all floods and SPF reruns settle
+  rig.expect_converged(seed);
+}
+
+TEST(LinkStateConvergence, MatchesOracleOverSeededWaxmanChurn) {
+  constexpr std::uint64_t kBaseSeed = 7100;
+  constexpr int kSeeds = 60;
+  for (int i = 0; i < kSeeds; ++i) {
+    const std::uint64_t seed = kBaseSeed + static_cast<std::uint64_t>(i);
+    SCOPED_TRACE(::testing::Message() << "seed " << seed);
+    std::printf("[convergence] seed %llu\n",
+                static_cast<unsigned long long>(seed));
+    run_trial(seed);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+}  // namespace
+}  // namespace qnetp::ctrl

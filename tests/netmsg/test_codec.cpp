@@ -117,6 +117,61 @@ TEST(Codec, KeepaliveRoundTrip) {
   EXPECT_EQ(round_trip(k), k);
 }
 
+TEST(Codec, LsaRoundTrip) {
+  LsaMsg m;
+  m.origin = NodeId{5};
+  m.seq = 987654321;
+  m.max_age = 1600_ms;
+  for (std::uint64_t i = 1; i <= 3; ++i) {
+    LsaLink l;
+    l.neighbour = NodeId{10 + i};
+    l.link = LinkId{20 + i};
+    l.cost = 1.0 + 0.5 * static_cast<double>(i);
+    l.max_lpr = 1234.5 * static_cast<double>(i);
+    l.fidelity = 0.97;
+    l.residual_slots = static_cast<std::uint32_t>(i);
+    m.links.push_back(l);
+  }
+  EXPECT_EQ(round_trip(m), m);
+}
+
+TEST(Codec, LsaUnlimitedSlotsRoundTrip) {
+  LsaMsg m;
+  m.origin = NodeId{1};
+  m.seq = 1;
+  m.max_age = 1_s;
+  LsaLink l;
+  l.neighbour = NodeId{2};
+  l.link = LinkId{1};
+  l.residual_slots = LsaLink::kUnlimitedSlots;
+  m.links.push_back(l);
+  EXPECT_EQ(round_trip(m), m);
+}
+
+TEST(Codec, LsaEmptyLinksRoundTrip) {
+  // A node with every adjacency severed still originates (that emptiness
+  // is the news).
+  LsaMsg m;
+  m.origin = NodeId{3};
+  m.seq = 44;
+  m.max_age = 500_ms;
+  EXPECT_EQ(round_trip(m), m);
+}
+
+TEST(Codec, UpdateRoundTrip) {
+  UpdateMsg m;
+  m.circuit_id = CircuitId{12};
+  m.version = 3;
+  for (std::uint64_t i = 1; i <= 4; ++i) {
+    UpdateHop h;
+    h.node = NodeId{i};
+    h.downstream_max_lpr = (i < 4) ? 80.0 / static_cast<double>(i) : 0.0;
+    h.circuit_max_eer = 7.5;
+    m.hops.push_back(h);
+  }
+  EXPECT_EQ(round_trip(m), m);
+}
+
 TEST(Codec, UnknownTypeRejected) {
   Bytes junk{0xEE, 0x01, 0x02};
   EXPECT_THROW(decode(junk), CodecError);
@@ -159,6 +214,8 @@ TEST(Codec, MessageNames) {
   EXPECT_EQ(message_name(Message{TrackMsg{}}), "TRACK");
   EXPECT_EQ(message_name(Message{ExpireMsg{}}), "EXPIRE");
   EXPECT_EQ(message_name(Message{KeepaliveMsg{}}), "KEEPALIVE");
+  EXPECT_EQ(message_name(Message{LsaMsg{}}), "LSA");
+  EXPECT_EQ(message_name(Message{UpdateMsg{}}), "UPDATE");
 }
 
 TEST(Codec, FuzzRandomBytesNeverCrash) {

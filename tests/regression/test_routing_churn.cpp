@@ -1,0 +1,226 @@
+// Tier-2 routing-churn regression.
+//
+// Pins churn_trial aggregate digests for fixed seeds against baselines
+// committed in tests/regression/golden/routing.txt, and asserts the
+// determinism invariants behind bench/routing_churn's gates: identical
+// digests across TrialRunner worker counts (--jobs) and across the
+// execution-shard fold of the multi-region fabric (--shards), plus the
+// per-trial cleanliness contract (ok, engine-consistent, leak-free).
+//
+// Environment knobs:
+//  * QNETP_REGEN_GOLDEN=1 — rewrite the golden digests from this build
+//    (inspect the diff, commit);
+//  * QNETP_REGRESSION_QUICK=1 — CI smoke mode: trims the invariance
+//    sweeps. The digest-pinned configs run identically in both modes (a
+//    digest over different trials would never match), so quick mode does
+//    not weaken the golden comparison.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "exp/churn.hpp"
+#include "exp/runner.hpp"
+#include "exp/summary.hpp"
+
+#ifndef QNETP_GOLDEN_DIR
+#error "QNETP_GOLDEN_DIR must point at tests/regression/golden"
+#endif
+
+namespace qnetp::exp {
+namespace {
+
+bool env_flag(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+bool quick_mode() { return env_flag("QNETP_REGRESSION_QUICK"); }
+
+/// Exact-match golden store: `name value` per line (16-digit hex
+/// digests) — no tolerance band, digests either replay or they don't.
+class RoutingGolden {
+ public:
+  static RoutingGolden& instance() {
+    static RoutingGolden store;
+    return store;
+  }
+
+  void check(const std::string& name, const std::string& value) {
+    if (regen_) {
+      recorded_[name] = value;
+      return;
+    }
+    const auto it = golden_.find(name);
+    ASSERT_NE(it, golden_.end())
+        << "no golden value for '" << name
+        << "' — run with QNETP_REGEN_GOLDEN=1 and commit the result";
+    EXPECT_EQ(value, it->second)
+        << "'" << name << "' no longer replays bit-identically";
+  }
+
+  void flush() {
+    if (!regen_) return;
+    auto merged = golden_;
+    for (const auto& [name, v] : recorded_) merged[name] = v;
+    const std::string path = file_path();
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << "# Golden digests for the tier-2 routing-churn regression "
+           "suite.\n"
+        << "# Regenerate: QNETP_REGEN_GOLDEN=1 "
+           "./qnetp_regression_test_routing_churn\n"
+        << "# Format: <name> <value>\n";
+    for (const auto& [name, v] : merged) out << name << " " << v << "\n";
+  }
+
+ private:
+  RoutingGolden() : regen_(env_flag("QNETP_REGEN_GOLDEN")) {
+    std::ifstream in(file_path());
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      std::istringstream ls(line);
+      std::string name, value;
+      if (ls >> name >> value) golden_[name] = value;
+    }
+  }
+
+  static std::string file_path() {
+    return std::string(QNETP_GOLDEN_DIR) + "/routing.txt";
+  }
+
+  bool regen_;
+  std::map<std::string, std::string> golden_;
+  std::map<std::string, std::string> recorded_;
+};
+
+class GoldenFlusher : public ::testing::Environment {
+ public:
+  void TearDown() override { RoutingGolden::instance().flush(); }
+};
+const auto* const kFlusher =
+    ::testing::AddGlobalTestEnvironment(new GoldenFlusher);
+
+/// Single-region grid with the full scripted fault timeline, trimmed to
+/// a horizon that still covers sever + degrade + heal.
+ChurnConfig grid_config() {
+  ChurnConfig cfg;
+  cfg.family = TopologyFamily::grid;
+  cfg.size = 3;
+  cfg.n_circuits = 3;
+  cfg.n_guaranteed = 1;
+  cfg.requested_eer = 0.5;
+  cfg.horizon = Duration::seconds(16);
+  cfg.events = default_churn_timeline(cfg.family, cfg.size);
+  return cfg;
+}
+
+/// Four composed 2x3 grid regions (the sharded fabric): sever, degrade
+/// and a flash crowd inside a short horizon.
+ChurnConfig regions_config() {
+  ChurnConfig cfg;
+  cfg.regions = 4;
+  cfg.region_rows = 2;
+  cfg.region_cols = 3;
+  cfg.n_circuits = 2;
+  cfg.n_guaranteed = 1;
+  cfg.requested_eer = 0.5;
+  cfg.horizon = Duration::seconds(10);
+  auto link_event = [&](ChurnEventKind kind, double at_s, std::uint64_t a,
+                        std::uint64_t b) {
+    ChurnEvent e;
+    e.kind = kind;
+    e.at = Duration::seconds(at_s);
+    e.a = NodeId{a};
+    e.b = NodeId{b};
+    cfg.events.push_back(e);
+  };
+  link_event(ChurnEventKind::sever, 2.0, 1, 2);
+  link_event(ChurnEventKind::degrade, 4.0, 7, 8);
+  cfg.events.back().cost_factor = 5.0;
+  ChurnEvent crowd;
+  crowd.kind = ChurnEventKind::flash_crowd;
+  crowd.at = Duration::seconds(6);
+  cfg.events.push_back(crowd);
+  return cfg;
+}
+
+std::string digest_hex(const SummaryAccumulator& acc) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(acc.digest()));
+  return buf;
+}
+
+TEST(RoutingChurnRegression, DigestMatchesGolden) {
+  // Fixed trial count in BOTH modes: the digest covers every trial.
+  auto& golden = RoutingGolden::instance();
+  const std::map<std::string, ChurnConfig> configs = {
+      {"routing.churn_grid3.digest", grid_config()},
+      {"routing.churn_regions4.digest", regions_config()},
+  };
+  for (const auto& [name, cfg] : configs) {
+    const auto results = TrialRunner({1, 0x9C0DE}).run(
+        2, [&](const Trial& t) { return churn_trial(cfg, t.seed); });
+    for (const auto& r : results) {
+      EXPECT_DOUBLE_EQ(r.scalar_or("ok", 0.0), 1.0) << name;
+      EXPECT_DOUBLE_EQ(r.scalar_or("consistency_ok", 0.0), 1.0) << name;
+      EXPECT_DOUBLE_EQ(r.scalar_or("leak_free", 0.0), 1.0) << name;
+      EXPECT_DOUBLE_EQ(r.scalar_or("quiescent", 0.0), 1.0) << name;
+    }
+    golden.check(name, digest_hex(SummaryAccumulator::aggregate(results)));
+  }
+}
+
+TEST(RoutingChurnRegression, SameSeedSameExecution) {
+  const ChurnConfig cfg = grid_config();
+  const TrialResult a = churn_trial(cfg, 0xC0DE5EED);
+  const TrialResult b = churn_trial(cfg, 0xC0DE5EED);
+  auto da = SummaryAccumulator();
+  da.add(a);
+  auto db = SummaryAccumulator();
+  db.add(b);
+  EXPECT_EQ(da.digest(), db.digest());
+  EXPECT_GT(a.scalars.at("delivered"), 0.0);
+  EXPECT_GT(a.scalars.at("torn_down"), 0.0) << "the timeline must bite";
+}
+
+TEST(RoutingChurnRegression, AggregatesBitIdenticalAcrossJobCounts) {
+  const std::size_t trials = quick_mode() ? 2 : 4;
+  const ChurnConfig cfg = grid_config();
+  auto fn = [&](const Trial& t) { return churn_trial(cfg, t.seed); };
+  const auto serial =
+      SummaryAccumulator::aggregate(TrialRunner({1, 0xF10D}).run(trials, fn));
+  const auto threaded =
+      SummaryAccumulator::aggregate(TrialRunner({3, 0xF10D}).run(trials, fn));
+  EXPECT_EQ(serial.digest(), threaded.digest())
+      << "a churn trial pulled randomness from outside its seed";
+}
+
+TEST(RoutingChurnRegression, AggregatesBitIdenticalAcrossShardCounts) {
+  const std::size_t trials = quick_mode() ? 1 : 2;
+  ChurnConfig cfg = regions_config();
+  std::uint64_t reference = 0;
+  for (const std::size_t shards : {1u, 2u, 4u}) {
+    cfg.shards = shards;
+    const auto acc = SummaryAccumulator::aggregate(
+        TrialRunner({1, 0x5AAD}).run(trials, [&](const Trial& t) {
+          return churn_trial(cfg, t.seed);
+        }));
+    if (shards == 1) {
+      reference = acc.digest();
+    } else {
+      EXPECT_EQ(acc.digest(), reference)
+          << "the shard fold leaked into trial results at shards="
+          << shards;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qnetp::exp
