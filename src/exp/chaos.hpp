@@ -1,0 +1,88 @@
+// Chaos trials: circuits established and driven over a fabric whose
+// classical channels misbehave — seeded drop/duplication/reordering/
+// corruption/jitter injection (netmsg::FaultProfile) with every
+// signalling message wrapped in the reliable transport
+// (netmsg::ReliableEndpoint) — plus an optional *silent* link partition
+// that only the transport's dead-peer verdicts can detect.
+//
+// Like churn_trial, everything is driven from the driver thread on a
+// fixed stride grid at absolute simulated times, so results are a pure
+// function of (config, seed): bit-identical across --jobs and --shards
+// (the digest gates bench/chaos_soak enforces).
+#pragma once
+
+#include <cstdint>
+
+#include "ctrl/linkstate.hpp"
+#include "exp/scenarios.hpp"
+#include "exp/trial.hpp"
+#include "netmsg/fault.hpp"
+#include "netmsg/transport.hpp"
+#include "qbase/units.hpp"
+
+namespace qnetp::exp {
+
+struct ChaosConfig {
+  TopologyFamily family = TopologyFamily::grid;
+  std::size_t size = 3;
+  /// Flows established before traffic (per region when regions > 1).
+  std::size_t n_circuits = 2;
+  std::uint64_t pairs_per_request = 4;
+  double fidelity = 0.72;
+  bool short_cutoff = true;
+
+  /// Channel fault injection. The profile's seed is re-derived from the
+  /// trial seed so every trial sees its own fault pattern; set any
+  /// probability to 0 to disable that fault class.
+  netmsg::FaultProfile faults = [] {
+    netmsg::FaultProfile f;
+    f.drop = 0.02;
+    f.duplicate = 0.02;
+    f.reorder = 0.05;
+    f.corrupt = 0.01;
+    f.jitter = Duration::ms(1);
+    return f;
+  }();
+  /// Reliable signalling transport (enabled: chaos without it loses
+  /// INSTALL/TEARDOWN messages outright).
+  netmsg::ReliableConfig transport = [] {
+    netmsg::ReliableConfig c;
+    c.enabled = true;
+    return c;
+  }();
+
+  ctrl::LinkStateConfig linkstate;
+  Duration warmup = Duration::seconds(3);
+  Duration stride = Duration::ms(250);
+  Duration establish_slot = Duration::ms(100);
+  Duration horizon = Duration::seconds(20);
+  Duration drain = Duration::seconds(2);
+
+  /// Optional mid-trial link cut at `cut_at`. With `silent_partition`
+  /// true the link is cut with partition_link — no notification; the
+  /// transport's dead-peer verdicts must drive the withdrawal. False
+  /// uses the explicit sever_link churn path. bench/chaos_soak runs the
+  /// same trial both ways and requires the final routed views to match.
+  bool cut_link = false;
+  bool silent_partition = true;
+  Duration cut_at = Duration::seconds(8);
+  NodeId cut_a, cut_b;  ///< defaults to NodeId{1}-NodeId{2} when invalid
+
+  /// Multi-region mode (regions > 1): composed grids, `shards` worker
+  /// loops (see ChurnConfig).
+  std::size_t regions = 1;
+  std::size_t region_rows = 2;
+  std::size_t region_cols = 3;
+  std::size_t shards = 1;
+};
+
+/// scalars: ok, admitted, rejected, torn_down, delivered, completed,
+/// slo (completed/admitted), updates_applied, retransmits,
+/// dead_verdicts, duplicates_filtered, transport_delivered,
+/// payload_decode_errors, net_sent, net_duplicated, net_delivered,
+/// fault_dropped, corrupted, reordered, net_decode_errors,
+/// conservation_ok, consistency_ok, leak_free, quiescent,
+/// view_digest_lo, view_digest_hi, events. samples: flow_delivered.
+TrialResult chaos_trial(const ChaosConfig& cfg, std::uint64_t seed);
+
+}  // namespace qnetp::exp

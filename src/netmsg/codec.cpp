@@ -18,6 +18,7 @@ enum class WireType : std::uint8_t {
   test_result = 9,
   lsa = 10,
   update = 11,
+  frame = 12,
 };
 
 void put_correlator(ByteWriter& w, const PairCorrelator& c) {
@@ -309,6 +310,46 @@ UpdateMsg decode_update(ByteReader& r) {
   return m;
 }
 
+// FNV-1a over the frame header and payload. Transport frames carry a
+// checksum because the fault model flips wire bytes: without it a
+// mutated-but-decodable frame could falsely acknowledge unsent sequence
+// numbers or hand the engine an altered payload. A mismatch is a codec
+// error, so the channel drops the frame and retransmission recovers.
+std::uint64_t frame_checksum(std::uint64_t seq, std::uint64_t ack,
+                             const Bytes& payload) {
+  std::uint64_t h = 14695981039346656037ull;
+  const auto mix = [&h](std::uint8_t byte) {
+    h ^= byte;
+    h *= 1099511628211ull;
+  };
+  for (int i = 0; i < 8; ++i) mix(static_cast<std::uint8_t>(seq >> (8 * i)));
+  for (int i = 0; i < 8; ++i) mix(static_cast<std::uint8_t>(ack >> (8 * i)));
+  for (const std::uint8_t byte : payload) mix(byte);
+  return h;
+}
+
+void encode_body(ByteWriter& w, const FrameMsg& m) {
+  w.u8(static_cast<std::uint8_t>(WireType::frame));
+  w.varint(m.seq);
+  w.varint(m.ack);
+  w.blob(m.payload);
+  w.u64(frame_checksum(m.seq, m.ack, m.payload));
+}
+
+FrameMsg decode_frame(ByteReader& r) {
+  FrameMsg m;
+  m.seq = r.varint();
+  m.ack = r.varint();
+  m.payload = r.blob();
+  if (r.u64() != frame_checksum(m.seq, m.ack, m.payload)) {
+    throw CodecError("frame checksum mismatch");
+  }
+  if (m.seq == 0 && !m.payload.empty()) {
+    throw CodecError("pure ACK frame carries a payload");
+  }
+  return m;
+}
+
 }  // namespace
 
 Bytes encode(const Message& m) {
@@ -333,6 +374,7 @@ Message decode(const Bytes& bytes) {
     case WireType::test_result: m = decode_test_result(r); break;
     case WireType::lsa: m = decode_lsa(r); break;
     case WireType::update: m = decode_update(r); break;
+    case WireType::frame: m = decode_frame(r); break;
     default: throw CodecError("unknown message type");
   }
   if (!r.at_end()) throw CodecError("trailing bytes after message");

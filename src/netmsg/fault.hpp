@@ -1,0 +1,50 @@
+// Deterministic fault injection for the classical fabric.
+//
+// The paper assumes the control plane rides a reliable transport
+// (TCP/QUIC, Sec. 4.1); the chaos battery drops that assumption. A
+// FaultProfile makes ClassicalNetwork an adversarial medium: every
+// directed channel gets its own RNG stream forked from the profile seed
+// (qbase/rng.hpp's counter-based derivation keyed by the directed channel
+// id), and fault decisions for a message are drawn in a fixed order from
+// that stream at send time. Sends on a directed channel originate only on
+// the source node's execution shard and their order is a pure function of
+// the traffic (the PR 7 mailbox-merge discipline), so the injected fault
+// pattern — and with it every aggregate digest — is bit-identical across
+// `--jobs` and `--shards` for a fixed fault seed.
+#pragma once
+
+#include <cstdint>
+
+#include "qbase/units.hpp"
+
+namespace qnetp::netmsg {
+
+/// Per-directed-channel fault model applied inside ClassicalNetwork.
+/// All probabilities are per message; the default profile is inert.
+struct FaultProfile {
+  /// Message silently lost before it reaches the wire.
+  double drop = 0.0;
+  /// Message delivered twice (the copy gets its own delay draws).
+  double duplicate = 0.0;
+  /// Message held back by an extra uniform [0, reorder_window) delay, so
+  /// later sends can overtake it.
+  double reorder = 0.0;
+  Duration reorder_window = Duration::ms(2);
+  /// One wire byte flipped (the receiver sees a mutated frame; decode
+  /// failures count as corruption drops).
+  double corrupt = 0.0;
+  /// Uniform [0, jitter) extra latency added to every message.
+  Duration jitter = Duration::zero();
+  /// Base seed of the per-channel fault streams.
+  std::uint64_t seed = 0xC4A05;
+
+  /// True when any fault dimension is non-trivial. An inert profile
+  /// leaves ClassicalNetwork byte-identical to the reliable fabric
+  /// (committed digests depend on this).
+  bool active() const {
+    return drop > 0.0 || duplicate > 0.0 || reorder > 0.0 ||
+           corrupt > 0.0 || jitter > Duration::zero();
+  }
+};
+
+}  // namespace qnetp::netmsg

@@ -28,6 +28,7 @@ std::string message_name(const Message& m) {
     }
     std::string operator()(const LsaMsg&) const { return "LSA"; }
     std::string operator()(const UpdateMsg&) const { return "UPDATE"; }
+    std::string operator()(const FrameMsg&) const { return "FRAME"; }
   };
   return std::visit(Visitor{}, m);
 }

@@ -12,6 +12,7 @@
 #include <variant>
 #include <vector>
 
+#include "qbase/bytes.hpp"
 #include "qbase/ids.hpp"
 #include "qbase/units.hpp"
 #include "qstate/bell.hpp"
@@ -229,9 +230,31 @@ struct UpdateMsg {
   bool operator==(const UpdateMsg&) const = default;
 };
 
+// ---------------------------------------------------------------------------
+// Reliable signalling transport (transport.hpp).
+// ---------------------------------------------------------------------------
+
+/// FRAME: one hop of the reliable signalling transport. Carries a
+/// sequence-numbered payload (an encoded inner Message) plus a cumulative
+/// acknowledgement; `seq == 0` is a pure ACK with no payload. The
+/// transport retransmits unacknowledged frames, filters duplicates and
+/// restores order at the receiver, so the protocol messages above keep
+/// their exactly-once in-order contract even over a faulty channel.
+struct FrameMsg {
+  /// Sequence number of the carried payload (1-based); 0 = pure ACK.
+  std::uint64_t seq = 0;
+  /// Cumulative acknowledgement: every payload seq <= ack was received.
+  std::uint64_t ack = 0;
+  /// Encoded inner Message; empty for pure ACKs.
+  Bytes payload;
+
+  bool operator==(const FrameMsg&) const = default;
+};
+
 using Message = std::variant<ForwardMsg, CompleteMsg, TrackMsg, ExpireMsg,
                              InstallMsg, InstallAckMsg, TeardownMsg,
-                             KeepaliveMsg, TestResultMsg, LsaMsg, UpdateMsg>;
+                             KeepaliveMsg, TestResultMsg, LsaMsg, UpdateMsg,
+                             FrameMsg>;
 
 /// Short human-readable tag for logging.
 std::string message_name(const Message& m);

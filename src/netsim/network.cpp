@@ -46,6 +46,7 @@ Network::Network(NetworkConfig config)
   for (std::size_t i = 0; i < sharded_.shard_count(); ++i) {
     registries_.push_back(std::make_unique<qdevice::PairRegistry>());
   }
+  if (config_.faults.active()) classical_.set_fault_profile(config_.faults);
   Log::set_clock(this, [this] { return sharded_.shard(0).now(); });
   if (sharded_.shard_count() > 1) {
     // Worker threads stamp log lines off their own shard's clock.
@@ -92,19 +93,42 @@ Node& Network::add_node(NodeId id, const qhw::HardwareParams& hw) {
   }
 
   // Classical message dispatch: LSAs go to the node's router, everything
-  // else into the engine.
-  classical_.set_handler(
-      id, [this, &ref, id](NodeId from, const netmsg::Message& m) {
-        if (const auto* lsa = std::get_if<netmsg::LsaMsg>(&m)) {
-          const auto it = routers_.find(id);
-          if (it != routers_.end()) it->second->on_message(from, *lsa);
-          return;
-        }
-        ref.engine().on_message(from, m);
-      });
-  ref.engine().set_send([this, id](NodeId to, const netmsg::Message& m) {
-    classical_.send(id, to, m);
-  });
+  // else into the engine. With the reliable transport enabled the node's
+  // ReliableEndpoint sits between the channel and this dispatch (frames
+  // in, ordered exactly-once payloads out) and every outbound signalling
+  // message is framed through it.
+  auto dispatch = [this, &ref, id](NodeId from, const netmsg::Message& m) {
+    if (const auto* lsa = std::get_if<netmsg::LsaMsg>(&m)) {
+      const auto it = routers_.find(id);
+      if (it != routers_.end()) it->second->on_message(from, *lsa);
+      return;
+    }
+    ref.engine().on_message(from, m);
+  };
+  if (config_.transport.enabled) {
+    auto endpoint = std::make_unique<netmsg::ReliableEndpoint>(
+        shard_sim(id), classical_, id, config_.transport);
+    netmsg::ReliableEndpoint* raw = endpoint.get();
+    raw->set_deliver(std::move(dispatch));
+    // May fire on a shard thread: park the verdict; the driver acts on it
+    // in service_control_plane.
+    raw->set_on_peer_dead([this, id](NodeId peer) {
+      std::lock_guard<std::mutex> lock(dead_mutex_);
+      pending_dead_peers_.insert({id, peer});
+    });
+    classical_.set_handler(id, [raw](NodeId from, const netmsg::Message& m) {
+      raw->on_message(from, m);
+    });
+    ref.engine().set_send([raw](NodeId to, const netmsg::Message& m) {
+      raw->send(to, m);
+    });
+    transports_[id] = std::move(endpoint);
+  } else {
+    classical_.set_handler(id, std::move(dispatch));
+    ref.engine().set_send([this, id](NodeId to, const netmsg::Message& m) {
+      classical_.send(id, to, m);
+    });
+  }
   // Engine-initiated teardowns (churn) must give their admitted capacity
   // back; the callback may fire on a shard thread, so park the id and let
   // the driver release it.
@@ -209,9 +233,19 @@ void Network::enable_linkstate(ctrl::LinkStateConfig config) {
   for (const auto& [id, n] : nodes_) {
     auto router = std::make_unique<ctrl::LinkStateRouter>(shard_sim(id), id,
                                                           config);
-    router->set_send([this, id = id](NodeId to, const netmsg::Message& m) {
-      classical_.send(id, to, m);
-    });
+    if (config_.transport.enabled) {
+      // LSA flooding rides the reliable transport too: the periodic
+      // refresh doubles as the probe traffic that drives dead-peer
+      // verdicts on silently partitioned adjacencies.
+      auto* endpoint = transports_.at(id).get();
+      router->set_send([endpoint](NodeId to, const netmsg::Message& m) {
+        endpoint->send(to, m);
+      });
+    } else {
+      router->set_send([this, id = id](NodeId to, const netmsg::Message& m) {
+        classical_.send(id, to, m);
+      });
+    }
     router->set_local_links([this, id = id] { return advertised_links(id); });
     if (id == view_node_) {
       router->set_on_change(
@@ -252,6 +286,9 @@ std::vector<netmsg::LsaLink> Network::advertised_links(NodeId id) {
     const auto churn = link_churn_.find(l.id);
     if (churn != link_churn_.end() && churn->second.severed) continue;
     if (failed_nodes_.count(peer) != 0) continue;
+    // A transport dead-peer verdict withdraws the adjacency exactly like
+    // a sever would (partitioned links keep being advertised until then).
+    if (dead_peers_.count({id, peer}) != 0) continue;
 
     netmsg::LsaLink adv;
     adv.neighbour = peer;
@@ -318,12 +355,36 @@ void Network::sever_link(NodeId a, NodeId b) {
   if (failed_nodes_.count(b) == 0) engine(b).on_link_down(a);
 }
 
+void Network::partition_link(NodeId a, NodeId b) {
+  QNETP_ASSERT_MSG(config_.transport.enabled,
+                   "partition_link needs the reliable transport to detect it");
+  const LinkId id = link_id_between(a, b);
+  auto& churn = link_churn_[id];
+  QNETP_ASSERT_MSG(!churn.severed && !churn.partitioned,
+                   "link already severed or partitioned");
+  churn.partitioned = true;
+  // Silent: no originate, no on_link_down. The retransmission ladders on
+  // both sides run out and the dead-peer drain does the rest.
+  classical_.set_link_up(a, b, false);
+}
+
 void Network::heal_link(NodeId a, NodeId b) {
   const LinkId id = link_id_between(a, b);
   auto& churn = link_churn_[id];
-  QNETP_ASSERT_MSG(churn.severed, "healing a link that is up");
+  QNETP_ASSERT_MSG(churn.severed || churn.partitioned,
+                   "healing a link that is up");
   churn.severed = false;
+  churn.partitioned = false;
   classical_.set_link_up(a, b, true);
+  if (config_.transport.enabled) {
+    // Fresh conversations both ways: each endpoint restarts its sequence
+    // space, so both must forget the other or the survivor's receive
+    // window would discard the restarted sequence numbers.
+    transports_.at(a)->reset_peer(b);
+    transports_.at(b)->reset_peer(a);
+    dead_peers_.erase({a, b});
+    dead_peers_.erase({b, a});
+  }
   if (linkstate_enabled_) {
     if (routers_.at(a)->running()) routers_.at(a)->originate();
     if (routers_.at(b)->running()) routers_.at(b)->originate();
@@ -374,8 +435,33 @@ void Network::fail_node(NodeId id) {
   }
 }
 
+netmsg::ReliableEndpoint& Network::transport(NodeId id) {
+  const auto it = transports_.find(id);
+  QNETP_ASSERT_MSG(it != transports_.end(),
+                   "no reliable endpoint (enable config.transport first)");
+  return *it->second;
+}
+
 std::size_t Network::service_control_plane() {
   std::size_t actions = 0;
+  // Dead-peer verdicts first: the teardowns they trigger park releases
+  // that the drain below hands back in the same call.
+  std::set<std::pair<NodeId, NodeId>> dead;
+  {
+    std::lock_guard<std::mutex> lock(dead_mutex_);
+    dead.swap(pending_dead_peers_);
+  }
+  for (const auto& [local, peer] : dead) {
+    if (!dead_peers_.insert({local, peer}).second) continue;
+    ++actions;
+    if (failed_nodes_.count(local) != 0) continue;
+    // Same consequences as losing the adjacency explicitly: withdraw it
+    // from the LSA and tear down the circuits that crossed it.
+    if (linkstate_enabled_ && routers_.at(local)->running()) {
+      routers_.at(local)->originate();
+    }
+    engine(local).on_link_down(peer);
+  }
   if (linkstate_enabled_ && view_stale_.exchange(false)) {
     apply_router_view();
     ++actions;
@@ -448,8 +534,12 @@ std::optional<ctrl::CircuitPlan> Network::establish_circuit(
   bool up = false;
   bool ok = false;
   std::string ack_reason;
+  const CircuitId expected = plan->install.circuit_id;
   engine(head).set_on_circuit_up(
-      [&](CircuitId, bool accepted, const std::string& r) {
+      [&, expected](CircuitId acked, bool accepted, const std::string& r) {
+        // A duplicated INSTALL_ACK from an earlier circuit (channel
+        // injection) must not complete this establishment.
+        if (acked != expected) return;
         up = true;
         ok = accepted;
         ack_reason = r;

@@ -24,6 +24,8 @@
 #include "des/simulator.hpp"
 #include "linklayer/egp.hpp"
 #include "netmsg/channel.hpp"
+#include "netmsg/fault.hpp"
+#include "netmsg/transport.hpp"
 #include "qdevice/device.hpp"
 #include "qnp/engine.hpp"
 
@@ -87,6 +89,12 @@ struct NetworkConfig {
   ctrl::ControllerConfig admission;
   /// Conservative-parallel execution partition (defaults to none).
   ShardingConfig sharding;
+  /// Fault injection on every classical channel (inert by default; the
+  /// committed digests depend on the fault-free fast path).
+  netmsg::FaultProfile faults;
+  /// Reliable signalling transport (one ReliableEndpoint per node wrapped
+  /// around all engine/router signalling). Off by default.
+  netmsg::ReliableConfig transport;
 };
 
 class Network {
@@ -216,6 +224,24 @@ class Network {
   /// The hardware profile a node was created with.
   const qhw::HardwareParams& hardware(NodeId id) const;
 
+  // --- Reliable signalling transport ----------------------------------------
+
+  bool transport_enabled() const { return config_.transport.enabled; }
+  /// The node's reliable endpoint (transport must be enabled).
+  netmsg::ReliableEndpoint& transport(NodeId id);
+
+  /// Silently partition a link: classical delivery stops but — unlike
+  /// sever_link — nobody is told. The reliable transport's retransmission
+  /// ladder detects the loss on both sides and the dead-peer verdicts
+  /// drive the same routing withdrawal and circuit teardowns an explicit
+  /// sever would have. Requires the reliable transport.
+  void partition_link(NodeId a, NodeId b);
+  /// True once `local`'s transport has declared `peer` dead and the churn
+  /// drain has acted on the verdict.
+  bool peer_declared_dead(NodeId local, NodeId peer) const {
+    return dead_peers_.count({local, peer}) != 0;
+  }
+
  private:
   des::Simulator& shard_sim(NodeId id) { return sharded_.shard(shard_of(id)); }
 
@@ -223,6 +249,9 @@ class Network {
   struct LinkChurn {
     double cost_scale = 1.0;
     bool severed = false;
+    /// Silent partition: channels are down but routers keep advertising
+    /// the link until a transport dead-peer verdict withdraws it.
+    bool partitioned = false;
   };
 
   /// The adjacencies node `id` currently advertises in its LSA, with the
@@ -269,6 +298,15 @@ class Network {
   /// drains them in circuit-id order (deterministic at any shard count).
   std::mutex release_mutex_;
   std::set<CircuitId> pending_releases_;
+
+  /// One reliable endpoint per node when config_.transport.enabled.
+  std::map<NodeId, std::unique_ptr<netmsg::ReliableEndpoint>> transports_;
+  /// (local, peer) dead-peer verdicts parked from shard threads; drained
+  /// in pair order by service_control_plane (deterministic at any shard
+  /// count), then remembered in dead_peers_ until the link heals.
+  std::mutex dead_mutex_;
+  std::set<std::pair<NodeId, NodeId>> pending_dead_peers_;
+  std::set<std::pair<NodeId, NodeId>> dead_peers_;
 };
 
 /// The paper's Fig. 7 dumbbell: end-nodes A0(1), A1(2), B0(3), B1(4) and

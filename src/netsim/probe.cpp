@@ -95,6 +95,22 @@ DualProbe::DualProbe(Network& net, NodeId head, EndpointId head_endpoint,
     handlers.on_complete = [this, at_head](CircuitId, RequestId id) {
       if (at_head) head_completions_[id] = net_.node_sim(head_node_).now();
     };
+    handlers.on_circuit_down = [this, at_head](CircuitId,
+                                               const std::string&) {
+      // A half can wait forever once the far end expired its side after
+      // our delivery (the head refunds the demux slot and re-delivers
+      // under a fresh sequence). The circuit is gone — release this
+      // node's share of those orphans; the entries stay so unmatched()
+      // still reports them.
+      for (auto& [key, half] : pending_) {
+        if (half.is_head != at_head || !half.delivery.qubit.valid()) {
+          continue;
+        }
+        net_.engine(at_head ? head_node_ : tail_node_)
+            .release_app_qubit(half.delivery.qubit);
+        half.delivery.qubit = QubitId::invalid();
+      }
+    };
     return handlers;
   };
   net_.engine(head).register_endpoint(head_endpoint, make_handlers(true));

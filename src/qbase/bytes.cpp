@@ -41,6 +41,11 @@ void ByteWriter::raw(const Bytes& b) {
   buf_.insert(buf_.end(), b.begin(), b.end());
 }
 
+void ByteWriter::blob(const Bytes& b) {
+  varint(b.size());
+  raw(b);
+}
+
 std::uint8_t ByteReader::u8() {
   need(1);
   return buf_[pos_++];
@@ -92,6 +97,15 @@ std::string ByteReader::str() {
                 static_cast<std::size_t>(n));
   pos_ += static_cast<std::size_t>(n);
   return s;
+}
+
+Bytes ByteReader::blob() {
+  const std::uint64_t n = varint();
+  if (n > remaining()) throw CodecError("blob length exceeds buffer");
+  Bytes b(buf_.begin() + static_cast<std::ptrdiff_t>(pos_),
+          buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += static_cast<std::size_t>(n);
+  return b;
 }
 
 }  // namespace qnetp

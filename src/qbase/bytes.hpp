@@ -33,6 +33,8 @@ class ByteWriter {
   void boolean(bool v) { u8(v ? 1 : 0); }
   void str(const std::string& s);
   void raw(const Bytes& b);
+  /// Length-prefixed byte blob (varint size + raw bytes).
+  void blob(const Bytes& b);
 
   const Bytes& bytes() const& { return buf_; }
   Bytes take() && { return std::move(buf_); }
@@ -54,6 +56,8 @@ class ByteReader {
   double f64();
   bool boolean() { return u8() != 0; }
   std::string str();
+  /// Length-prefixed byte blob written by ByteWriter::blob.
+  Bytes blob();
 
   bool at_end() const { return pos_ == buf_.size(); }
   std::size_t remaining() const { return buf_.size() - pos_; }

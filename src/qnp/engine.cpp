@@ -160,7 +160,11 @@ void QnpEngine::handle_install(NodeId /*from*/, const InstallMsg& msg) {
       msg.hops.begin(), msg.hops.end(),
       [this](const netmsg::HopState& h) { return h.node == node(); });
   QNETP_ASSERT_MSG(it != msg.hops.end(), "INSTALL does not include this node");
-  install_hop(msg, *it);
+  // A duplicated INSTALL (channel-injected copy or transport retransmit
+  // that raced the first delivery) must not re-install; the relay and the
+  // tail ack still re-drive, so a chain stalled by a lost downstream copy
+  // completes.
+  if (find_circuit(msg.circuit_id) == nullptr) install_hop(msg, *it);
   if (it->downstream.valid()) {
     send(it->downstream, msg);
   } else {
@@ -442,6 +446,11 @@ void QnpEngine::admit_shaped_requests(CircuitState& cs) {
 void QnpEngine::handle_forward(NodeId /*from*/, const ForwardMsg& msg) {
   auto* cs = find_circuit(msg.circuit_id);
   if (cs == nullptr) return;
+  // Exactly-once against channel-injected duplicates: the first FORWARD
+  // registers the request at this hop; every replay — before OR after
+  // its COMPLETE — is dropped (the set is never erased from, so a
+  // post-COMPLETE replay cannot resurrect the request).
+  if (!cs->seen_requests.insert(msg.request_id).second) return;
   cs->current_eer = msg.rate;
   ++cs->active_requests;
   if (msg.number_of_pairs == 0) {
@@ -472,6 +481,10 @@ void QnpEngine::handle_forward(NodeId /*from*/, const ForwardMsg& msg) {
 void QnpEngine::handle_complete(NodeId /*from*/, const CompleteMsg& msg) {
   auto* cs = find_circuit(msg.circuit_id);
   if (cs == nullptr) return;
+  // Duplicate COMPLETE, or one whose FORWARD never arrived: don't
+  // decrement shared counters or relay a second time.
+  if (cs->seen_requests.count(msg.request_id) == 0) return;
+  if (!cs->completed_requests.insert(msg.request_id).second) return;
   cs->current_eer = msg.rate;
   if (cs->active_requests > 0) --cs->active_requests;
   if (cs->known_rate_based.erase(msg.request_id) > 0 &&
@@ -1319,6 +1332,10 @@ void QnpEngine::on_message(NodeId from, const Message& msg) {
     }
     void operator()(const netmsg::UpdateMsg& m) {
       self.handle_update(from, m);
+    }
+    void operator()(const netmsg::FrameMsg&) {
+      // Transport frames are consumed by the node's ReliableEndpoint
+      // before dispatch reaches the engine; a stray one is dropped.
     }
   };
   std::visit(Visitor{*this, from}, msg);

@@ -292,6 +292,13 @@ class QnpEngine {
     std::uint64_t active_requests = 0;
     std::uint64_t rate_based_requests = 0;
     std::unordered_set<RequestId> known_rate_based;
+    /// Dedup against channel-injected replays. Both sets are
+    /// insert-only for the life of the circuit: a FORWARD replayed
+    /// after its COMPLETE must NOT resurrect the request at the tail
+    /// (the zombie would capture later link pairs and deliver them
+    /// with no head-side counterpart).
+    std::unordered_set<RequestId> seen_requests;
+    std::unordered_set<RequestId> completed_requests;
     // Fidelity testing (head-end).
     std::uint32_t pairs_since_test = 0;
     FlowTable<TestRound> tests;

@@ -1,0 +1,175 @@
+// Network-level chaos battery: counter conservation under an active
+// fault profile, and the silent-partition path — transport dead-peer
+// verdicts driving the same routed outcome as an explicit sever, plus
+// heal-and-recover.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "netsim/network.hpp"
+#include "netsim/probe.hpp"
+#include "netsim/topology_spec.hpp"
+
+namespace qnetp::netsim {
+namespace {
+
+using namespace qnetp::literals;
+
+netmsg::FaultProfile chaos_faults() {
+  netmsg::FaultProfile f;
+  f.drop = 0.02;
+  f.duplicate = 0.02;
+  f.reorder = 0.05;
+  f.corrupt = 0.01;
+  f.jitter = 1_ms;
+  f.seed = 99;
+  return f;
+}
+
+std::unique_ptr<Network> build_grid(bool with_faults) {
+  NetworkConfig config;
+  config.seed = 11;
+  config.transport.enabled = true;
+  if (with_faults) config.faults = chaos_faults();
+  auto net = TopologySpec::grid(2, 2, qhw::simulation_preset(),
+                                qhw::FiberParams::lab(2.0))
+                 .build(config);
+  net->enable_linkstate();
+  return net;
+}
+
+void run_strides(Network& net, Duration total) {
+  auto& sim = net.sharded_sim();
+  const TimePoint end = sim.now() + total;
+  while (sim.now() < end) {
+    TimePoint next = sim.now() + 250_ms;
+    if (next > end) next = end;
+    sim.run_until(next);
+    net.service_control_plane();
+  }
+}
+
+/// The adjacency set a router believes in, comparable across networks.
+std::vector<std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>>
+view_of(Network& net, NodeId at) {
+  std::vector<std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>> out;
+  for (const auto& l : net.router(at).view_links()) {
+    out.emplace_back(l.id.value(), l.a.value(), l.b.value());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(ChaosNetwork, ConservationHoldsThroughAFaultyTrial) {
+  auto net = build_grid(true);
+  run_strides(*net, 2_s);
+  auto probe = std::make_unique<DualProbe>(*net, NodeId{1}, EndpointId{10},
+                                           NodeId{4}, EndpointId{20});
+  const auto plan = net->establish_circuit(NodeId{1}, NodeId{4},
+                                           EndpointId{10}, EndpointId{20},
+                                           0.7, {}, nullptr, 500_ms);
+  ASSERT_TRUE(plan.has_value());
+  qnp::AppRequest req;
+  req.id = RequestId{1};
+  req.head_endpoint = EndpointId{10};
+  req.tail_endpoint = EndpointId{20};
+  req.num_pairs = 2;
+  ASSERT_TRUE(
+      net->engine(NodeId{1}).submit_request(plan->install.circuit_id, req));
+  run_strides(*net, 4_s);
+  net->teardown_circuit(plan->install.circuit_id, "test over");
+  run_strides(*net, 1_s);
+
+  const auto stats = net->classical().stats();
+  // The fault profile actually did something.
+  EXPECT_GT(stats.total.dropped_fault + stats.total.duplicated +
+                stats.total.reordered + stats.total.corrupted,
+            0u);
+  // Conservation per channel and in aggregate: no counter may run ahead
+  // of the copies actually put on the wire.
+  const auto conserved = [](const netmsg::ChannelStats& s) {
+    if (s.dropped_down + s.dropped_fault > s.sent) return false;
+    return s.delivered + s.dropped_no_handler + s.decode_errors <=
+           s.transmissions();
+  };
+  EXPECT_TRUE(conserved(stats.total));
+  netmsg::ChannelStats sum;
+  for (const auto& [key, s] : stats.channels) {
+    EXPECT_TRUE(conserved(s)) << key.first << "->" << key.second;
+    sum += s;
+  }
+  EXPECT_EQ(sum.sent, stats.total.sent);
+  EXPECT_EQ(sum.delivered, stats.total.delivered);
+  EXPECT_EQ(sum.decode_errors, stats.total.decode_errors);
+  // Clean shutdown despite the chaos.
+  EXPECT_TRUE(net->quiescent());
+  for (const NodeId id : net->node_ids()) {
+    EXPECT_TRUE(net->engine(id).consistency_check().empty());
+  }
+}
+
+TEST(ChaosNetwork, SilentPartitionConvergesToTheSeverView) {
+  // Twin networks, same seed: one link silently partitioned vs
+  // explicitly severed. The dead-peer verdicts must drive the partition
+  // twin to the same routed view the sever twin reaches by notification.
+  auto silent = build_grid(false);
+  auto loud = build_grid(false);
+  run_strides(*silent, 2_s);
+  run_strides(*loud, 2_s);
+
+  silent->partition_link(NodeId{1}, NodeId{2});
+  loud->sever_link(NodeId{1}, NodeId{2});
+  // Verdict ladder: 950ms of unanswered retransmissions (LSA refresh
+  // provides the probe traffic), then the next stride's dead-peer drain
+  // withdraws the adjacency; the sever side ages out symmetrically.
+  run_strides(*silent, 4_s);
+  run_strides(*loud, 4_s);
+
+  EXPECT_TRUE(silent->peer_declared_dead(NodeId{1}, NodeId{2}));
+  EXPECT_TRUE(silent->peer_declared_dead(NodeId{2}, NodeId{1}));
+  std::uint64_t verdicts = 0;
+  for (const NodeId id : silent->node_ids()) {
+    verdicts += silent->transport(id).stats().dead_verdicts;
+  }
+  EXPECT_EQ(verdicts, 2u);  // one per endpoint of the cut adjacency
+
+  const auto view_silent = view_of(*silent, NodeId{4});
+  const auto view_loud = view_of(*loud, NodeId{4});
+  EXPECT_EQ(view_silent, view_loud);
+  // And the cut adjacency is actually gone from the routed view.
+  for (const auto& [id, a, b] : view_silent) {
+    EXPECT_FALSE((a == 1 && b == 2) || (a == 2 && b == 1));
+  }
+}
+
+TEST(ChaosNetwork, HealAfterPartitionRestoresTheAdjacency) {
+  auto net = build_grid(false);
+  run_strides(*net, 2_s);
+  const auto before = view_of(*net, NodeId{3});
+  net->partition_link(NodeId{1}, NodeId{2});
+  run_strides(*net, 4_s);
+  ASSERT_TRUE(net->peer_declared_dead(NodeId{1}, NodeId{2}));
+  net->heal_link(NodeId{1}, NodeId{2});
+  run_strides(*net, 4_s);
+  // Fresh transport conversations, verdicts cleared, adjacency
+  // re-advertised: the view is the pre-cut one again.
+  EXPECT_FALSE(net->peer_declared_dead(NodeId{1}, NodeId{2}));
+  EXPECT_FALSE(net->peer_declared_dead(NodeId{2}, NodeId{1}));
+  EXPECT_EQ(view_of(*net, NodeId{3}), before);
+}
+
+TEST(ChaosNetwork, PartitionRequiresTheTransport) {
+  NetworkConfig config;
+  config.seed = 3;
+  auto net = TopologySpec::grid(2, 2, qhw::simulation_preset(),
+                                qhw::FiberParams::lab(2.0))
+                 .build(config);
+  net->enable_linkstate();
+  EXPECT_THROW(net->partition_link(NodeId{1}, NodeId{2}), AssertionError);
+}
+
+}  // namespace
+}  // namespace qnetp::netsim

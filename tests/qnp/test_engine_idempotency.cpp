@@ -1,0 +1,174 @@
+// Engine idempotency under channel-injected duplication: replayed
+// INSTALL / FORWARD / COMPLETE / UPDATE / TEARDOWN / EXPIRE messages
+// must not double-apply, double-notify, or resurrect retired request
+// state (a FORWARD replayed after its COMPLETE re-registering the
+// request at the tail would capture later link pairs and deliver them
+// with no head-side counterpart — the chaos-battery leak).
+#include <gtest/gtest.h>
+
+#include "netsim/network.hpp"
+
+namespace qnetp::qnp {
+namespace {
+
+using namespace qnetp::literals;
+using netmsg::CompleteMsg;
+using netmsg::ExpireMsg;
+using netmsg::ForwardMsg;
+using netmsg::Message;
+using netmsg::TeardownMsg;
+using netmsg::UpdateMsg;
+
+class EngineIdempotency : public ::testing::Test {
+ protected:
+  EngineIdempotency() {
+    netsim::NetworkConfig config;
+    config.seed = 7;
+    net_ = netsim::make_chain(3, config, qhw::simulation_preset(),
+                              qhw::FiberParams::lab(2.0));
+    const auto plan = net_->establish_circuit(
+        NodeId{1}, NodeId{3}, EndpointId{10}, EndpointId{20}, 0.85);
+    EXPECT_TRUE(plan.has_value());
+    plan_ = *plan;
+    EndpointHandlers tail_handlers;
+    tail_handlers.on_complete = [this](CircuitId, RequestId) {
+      ++tail_completes_;
+    };
+    tail().register_endpoint(EndpointId{20}, std::move(tail_handlers));
+  }
+
+  QnpEngine& head() { return net_->engine(NodeId{1}); }
+  QnpEngine& mid() { return net_->engine(NodeId{2}); }
+  QnpEngine& tail() { return net_->engine(NodeId{3}); }
+  CircuitId circuit() const { return plan_.install.circuit_id; }
+
+  void run_for(Duration d) {
+    auto& sim = net_->sharded_sim();
+    sim.run_until(sim.now() + d);
+  }
+
+  ForwardMsg forward(std::uint64_t request) const {
+    ForwardMsg m;
+    m.circuit_id = circuit();
+    m.request_id = RequestId{request};
+    m.head_end_identifier = EndpointId{10};
+    m.tail_end_identifier = EndpointId{20};
+    m.request_type = netmsg::RequestType::keep;
+    m.number_of_pairs = 1;
+    m.rate = 1.0;
+    return m;
+  }
+  CompleteMsg complete(std::uint64_t request) const {
+    CompleteMsg m;
+    m.circuit_id = circuit();
+    m.request_id = RequestId{request};
+    m.head_end_identifier = EndpointId{10};
+    m.tail_end_identifier = EndpointId{20};
+    m.rate = 0.0;
+    return m;
+  }
+
+  std::unique_ptr<netsim::Network> net_;
+  ctrl::CircuitPlan plan_;
+  std::size_t tail_completes_ = 0;
+};
+
+TEST_F(EngineIdempotency, DuplicateInstallIsReDrivenNotFatal) {
+  // A duplicated INSTALL must not re-install (or assert); the relay and
+  // tail-ack still re-drive so a chain stalled by a lost copy completes.
+  ASSERT_TRUE(mid().has_circuit(circuit()));
+  mid().on_message(NodeId{1}, Message{plan_.install});
+  run_for(10_ms);
+  EXPECT_TRUE(mid().has_circuit(circuit()));
+  EXPECT_TRUE(tail().has_circuit(circuit()));
+  tail().on_message(NodeId{2}, Message{plan_.install});
+  run_for(10_ms);
+  EXPECT_TRUE(tail().has_circuit(circuit()));
+  EXPECT_TRUE(head().consistency_check().empty());
+}
+
+TEST_F(EngineIdempotency, DuplicateCompleteNotifiesTheAppOnce) {
+  tail().on_message(NodeId{2}, Message{forward(77)});
+  tail().on_message(NodeId{2}, Message{complete(77)});
+  EXPECT_EQ(tail_completes_, 1u);
+  tail().on_message(NodeId{2}, Message{complete(77)});
+  EXPECT_EQ(tail_completes_, 1u);
+}
+
+TEST_F(EngineIdempotency, CompleteWithoutForwardIsIgnored) {
+  tail().on_message(NodeId{2}, Message{complete(78)});
+  EXPECT_EQ(tail_completes_, 0u);
+}
+
+TEST_F(EngineIdempotency, ForwardReplayAfterCompleteDoesNotResurrect) {
+  tail().on_message(NodeId{2}, Message{forward(79)});
+  tail().on_message(NodeId{2}, Message{complete(79)});
+  EXPECT_EQ(tail_completes_, 1u);
+  // The replayed FORWARD must not re-register the request: a zombie
+  // would capture later link pairs, and the replayed COMPLETE would
+  // notify the application a second time.
+  tail().on_message(NodeId{2}, Message{forward(79)});
+  tail().on_message(NodeId{2}, Message{complete(79)});
+  EXPECT_EQ(tail_completes_, 1u);
+}
+
+TEST_F(EngineIdempotency, DuplicateForwardAtRelayForwardsOnce) {
+  mid().on_message(NodeId{1}, Message{forward(80)});
+  mid().on_message(NodeId{1}, Message{forward(80)});
+  run_for(10_ms);
+  // Only one FORWARD reached the tail, so one COMPLETE notifies once.
+  mid().on_message(NodeId{1}, Message{complete(80)});
+  mid().on_message(NodeId{1}, Message{complete(80)});
+  run_for(10_ms);
+  EXPECT_EQ(tail_completes_, 1u);
+}
+
+TEST_F(EngineIdempotency, ReplayedUpdateAppliesOnce) {
+  UpdateMsg update;
+  update.circuit_id = circuit();
+  update.version = 1000000;
+  update.hops.push_back({NodeId{1}, 50.0, 5.0});
+  update.hops.push_back({NodeId{2}, 50.0, 5.0});
+  update.hops.push_back({NodeId{3}, 50.0, 5.0});
+  const auto applied = [this] {
+    return head().counters().updates_applied +
+           mid().counters().updates_applied +
+           tail().counters().updates_applied;
+  };
+  const std::uint64_t before = applied();
+  head().on_message(NodeId{}, Message{update});
+  run_for(10_ms);
+  EXPECT_EQ(applied(), before + 3);
+  // Exact replay: stale version everywhere, applied nowhere.
+  head().on_message(NodeId{}, Message{update});
+  run_for(10_ms);
+  EXPECT_EQ(applied(), before + 3);
+  // Older version: equally stale.
+  update.version -= 1;
+  head().on_message(NodeId{}, Message{update});
+  run_for(10_ms);
+  EXPECT_EQ(applied(), before + 3);
+}
+
+TEST_F(EngineIdempotency, DuplicateExpireIsCountedButHarmless) {
+  ExpireMsg expire;
+  expire.circuit_id = circuit();
+  expire.origin_correlator = PairCorrelator{LinkId{1}, 424242};
+  tail().on_message(NodeId{2}, Message{expire});
+  tail().on_message(NodeId{2}, Message{expire});
+  EXPECT_EQ(tail().counters().expires_received, 2u);
+  EXPECT_TRUE(tail().has_circuit(circuit()));
+}
+
+TEST_F(EngineIdempotency, DuplicateTeardownIsIgnored) {
+  TeardownMsg td;
+  td.circuit_id = circuit();
+  td.reason = "test";
+  tail().on_message(NodeId{2}, Message{td});
+  EXPECT_FALSE(tail().has_circuit(circuit()));
+  tail().on_message(NodeId{2}, Message{td});
+  EXPECT_FALSE(tail().has_circuit(circuit()));
+}
+
+}  // namespace
+}  // namespace qnetp::qnp

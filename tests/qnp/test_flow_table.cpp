@@ -113,6 +113,45 @@ TEST(FlowTable, ErasedEntriesLeaveOnlyStaleWheelRefs) {
                                   table.expired_wholesale());
 }
 
+TEST(FlowTable, SeqCheckProtectsReinsertedKeyFromStaleExpiry) {
+  // Duplication-shaped op sequence: a record is erased (its message was
+  // resolved) and the SAME correlator re-enters the table later (a
+  // duplicated delivery re-creating flow state). The first incarnation's
+  // wheel reference must not retire the second: the per-record sequence
+  // number distinguishes them.
+  FlowTable<int> table(Duration::ms(125));
+  table.put(key(9), at_s(0.0), 1);
+  EXPECT_TRUE(table.erase(key(9)));
+  table.put(key(9), at_s(5.0), 2);
+  // Floor past the first incarnation's slot but not the second's: the
+  // stale ref is skipped, the live re-insert survives.
+  EXPECT_EQ(table.expire_all(at_s(1.0)), 0u);
+  ASSERT_NE(table.find(key(9)), nullptr);
+  EXPECT_EQ(*table.find(key(9)), 2);
+  // A floor past both retires the live incarnation exactly once.
+  EXPECT_EQ(table.expire_all(at_s(10.0)), 1u);
+  EXPECT_EQ(table.find(key(9)), nullptr);
+  EXPECT_EQ(table.erased(), 1u);
+  EXPECT_EQ(table.expired_wholesale(), 1u);
+  EXPECT_EQ(table.inserted(), table.size() + table.erased() +
+                                  table.expired_wholesale());
+}
+
+TEST(FlowTable, OverwriteShedsTheOldWheelReference) {
+  // An overwrite (duplicate put of a live key) re-stamps the entry: the
+  // old slot's reference goes stale and only the newest stamp governs
+  // expiry.
+  FlowTable<int> table(Duration::ms(125));
+  table.put(key(4), at_s(0.0), 1);
+  table.put(key(4), at_s(5.0), 2);  // duplicate, later slot
+  EXPECT_EQ(table.expire_all(at_s(1.0)), 0u);
+  ASSERT_NE(table.find(key(4)), nullptr);
+  EXPECT_EQ(*table.find(key(4)), 2);
+  EXPECT_EQ(table.expire_all(at_s(10.0)), 1u);
+  EXPECT_EQ(table.inserted(), table.size() + table.erased() +
+                                  table.expired_wholesale());
+}
+
 TEST(FlowTable, MinLiveGateSkipsExpiry) {
   FlowTable<int> table(Duration::ms(125));
   for (std::uint64_t i = 0; i < 4; ++i) table.put(key(i), at_s(0.0), 0);
