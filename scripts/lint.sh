@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Lint wall: determinism lint (+ fixture self-test) and clang-tidy.
+#
+# Usage: scripts/lint.sh [--tidy-only|--determinism-only]
+#
+# Exit nonzero on any finding. clang-tidy needs a compilation database;
+# this script configures build-tidy/ with CMAKE_EXPORT_COMPILE_COMMANDS
+# when one is missing. When clang-tidy itself is not installed the tidy
+# stage is skipped with a notice (the determinism lint still gates) —
+# CI always installs it, so the wall is complete there.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+RUN_TIDY=1
+RUN_DET=1
+case "${1:-}" in
+  --tidy-only) RUN_DET=0 ;;
+  --determinism-only) RUN_TIDY=0 ;;
+  "") ;;
+  *) echo "usage: scripts/lint.sh [--tidy-only|--determinism-only]" >&2
+     exit 2 ;;
+esac
+
+FAIL=0
+
+if [ "$RUN_DET" = 1 ]; then
+  echo "== determinism lint: fixture self-test =="
+  python3 scripts/determinism_lint.py --self-test || FAIL=1
+  echo "== determinism lint: src/ =="
+  python3 scripts/determinism_lint.py -v || FAIL=1
+fi
+
+if [ "$RUN_TIDY" = 1 ]; then
+  TIDY="${CLANG_TIDY:-}"
+  if [ -z "$TIDY" ]; then
+    for cand in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \
+                clang-tidy-15 clang-tidy-14; do
+      if command -v "$cand" >/dev/null 2>&1; then TIDY="$cand"; break; fi
+    done
+  fi
+  if [ -z "$TIDY" ]; then
+    echo "== clang-tidy: not installed; skipping (CI runs it) =="
+  else
+    echo "== clang-tidy ($TIDY) =="
+    TIDY_BUILD="${TIDY_BUILD_DIR:-build-tidy}"
+    if [ ! -f "$TIDY_BUILD/compile_commands.json" ]; then
+      cmake -B "$TIDY_BUILD" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+        -DQNETP_BUILD_TESTS=OFF -DQNETP_BUILD_BENCH=OFF \
+        -DQNETP_BUILD_EXAMPLES=OFF >/dev/null
+    fi
+    # Library sources only: tests/bench trade lint purity for brevity.
+    mapfile -t SOURCES < <(find src -name '*.cpp' | sort)
+    if command -v run-clang-tidy >/dev/null 2>&1; then
+      run-clang-tidy -clang-tidy-binary "$TIDY" -p "$TIDY_BUILD" -quiet \
+        "${SOURCES[@]}" || FAIL=1
+    else
+      "$TIDY" -p "$TIDY_BUILD" --quiet "${SOURCES[@]}" || FAIL=1
+    fi
+  fi
+fi
+
+if [ "$FAIL" != 0 ]; then
+  echo "lint.sh: FAILED" >&2
+  exit 1
+fi
+echo "lint.sh: clean"

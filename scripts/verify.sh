@@ -4,14 +4,59 @@
 # Usage: scripts/verify.sh [build-dir]        (default: build)
 #   QNETP_TIER=tier1 scripts/verify.sh        # tier-1 only (PR CI)
 #   QNETP_TIER=tier2 scripts/verify.sh        # tier-2 regression only
+#   QNETP_SAN=asan scripts/verify.sh          # full suite under ASan+UBSan
+#   QNETP_SAN=tsan scripts/verify.sh          # full suite under TSan
+#   QNETP_SAN=ubsan scripts/verify.sh         # full suite under UBSan
+#   QNETP_LINT=1 scripts/verify.sh            # run scripts/lint.sh first
+#
 # Default (no QNETP_TIER) runs everything: tier-1 unit/integration tests
-# plus the tier-2 statistical regression suite.
+# plus the tier-2 statistical regression suite. QNETP_SAN reproduces the
+# CI sanitizer jobs locally: a dedicated Debug build tree
+# (build-asan/build-tsan/build-ubsan) running the FULL ctest suite, so
+# new test binaries are sanitized the day they land — no hand-curated
+# binary list to drift.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 
-cmake -B "$BUILD_DIR" -S .
+if [ "${QNETP_LINT:-0}" = 1 ]; then
+  ./scripts/lint.sh
+fi
+
+SAN_FLAGS=""
+case "${QNETP_SAN:-}" in
+  "") ;;
+  asan)
+    # Combined ASan+UBSan: one Debug tree catches both memory errors and
+    # undefined behavior in a single full-suite run.
+    BUILD_DIR="${1:-build-asan}"
+    SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=undefined -fno-omit-frame-pointer"
+    ;;
+  tsan)
+    BUILD_DIR="${1:-build-tsan}"
+    SAN_FLAGS="-fsanitize=thread -fno-omit-frame-pointer"
+    ;;
+  ubsan)
+    BUILD_DIR="${1:-build-ubsan}"
+    SAN_FLAGS="-fsanitize=undefined -fno-sanitize-recover=undefined -fno-omit-frame-pointer"
+    ;;
+  *)
+    echo "error: QNETP_SAN must be asan, tsan or ubsan" >&2
+    exit 2
+    ;;
+esac
+
+if [ -n "$SAN_FLAGS" ]; then
+  cmake -B "$BUILD_DIR" -S . \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DQNETP_BUILD_BENCH=OFF \
+    -DQNETP_BUILD_EXAMPLES=OFF \
+    -DCMAKE_CXX_FLAGS="$SAN_FLAGS" \
+    -DCMAKE_EXE_LINKER_FLAGS="$SAN_FLAGS"
+else
+  cmake -B "$BUILD_DIR" -S .
+fi
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 if [ -n "${QNETP_TIER:-}" ]; then
   ctest --test-dir "$BUILD_DIR" -L "$QNETP_TIER" --output-on-failure -j "$(nproc)"

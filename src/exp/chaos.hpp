@@ -83,6 +83,6 @@ struct ChaosConfig {
 /// fault_dropped, corrupted, reordered, net_decode_errors,
 /// conservation_ok, consistency_ok, leak_free, quiescent,
 /// view_digest_lo, view_digest_hi, events. samples: flow_delivered.
-TrialResult chaos_trial(const ChaosConfig& cfg, std::uint64_t seed);
+[[nodiscard]] TrialResult chaos_trial(const ChaosConfig& cfg, std::uint64_t seed);
 
 }  // namespace qnetp::exp

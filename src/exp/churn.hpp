@@ -78,13 +78,13 @@ struct ChurnConfig {
 /// A small default fault timeline for a single-region family: sever a
 /// first-flow link, degrade another, heal the severed one, then a flash
 /// crowd — all on nodes every family of `size` has.
-std::vector<ChurnEvent> default_churn_timeline(TopologyFamily family,
+[[nodiscard]] std::vector<ChurnEvent> default_churn_timeline(TopologyFamily family,
                                                std::size_t size);
 
 /// scalars: ok, admitted, rejected, crowd_admitted, crowd_rejected,
 /// torn_down, delivered, completed, updates_applied, lsas_received,
 /// lsas_aged_out, spf_runs, consistency_ok, leak_free, quiescent,
 /// events. samples: flow_delivered (established-flow order).
-TrialResult churn_trial(const ChurnConfig& cfg, std::uint64_t seed);
+[[nodiscard]] TrialResult churn_trial(const ChurnConfig& cfg, std::uint64_t seed);
 
 }  // namespace qnetp::exp

@@ -33,7 +33,7 @@ struct LinkCdfConfig {
   double fiber_m = 2.0;
 };
 /// samples: gen_ms. scalars: pairs, mean_ms, p95_ms, events.
-TrialResult link_cdf_trial(const LinkCdfConfig& cfg, std::uint64_t seed);
+[[nodiscard]] TrialResult link_cdf_trial(const LinkCdfConfig& cfg, std::uint64_t seed);
 
 // ---------------------------------------------------------------------------
 // Fig. 9 — dumbbell A0-B0 latency vs offered load, optionally with a
@@ -50,7 +50,7 @@ struct LatencyThroughputConfig {
 };
 /// scalars: ok, throughput, latency_mean, latency_p5, latency_p95,
 /// events. samples: latency_s (completed window requests).
-TrialResult latency_throughput_trial(const LatencyThroughputConfig& cfg,
+[[nodiscard]] TrialResult latency_throughput_trial(const LatencyThroughputConfig& cfg,
                                      std::uint64_t seed);
 
 // ---------------------------------------------------------------------------
@@ -66,7 +66,7 @@ struct SharingConfig {
   Duration horizon = Duration::seconds(900);
 };
 /// scalars: ok, timeout, latency_s (mean over circuit-0 requests), events.
-TrialResult sharing_trial(const SharingConfig& cfg, std::uint64_t seed);
+[[nodiscard]] TrialResult sharing_trial(const SharingConfig& cfg, std::uint64_t seed);
 
 // ---------------------------------------------------------------------------
 // Fig. 10(a,b) — two competing circuits vs memory lifetime T2*, cutoff
@@ -78,7 +78,7 @@ struct DecoherenceConfig {
   Duration horizon = Duration::seconds(20);
 };
 /// scalars: ok, tput_high, tput_low, fid_high, fid_low, events.
-TrialResult decoherence_trial(const DecoherenceConfig& cfg,
+[[nodiscard]] TrialResult decoherence_trial(const DecoherenceConfig& cfg,
                               std::uint64_t seed);
 
 // ---------------------------------------------------------------------------
@@ -90,7 +90,7 @@ struct MessageDelayConfig {
 };
 /// scalars: ok, tput_high, good_high, tput_low, good_low, cutoff_ms,
 /// events.
-TrialResult message_delay_trial(const MessageDelayConfig& cfg,
+[[nodiscard]] TrialResult message_delay_trial(const MessageDelayConfig& cfg,
                                 std::uint64_t seed);
 
 // ---------------------------------------------------------------------------
@@ -105,7 +105,7 @@ struct NearTermConfig {
 /// scalars: ok, delivered, mean_fidelity, swaps, cutoff_discards,
 /// link_fidelity, max_fidelity, events. samples: arrival_s,
 /// pair_fidelity.
-TrialResult near_term_trial(const NearTermConfig& cfg, std::uint64_t seed);
+[[nodiscard]] TrialResult near_term_trial(const NearTermConfig& cfg, std::uint64_t seed);
 
 // ---------------------------------------------------------------------------
 // Ablation — K requests on one aggregated circuit vs K parallel circuits.
@@ -117,7 +117,7 @@ struct AggregationConfig {
   Duration horizon = Duration::seconds(600);
 };
 /// scalars: ok, makespan_s, circuits, events.
-TrialResult aggregation_trial(const AggregationConfig& cfg,
+[[nodiscard]] TrialResult aggregation_trial(const AggregationConfig& cfg,
                               std::uint64_t seed);
 
 // ---------------------------------------------------------------------------
@@ -130,7 +130,7 @@ struct CutoffSweepConfig {
   double t2_seconds = 2.0;
 };
 /// scalars: ok, tput, fidelity, discards_per_s, events.
-TrialResult cutoff_sweep_trial(const CutoffSweepConfig& cfg,
+[[nodiscard]] TrialResult cutoff_sweep_trial(const CutoffSweepConfig& cfg,
                                std::uint64_t seed);
 
 // ---------------------------------------------------------------------------
@@ -143,7 +143,7 @@ struct TrackingConfig {
   Duration horizon = Duration::seconds(600);
 };
 /// scalars: ok, latency_s, fidelity, events.
-TrialResult tracking_trial(const TrackingConfig& cfg, std::uint64_t seed);
+[[nodiscard]] TrialResult tracking_trial(const TrackingConfig& cfg, std::uint64_t seed);
 
 // ---------------------------------------------------------------------------
 // Multi-flow workloads over arbitrary topologies (netsim::TopologySpec):
@@ -170,7 +170,7 @@ netsim::TopologySpec family_topology_spec(TopologyFamily family,
 /// `n_flows` pairs spread across the topology so concurrent circuits
 /// share links and nodes. Degenerate pairs are dropped, so the result
 /// may be shorter than `n_flows` for tiny sizes.
-std::vector<std::pair<NodeId, NodeId>> family_flow_endpoints(
+[[nodiscard]] std::vector<std::pair<NodeId, NodeId>> family_flow_endpoints(
     TopologyFamily family, std::size_t size, std::size_t n_flows);
 
 struct MultiflowConfig {
@@ -189,7 +189,7 @@ struct MultiflowConfig {
 };
 /// scalars: ok, admitted, rejected, delivered, completed, mean_fidelity,
 /// mismatches, events. samples: flow_latency_s (per completed flow).
-TrialResult multiflow_trial(const MultiflowConfig& cfg, std::uint64_t seed);
+[[nodiscard]] TrialResult multiflow_trial(const MultiflowConfig& cfg, std::uint64_t seed);
 
 // ---------------------------------------------------------------------------
 // Extension — layered DEJMPS distillation over a 3-node circuit.
@@ -202,7 +202,7 @@ struct DistillationConfig {
 };
 /// scalars: ok, raw_fidelity, out_fidelity, out_pairs, raw_pairs,
 /// success_ratio, events.
-TrialResult distillation_trial(const DistillationConfig& cfg,
+[[nodiscard]] TrialResult distillation_trial(const DistillationConfig& cfg,
                                std::uint64_t seed);
 
 }  // namespace qnetp::exp

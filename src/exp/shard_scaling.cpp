@@ -176,9 +176,12 @@ TrialResult shard_scaling_trial(const ShardScalingConfig& cfg,
 
   // Per-flow open-loop pumps, each a self-rescheduling event on the head
   // node's shard: arrival instants are a pure function of the flow's
-  // seed, submissions and completions stay shard-local.
-  auto pump = std::make_shared<std::function<void(FlowRt&)>>();
-  *pump = [&cfg, &net, traffic_end, pump](FlowRt& f) {
+  // seed, submissions and completions stay shard-local. The pump closure
+  // outlives every scheduled invocation (the whole trial runs inside
+  // this scope), so rescheduling captures it by reference — a shared_ptr
+  // captured by its own target would cycle and leak.
+  std::function<void(FlowRt&)> pump;
+  pump = [&cfg, &net, traffic_end, &pump](FlowRt& f) {
     const TimePoint now = f.hsim->now();
     f.offered += 1.0;
     if (!f.down) {
@@ -206,25 +209,25 @@ TrialResult shard_scaling_trial(const ShardScalingConfig& cfg,
     }
     const TimePoint next = f.arrivals->next_after(now);
     if (next < traffic_end) {
-      f.hsim->schedule_at(next, [&f, pump] { (*pump)(f); });
+      f.hsim->schedule_at(next, [&f, &pump] { pump(f); });
     }
   };
   for (FlowRt& f : flows) {
     const TimePoint first = f.arrivals->next_after(traffic_start);
     if (first < traffic_end) {
-      f.hsim->schedule_at(first, [&f, pump] { (*pump)(f); });
+      f.hsim->schedule_at(first, [&f, &pump] { pump(f); });
     }
   }
 
   // Keepalive chatter in both directions over every inter-region bridge:
   // the cross-shard traffic whose mailbox merge order the digest checks.
   std::deque<Ping> pings;
-  auto ping_fn = std::make_shared<std::function<void(Ping&)>>();
-  *ping_fn = [&cfg, &net, traffic_end, ping_fn](Ping& p) {
+  std::function<void(Ping&)> ping_fn;
+  ping_fn = [&cfg, &net, traffic_end, &ping_fn](Ping& p) {
     net->classical().send(p.from, p.to, netmsg::KeepaliveMsg{CircuitId{1}});
     const TimePoint next = p.sim->now() + cfg.bridge_ping_interval;
     if (next < traffic_end) {
-      p.sim->schedule_at(next, [&p, ping_fn] { (*ping_fn)(p); });
+      p.sim->schedule_at(next, [&p, &ping_fn] { ping_fn(p); });
     }
   };
   for (std::size_t r = 0; r + 1 < cfg.regions; ++r) {
@@ -237,7 +240,7 @@ TrialResult shard_scaling_trial(const ShardScalingConfig& cfg,
       p.to = to;
       p.sim = &ssim.shard(net->shard_of(from));
       p.sim->schedule_at(traffic_start + cfg.bridge_ping_interval,
-                         [&p, ping_fn] { (*ping_fn)(p); });
+                         [&p, &ping_fn] { ping_fn(p); });
     }
   }
 

@@ -69,7 +69,7 @@ netsim::TopologySpec shard_scaling_spec(const ShardScalingConfig& cfg);
 /// latencies, flow-major order). Every scalar and sample is
 /// bit-identical across shard counts (cfg.shards is deliberately not
 /// echoed into the result).
-TrialResult shard_scaling_trial(const ShardScalingConfig& cfg,
+[[nodiscard]] TrialResult shard_scaling_trial(const ShardScalingConfig& cfg,
                                 std::uint64_t seed);
 
 }  // namespace qnetp::exp

@@ -65,7 +65,7 @@ class SummaryAccumulator {
 
   /// Percentile-bootstrap CI for the mean of a scalar metric across
   /// trials. Deterministic: the bootstrap RNG is seeded from `seed` only.
-  ConfidenceInterval bootstrap_ci(const std::string& name,
+  [[nodiscard]] ConfidenceInterval bootstrap_ci(const std::string& name,
                                   std::size_t resamples = 2000,
                                   double alpha = 0.05,
                                   std::uint64_t seed = 0x5bdc0de) const;
@@ -79,7 +79,7 @@ class SummaryAccumulator {
   /// Reservoir metrics contribute their exact moments and the sorted
   /// retained subset; those are trial-order-dependent by construction,
   /// which is fine because add() is always called in trial order.
-  std::uint64_t digest() const;
+  [[nodiscard]] std::uint64_t digest() const;
 
  private:
   std::size_t trials_ = 0;

@@ -132,7 +132,7 @@ struct TrafficConfig {
 class TrafficEngine {
  public:
   TrafficEngine(const TrafficConfig& cfg, std::uint64_t seed);
-  TrialResult run();
+  [[nodiscard]] TrialResult run();
 
  private:
   TrafficConfig cfg_;
@@ -140,6 +140,6 @@ class TrafficEngine {
 };
 
 /// Convenience wrapper matching the scenario-library shape.
-TrialResult traffic_trial(const TrafficConfig& cfg, std::uint64_t seed);
+[[nodiscard]] TrialResult traffic_trial(const TrafficConfig& cfg, std::uint64_t seed);
 
 }  // namespace qnetp::exp

@@ -26,7 +26,8 @@ struct Trial {
 
 /// Seed for trial `index` under `base_seed` (counter-based, see
 /// qnetp::derive_stream_seed).
-inline std::uint64_t trial_seed(std::uint64_t base_seed, std::size_t index) {
+[[nodiscard]] inline std::uint64_t trial_seed(std::uint64_t base_seed,
+                                              std::size_t index) {
   return derive_stream_seed(base_seed, static_cast<std::uint64_t>(index));
 }
 
@@ -42,11 +43,14 @@ struct TrialResult {
   void add_sample(const std::string& name, double v) {
     samples[name].push_back(v);
   }
-  double scalar_or(const std::string& name, double fallback) const {
+  [[nodiscard]] double scalar_or(const std::string& name,
+                                 double fallback) const {
     const auto it = scalars.find(name);
     return it == scalars.end() ? fallback : it->second;
   }
-  bool has(const std::string& name) const { return scalars.count(name) > 0; }
+  [[nodiscard]] bool has(const std::string& name) const {
+    return scalars.count(name) > 0;
+  }
 };
 
 }  // namespace qnetp::exp

@@ -3,6 +3,7 @@
 #include "des/sharded.hpp"
 #include "qbase/assert.hpp"
 #include "qbase/log.hpp"
+#include "qbase/ordered.hpp"
 
 namespace qnetp::linklayer {
 
@@ -35,7 +36,10 @@ void EgpLink::set_failure_handler(NodeId node, FailureHandler handler) {
 
 void EgpLink::fail(LinkLabel label, const std::string& reason) {
   QNETP_LOG(info, "egp") << id_ << " " << label << " failed: " << reason;
-  for (auto& [node, handler] : failure_handlers_) {
+  // Handlers post follow-up events; invoke them in node-id order so the
+  // event-post order never depends on the hash table's bucket layout.
+  for (const NodeId node : qbase::ordered_keys(failure_handlers_)) {
+    auto& handler = failure_handlers_.at(node);
     if (handler) handler(label, reason);
   }
 }

@@ -9,6 +9,7 @@ namespace qnetp::linklayer {
 
 double WfqScheduler::min_active_vtime() const {
   double m = std::numeric_limits<double>::infinity();
+  // qnetp-lint: unordered-ok(exact min reduction, order-independent)
   for (const auto& [label, e] : entries_) m = std::min(m, e.vtime);
   return m;
 }
@@ -25,6 +26,7 @@ void WfqScheduler::upsert(LinkLabel label, double weight) {
     // rejoined with the new weight.
     double floor = 0.0;
     bool first = true;
+    // qnetp-lint: unordered-ok(exact min reduction, order-independent)
     for (const auto& [other, e] : entries_) {
       if (other == label) continue;
       floor = first ? e.vtime : std::min(floor, e.vtime);
@@ -53,6 +55,7 @@ std::optional<LinkLabel> WfqScheduler::pick() const {
   if (entries_.empty()) return std::nullopt;
   LinkLabel best;
   double best_vtime = std::numeric_limits<double>::infinity();
+  // qnetp-lint: unordered-ok(argmin with total label tie-break)
   for (const auto& [label, e] : entries_) {
     if (e.vtime < best_vtime ||
         (e.vtime == best_vtime && label < best)) {

@@ -92,6 +92,7 @@ std::optional<Duration> ClassicalNetwork::min_cross_shard_propagation()
     const {
   if (shard_of_ == nullptr) return std::nullopt;
   std::optional<Duration> best;
+  // qnetp-lint: unordered-ok(exact min reduction, order-independent)
   for (const auto& [key, ch] : channels_) {
     if (shard_of_(key.first) == shard_of_(key.second)) continue;
     if (!best.has_value() || ch->propagation < *best) best = ch->propagation;
@@ -236,6 +237,7 @@ void ClassicalNetwork::send(NodeId from, NodeId to, const Message& msg) {
 
 NetworkStats ClassicalNetwork::stats() const {
   NetworkStats out;
+  // qnetp-lint: unordered-ok(integer sums + insertion into an ordered map)
   for (const auto& [key, ch] : channels_) {
     ChannelStats s;
     s.sent = ch->sent.load(kRelaxed);

@@ -1,0 +1,95 @@
+// Deterministic iteration over hash containers.
+//
+// The determinism contract (DESIGN.md sec. 9) is that aggregate digests
+// are bit-identical across --jobs and --shards. Hash containers give
+// O(1) lookup but an iteration order that depends on the hash function,
+// the bucket count history, and (for pointer keys) allocation addresses
+// — none of which the contract allows to leak into a digest, a message
+// emission order, or an event-post order. Any loop over an
+// unordered_map/unordered_set that can reach one of those MUST go
+// through these helpers (or switch to an ordered container). Loops
+// whose effect is provably order-independent (pure counting, min/max
+// reduction over exact values, erase-only sweeps) carry a
+// `// qnetp-lint: unordered-ok(<reason>)` annotation instead; the
+// determinism linter (scripts/determinism_lint.py) enforces one or the
+// other.
+#pragma once
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace qnetp::qbase {
+
+namespace detail {
+template <typename C>
+concept MapLike = requires { typename C::mapped_type; };
+}  // namespace detail
+
+/// Sorted snapshot of a container's keys. Works on map-likes
+/// (unordered_map, map: takes .first) and set-likes (element itself).
+/// The key type must be totally ordered via operator<.
+template <typename Container>
+auto ordered_keys(const Container& c) {
+  using Key = typename Container::key_type;
+  std::vector<Key> keys;
+  keys.reserve(c.size());
+  // qnetp-lint: unordered-ok(keys are sorted before any caller sees them)
+  for (const auto& item : c) {
+    if constexpr (detail::MapLike<Container>) {
+      keys.push_back(item.first);
+    } else {
+      keys.push_back(item);
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+/// Visit a map's (key, mapped) pairs in ascending key order. The value
+/// reference is re-looked-up per key, so `fn` may erase OTHER entries
+/// (erased keys are skipped when reached); it must not insert.
+template <typename Map, typename Fn>
+void for_each_sorted(Map& m, Fn&& fn) {
+  for (const auto& key : ordered_keys(m)) {
+    const auto it = m.find(key);
+    if (it == m.end()) continue;  // fn erased it earlier in the walk
+    fn(it->first, it->second);
+  }
+}
+
+/// Move a map's contents out as a vector of (key, mapped) pairs in
+/// ascending key order, leaving the map empty. This is the canonical
+/// "drain a pending set deterministically" shape: accumulate into a
+/// hash map for O(1) dedup/update, then drain sorted at the barrier.
+template <typename Map>
+auto drain_sorted(Map& m) {
+  using Key = typename Map::key_type;
+  using Mapped = typename Map::mapped_type;
+  std::vector<std::pair<Key, Mapped>> out;
+  out.reserve(m.size());
+  // qnetp-lint: unordered-ok(entries are sorted before any caller sees them)
+  for (auto& item : m) {
+    out.emplace_back(item.first, std::move(item.second));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& x, const auto& y) { return x.first < y.first; });
+  m.clear();
+  return out;
+}
+
+/// Set overload: drain the elements out sorted, leaving the set empty.
+template <typename Set>
+  requires(!detail::MapLike<Set>)
+auto drain_sorted(Set& s) {
+  using Key = typename Set::key_type;
+  std::vector<Key> out;
+  out.reserve(s.size());
+  // qnetp-lint: unordered-ok(elements are sorted before any caller sees them)
+  for (const auto& item : s) out.push_back(item);
+  std::sort(out.begin(), out.end());
+  s.clear();
+  return out;
+}
+
+}  // namespace qnetp::qbase

@@ -102,6 +102,7 @@ std::size_t QuantumMemoryManager::free_storage_count() const {
 
 std::size_t QuantumMemoryManager::in_use_count() const {
   std::size_t n = 0;
+  // qnetp-lint: unordered-ok(pure count, order-independent)
   for (const auto& [id, slot] : slots_) {
     if (slot.in_use) ++n;
   }

@@ -13,6 +13,7 @@
 #include <unordered_map>
 
 #include "qbase/ids.hpp"
+#include "qbase/ordered.hpp"
 #include "qdevice/entangled_pair.hpp"
 
 namespace qnetp::qdevice {
@@ -51,12 +52,15 @@ class PairRegistry {
   std::size_t size() const { return map_.size(); }
   bool empty() const { return map_.empty(); }
 
-  /// Visit every binding whose endpoint lives at `node`. The visitor must
-  /// not add or remove bindings.
+  /// Visit every binding whose endpoint lives at `node`, in ascending
+  /// (node, qubit) endpoint order — visitors mutate pair states, so the
+  /// visit order must not depend on the hash table's bucket layout. The
+  /// visitor must not add or remove bindings.
   template <typename Visitor>
   void for_each_at_node(NodeId node, Visitor&& visit) const {
-    for (const auto& [ep, binding] : map_) {
-      if (ep.node == node) visit(ep, binding);
+    for (const QubitEndpoint& ep : qbase::ordered_keys(map_)) {
+      if (ep.node != node) continue;
+      visit(ep, map_.at(ep));
     }
   }
 

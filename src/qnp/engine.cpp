@@ -247,6 +247,7 @@ void QnpEngine::handle_teardown(NodeId from, const TeardownMsg& msg) {
   }
 
   // Drop label mappings.
+  // qnetp-lint: unordered-ok(erase-only sweep, no observable order)
   for (auto it = label_map_.begin(); it != label_map_.end();) {
     if (it->second == msg.circuit_id) {
       it = label_map_.erase(it);

@@ -27,6 +27,7 @@
 
 #include "qbase/assert.hpp"
 #include "qbase/ids.hpp"
+#include "qbase/ordered.hpp"
 #include "qbase/units.hpp"
 
 namespace qnetp::qnp {
@@ -79,24 +80,32 @@ class FlowTable {
   }
 
   /// Erase every entry matching `pred(key, value)`; returns the count.
+  /// `pred` runs in ascending correlator order: callers release qubits
+  /// and post events from it, so the visit order must not depend on the
+  /// hash table's bucket layout (DESIGN.md sec. 9).
   template <typename Pred>
   std::size_t erase_if(Pred&& pred) {
     std::size_t n = 0;
-    for (auto it = map_.begin(); it != map_.end();) {
+    for (const PairCorrelator& key : qbase::ordered_keys(map_)) {
+      const auto it = map_.find(key);
+      if (it == map_.end()) continue;
       if (pred(it->first, it->second.value)) {
-        it = map_.erase(it);
+        map_.erase(it);
         ++n;
-      } else {
-        ++it;
       }
     }
     erased_ += n;
     return n;
   }
 
+  /// Visit every (key, value) in ascending correlator order — same
+  /// rationale as erase_if. `fn` may erase entries (skipped if already
+  /// gone when reached) but must not insert.
   template <typename Fn>
   void for_each(Fn&& fn) {
-    for (auto& [key, entry] : map_) fn(key, entry.value);
+    qbase::for_each_sorted(map_, [&](const PairCorrelator& key, Entry& e) {
+      fn(key, e.value);
+    });
   }
 
   void clear() {

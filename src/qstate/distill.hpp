@@ -19,10 +19,10 @@ namespace qnetp::qstate {
 
 /// Project a state onto its Bell-diagonal part (twirl): keeps the four
 /// diagonal coefficients in the Bell basis and renormalises.
-BellDiagonal bell_diagonal_of(const TwoQubitState& state);
+[[nodiscard]] BellDiagonal bell_diagonal_of(const TwoQubitState& state);
 
 /// Reconstruct a Bell-diagonal state.
-TwoQubitState from_bell_diagonal(const BellDiagonal& coeffs);
+[[nodiscard]] TwoQubitState from_bell_diagonal(const BellDiagonal& coeffs);
 
 struct DistillResult {
   bool success = false;
@@ -36,8 +36,9 @@ struct DistillResult {
 /// Both pairs must be held between the same two nodes. Gate noise is
 /// applied as a depolarizing probability on each qubit participating in
 /// the bilateral CNOT, matching the swap noise convention.
-DistillResult dejmps(const TwoQubitState& a, const TwoQubitState& b,
-                     double gate_depolarizing, Rng& rng);
+[[nodiscard]] DistillResult dejmps(const TwoQubitState& a,
+                                   const TwoQubitState& b,
+                                   double gate_depolarizing, Rng& rng);
 
 /// Closed-form DEJMPS output on Bell-diagonal inputs: returns the success
 /// probability and writes the output coefficients. Used by tests and by

@@ -1,0 +1,68 @@
+// Determinism-lint fixture: must produce ZERO findings. Exercises every
+// sanctioned pattern: the qbase ordered helpers, the `unordered-ok`
+// annotation escape hatch (reason mandatory), point lookups, mapped-value
+// iteration, and ordered containers — so the self-test fails if the
+// linter ever starts over-reporting.
+//
+// (no expectation marker: this file must stay clean)
+//
+// NOT compiled into the build — consumed by scripts/determinism_lint.py
+// --self-test only.
+#include <cstddef>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "qbase/ordered.hpp"
+
+struct CleanTracker {
+  std::unordered_map<int, double> table;
+  std::unordered_set<int> members;
+  std::unordered_map<int, std::vector<int>> adjacency;
+  std::map<int, double> ordered_table;
+
+  // Sanctioned: sorted snapshot of the keys.
+  double sorted_walk() const {
+    double sum = 0.0;
+    for (const int key : qnetp::qbase::ordered_keys(table)) {
+      sum += table.at(key);
+    }
+    return sum;
+  }
+
+  // Sanctioned: annotated order-independent reduction.
+  std::size_t annotated_count() const {
+    std::size_t n = 0;
+    // qnetp-lint: unordered-ok(pure count, order-independent)
+    for (const auto& [key, value] : table) {
+      if (value > 0.0) ++n;
+    }
+    return n;
+  }
+
+  // Point lookups never trip the rule.
+  bool lookup(int key) const {
+    return table.find(key) != table.end() || members.count(key) > 0;
+  }
+
+  // Iterating a mapped VALUE (here a vector) is not iterating the map.
+  int mapped_value_walk(int node) const {
+    int total = 0;
+    for (const int neighbour : adjacency.at(node)) total += neighbour;
+    return total;
+  }
+
+  // Ordered containers iterate deterministically by definition.
+  double ordered_map_walk() const {
+    double sum = 0.0;
+    for (const auto& [key, value] : ordered_table) sum += value;
+    return sum;
+  }
+
+  // Sanctioned: drain into sorted (key, value) pairs.
+  std::vector<std::pair<int, double>> drain() {
+    return qnetp::qbase::drain_sorted(table);
+  }
+};

@@ -1,0 +1,31 @@
+// Determinism-lint fixture: pointer-keyed ordered containers and
+// pointer-ordering comparators must trip the pointer-key rule. Heap
+// addresses differ run to run (ASLR, allocation history), so any order
+// derived from them is nondeterministic even though each single run is
+// self-consistent.
+//
+// lint-expect: pointer-key
+//
+// NOT compiled into the build — consumed by scripts/determinism_lint.py
+// --self-test only.
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+struct Circuit {
+  int id = 0;
+};
+
+// lint: map keyed by pointer — iteration follows addresses
+std::map<Circuit*, int> bad_pointer_map;
+
+// lint: set of pointers — ordered by address
+std::set<const Circuit*> bad_pointer_set;
+
+void bad_pointer_sort(std::vector<Circuit*>& circuits) {
+  std::sort(circuits.begin(), circuits.end(),
+            [](const Circuit* a, const Circuit* b) {
+              return a < b;  // lint: comparator orders raw pointers
+            });
+}

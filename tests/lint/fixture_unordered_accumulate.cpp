@@ -1,0 +1,30 @@
+// Determinism-lint fixture: unordered / unspecified-order reduction over
+// floating-point values must trip the unordered-accumulate rule. FP
+// addition is not associative, so an evaluation order the standard
+// leaves unspecified (std::reduce, execution policies) or a hash-bucket
+// order (accumulate over an unordered range) changes the low bits — and
+// the digest hashes exact bit patterns.
+//
+// lint-expect: unordered-accumulate
+//
+// NOT compiled into the build — consumed by scripts/determinism_lint.py
+// --self-test only.
+#include <numeric>
+#include <unordered_map>
+#include <vector>
+
+double bad_reduce(const std::vector<double>& xs) {
+  return std::reduce(xs.begin(), xs.end(), 0.0);  // lint: unspecified order
+}
+
+struct RateBook {
+  std::unordered_map<int, double> rates;
+
+  double bad_accumulate() const {
+    // lint: hash order feeds FP accumulation
+    return std::accumulate(rates.begin(), rates.end(), 0.0,
+                           [](double acc, const auto& kv) {
+                             return acc + kv.second;
+                           });
+  }
+};

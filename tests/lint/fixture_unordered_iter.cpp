@@ -1,0 +1,46 @@
+// Determinism-lint fixture: iterating a hash container without the
+// qbase ordered helpers or an `unordered-ok` annotation must trip the
+// unordered-iter rule — bucket order depends on hash seeding and resize
+// history, so anything it feeds (digests, message emission, event posts)
+// stops being reproducible.
+//
+// lint-expect: unordered-iter
+//
+// NOT compiled into the build — consumed by scripts/determinism_lint.py
+// --self-test only.
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+struct Tracker {
+  std::unordered_map<int, double> table;
+  std::unordered_set<std::string> labels;
+
+  double bad_range_for() const {
+    double sum = 0.0;
+    for (const auto& [key, value] : table) sum += value;  // lint: hash order
+    return sum;
+  }
+
+  std::size_t bad_set_walk() const {
+    std::size_t n = 0;
+    for (const auto& label : labels) n += label.size();  // lint: hash order
+    return n;
+  }
+
+  void bad_iterator_loop() {
+    for (auto it = table.begin(); it != table.end(); ++it) {
+      it->second *= 2.0;  // lint: visit order follows buckets
+    }
+  }
+};
+
+using AliasedMap = std::unordered_map<int, int>;
+
+int bad_alias_iteration() {
+  AliasedMap counts;
+  int total = 0;
+  for (const auto& [k, v] : counts) total += v;  // lint: alias resolves
+  return total;
+}

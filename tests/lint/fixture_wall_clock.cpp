@@ -1,0 +1,35 @@
+// Determinism-lint fixture: every line below must trip the wall-clock
+// rule. Simulation code reads Simulator::now() and draws randomness from
+// seeded qnetp::Rng streams; any ambient time or entropy source makes
+// digests differ run to run.
+//
+// lint-expect: wall-clock
+//
+// NOT compiled into the build — consumed by scripts/determinism_lint.py
+// --self-test only.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+double bad_wall_clock_now() {
+  const auto t = std::chrono::steady_clock::now();  // lint: monotonic clock
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+long bad_system_clock() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+long bad_c_time() { return static_cast<long>(time(nullptr)); }
+
+int bad_rand() { return rand(); }
+
+void bad_srand() { srand(42); }
+
+unsigned bad_random_device() {
+  std::random_device rd;  // lint: nondeterministic seed source
+  return rd();
+}
+
+long bad_process_clock() { return static_cast<long>(clock()); }

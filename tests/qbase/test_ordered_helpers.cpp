@@ -1,0 +1,160 @@
+// qbase/ordered.hpp: the deterministic-iteration helpers every
+// hash-container walk in a digest path must go through (DESIGN.md
+// sec. 9). These tests pin the contract: sorted output regardless of
+// bucket layout, drain leaves the container empty, for_each_sorted
+// tolerates erasure of not-yet-visited entries.
+#include "qbase/ordered.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "qbase/ids.hpp"
+
+namespace qnetp::qbase {
+namespace {
+
+TEST(OrderedKeys, EmptyMapYieldsEmptyVector) {
+  std::unordered_map<int, std::string> m;
+  EXPECT_TRUE(ordered_keys(m).empty());
+}
+
+TEST(OrderedKeys, SingleEntry) {
+  std::unordered_map<int, std::string> m{{7, "seven"}};
+  EXPECT_EQ(ordered_keys(m), (std::vector<int>{7}));
+}
+
+TEST(OrderedKeys, ManyEntriesSortedWhateverInsertionOrder) {
+  std::unordered_map<int, int> m;
+  // Insertion order chosen to disagree with key order; rehashing along
+  // the way scrambles bucket order further.
+  for (const int k : {42, 3, 99, 1, 57, 23, 88, 5, 64, 17}) m[k] = k * 10;
+  const std::vector<int> expect{1, 3, 5, 17, 23, 42, 57, 64, 88, 99};
+  EXPECT_EQ(ordered_keys(m), expect);
+  EXPECT_EQ(m.size(), 10u) << "ordered_keys must not mutate the container";
+}
+
+TEST(OrderedKeys, SetOverloadReturnsElementsSorted) {
+  std::unordered_set<int> s{9, 2, 5, 1};
+  EXPECT_EQ(ordered_keys(s), (std::vector<int>{1, 2, 5, 9}));
+}
+
+TEST(OrderedKeys, StrongIdKeysSortByValue) {
+  std::unordered_map<NodeId, int> m;
+  m[NodeId{30}] = 3;
+  m[NodeId{10}] = 1;
+  m[NodeId{20}] = 2;
+  const auto keys = ordered_keys(m);
+  ASSERT_EQ(keys.size(), 3u);
+  EXPECT_EQ(keys[0], NodeId{10});
+  EXPECT_EQ(keys[1], NodeId{20});
+  EXPECT_EQ(keys[2], NodeId{30});
+}
+
+TEST(OrderedKeys, PairCorrelatorKeysSortLinkThenSequence) {
+  std::unordered_map<PairCorrelator, int> m;
+  m[PairCorrelator{LinkId{2}, 1}] = 0;
+  m[PairCorrelator{LinkId{1}, 9}] = 0;
+  m[PairCorrelator{LinkId{1}, 2}] = 0;
+  const auto keys = ordered_keys(m);
+  ASSERT_EQ(keys.size(), 3u);
+  EXPECT_EQ(keys[0], (PairCorrelator{LinkId{1}, 2}));
+  EXPECT_EQ(keys[1], (PairCorrelator{LinkId{1}, 9}));
+  EXPECT_EQ(keys[2], (PairCorrelator{LinkId{2}, 1}));
+}
+
+TEST(ForEachSorted, VisitsInKeyOrder) {
+  std::unordered_map<int, std::string> m{
+      {3, "c"}, {1, "a"}, {2, "b"}};
+  std::string seen;
+  for_each_sorted(m, [&](const int&, std::string& v) { seen += v; });
+  EXPECT_EQ(seen, "abc");
+}
+
+TEST(ForEachSorted, VisitorMayMutateValues) {
+  std::unordered_map<int, int> m{{1, 10}, {2, 20}};
+  for_each_sorted(m, [](const int&, int& v) { v += 1; });
+  EXPECT_EQ(m.at(1), 11);
+  EXPECT_EQ(m.at(2), 21);
+}
+
+TEST(ForEachSorted, SkipsEntriesErasedMidWalk) {
+  std::unordered_map<int, int> m{{1, 0}, {2, 0}, {3, 0}, {4, 0}};
+  std::vector<int> visited;
+  for_each_sorted(m, [&](const int& k, int&) {
+    visited.push_back(k);
+    if (k == 1) m.erase(3);  // erase a later key: it must be skipped
+  });
+  EXPECT_EQ(visited, (std::vector<int>{1, 2, 4}));
+  EXPECT_EQ(m.size(), 3u);
+}
+
+TEST(DrainSorted, EmptyMap) {
+  std::unordered_map<int, int> m;
+  EXPECT_TRUE(drain_sorted(m).empty());
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(DrainSorted, SingleEntry) {
+  std::unordered_map<int, std::string> m{{5, "five"}};
+  const auto drained = drain_sorted(m);
+  ASSERT_EQ(drained.size(), 1u);
+  EXPECT_EQ(drained[0].first, 5);
+  EXPECT_EQ(drained[0].second, "five");
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(DrainSorted, ManyEntriesSortedAndContainerEmptied) {
+  std::unordered_map<int, int> m;
+  for (const int k : {8, 3, 11, 1, 6}) m[k] = k * k;
+  const auto drained = drain_sorted(m);
+  ASSERT_EQ(drained.size(), 5u);
+  const std::vector<int> expect_keys{1, 3, 6, 8, 11};
+  for (std::size_t i = 0; i < drained.size(); ++i) {
+    EXPECT_EQ(drained[i].first, expect_keys[i]);
+    EXPECT_EQ(drained[i].second, expect_keys[i] * expect_keys[i]);
+  }
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(DrainSorted, MoveOnlyValuesAreMovedNotCopied) {
+  std::unordered_map<int, std::unique_ptr<int>> m;
+  m.emplace(2, std::make_unique<int>(20));
+  m.emplace(1, std::make_unique<int>(10));
+  const auto drained = drain_sorted(m);
+  ASSERT_EQ(drained.size(), 2u);
+  EXPECT_EQ(*drained[0].second, 10);
+  EXPECT_EQ(*drained[1].second, 20);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(DrainSorted, SetOverload) {
+  std::unordered_set<int> s{4, 1, 3};
+  EXPECT_EQ(drain_sorted(s), (std::vector<int>{1, 3, 4}));
+  EXPECT_TRUE(s.empty());
+}
+
+// Stability in the only sense meaningful for unique-key containers:
+// the same contents always drain in the same order, however the hash
+// table arrived at them (insertion order, rehashes, erase/re-insert).
+TEST(DrainSorted, OrderInvariantToContainerHistory) {
+  std::unordered_map<int, int> a;
+  a.reserve(1);  // force a different resize history than b
+  for (int k = 0; k < 200; ++k) a[k] = k;
+
+  std::unordered_map<int, int> b;
+  b.reserve(1024);
+  for (int k = 199; k >= 0; --k) b[k] = k;
+  for (int k = 0; k < 200; k += 3) b.erase(k);
+  for (int k = 0; k < 200; k += 3) b[k] = k;  // re-insert: new bucket slots
+
+  EXPECT_EQ(drain_sorted(a), drain_sorted(b));
+}
+
+}  // namespace
+}  // namespace qnetp::qbase
